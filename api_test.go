@@ -1,0 +1,154 @@
+package reo_test
+
+import (
+	"testing"
+	"time"
+
+	reo "repro"
+)
+
+func TestDefinitionsListing(t *testing.T) {
+	prog := reo.MustCompile(srcEx11)
+	defs := prog.Definitions()
+	want := map[string]bool{"ConnectorEx11a": true, "X": true, "ConnectorEx11b": true}
+	if len(defs) != len(want) {
+		t.Fatalf("definitions = %v", defs)
+	}
+	for _, d := range defs {
+		if !want[d] {
+			t.Errorf("unexpected definition %q", d)
+		}
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile did not panic on a bad program")
+		}
+	}()
+	reo.MustCompile(`A(a;b) = Nope(a;b)`)
+}
+
+func TestMustConnectorPanics(t *testing.T) {
+	prog := reo.MustCompile(`A(a;b) = Sync(a;b)`)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustConnector did not panic on unknown name")
+		}
+	}()
+	prog.MustConnector("Missing")
+}
+
+// TestMediumSimplifyOff: disabling compile-time label simplification must
+// not change observable behavior.
+func TestMediumSimplifyOff(t *testing.T) {
+	prog := reo.MustCompile(srcEx11N, reo.WithMediumSimplify(false))
+	conn, err := prog.Connector("ConnectorEx11N")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := conn.Connect(map[string]int{"tl": 3, "hd": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	checkOrderedProtocol(t, inst, 3, 2, "tl", "hd")
+}
+
+// TestFullExpansionCorrect: the textbook enumeration must be observably
+// equivalent on a deterministic connector (just slower).
+func TestFullExpansionCorrect(t *testing.T) {
+	prog := reo.MustCompile(srcEx11N)
+	conn, err := prog.Connector("ConnectorEx11N")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := conn.Connect(map[string]int{"tl": 3, "hd": 3}, reo.WithFullExpansion(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	checkOrderedProtocol(t, inst, 3, 2, "tl", "hd")
+}
+
+// TestInstanceIntrospection covers the diagnostic surface.
+func TestInstanceIntrospection(t *testing.T) {
+	prog := reo.MustCompile(srcEx11N)
+	conn, err := prog.Connector("ConnectorEx11N")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := conn.Connect(map[string]int{"tl": 2, "hd": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	if conn.Name() != "ConnectorEx11N" {
+		t.Error("connector name lost")
+	}
+	if inst.Constituents() == 0 || inst.Partitions() != 1 {
+		t.Errorf("constituents=%d partitions=%d", inst.Constituents(), inst.Partitions())
+	}
+	if inst.Universe() == nil || len(inst.Automata()) != inst.Constituents() {
+		t.Error("introspection inconsistent")
+	}
+	if inst.Outport("nope") != nil || inst.Inport("nope") != nil {
+		t.Error("unknown param returned a port")
+	}
+	if inst.Outport("tl") == nil || inst.Inport("hd") == nil {
+		t.Error("known param returned no port")
+	}
+}
+
+// TestPortNames: ports carry their vertex names for diagnostics.
+func TestPortNames(t *testing.T) {
+	prog := reo.MustCompile(`A(a[];b) = Merger(a[1..#a];b)`)
+	conn, err := prog.Connector("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := conn.Connect(map[string]int{"a": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	if got := inst.Outports("a")[1].Name(); got != "a[2]" {
+		t.Errorf("port name = %q", got)
+	}
+	if got := inst.Inport("b").Name(); got != "b" {
+		t.Errorf("port name = %q", got)
+	}
+}
+
+// TestAOTModeEndToEnd drives a stateful connector under AOT composition.
+func TestAOTModeEndToEnd(t *testing.T) {
+	prog := reo.MustCompile(`P(a;b) = Fifo1(a;m) mult Fifo1(m;b)`)
+	conn, err := prog.Connector("P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := conn.Connect(nil, reo.WithMode(reo.AOT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	// All reachable states are expanded up front; traffic must add none.
+	pre := inst.Expansions()
+	within(t, 10*time.Second, "aot traffic", func() {
+		go func() {
+			for i := 0; i < 10; i++ {
+				inst.Outport("a").Send(i)
+			}
+		}()
+		for i := 0; i < 10; i++ {
+			v, err := inst.Inport("b").Recv()
+			if err != nil || v != i {
+				t.Errorf("recv = %v, %v", v, err)
+			}
+		}
+	})
+	if inst.Expansions() != pre {
+		t.Errorf("AOT expanded %d more states at run time", inst.Expansions()-pre)
+	}
+}

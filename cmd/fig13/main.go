@@ -1,0 +1,85 @@
+// Command fig13 regenerates the paper's Fig. 13: NPB run times of the
+// original (hand-written channels) programs vs their Reo-based variants,
+// per class and slave count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	reo "repro"
+	"repro/internal/bench"
+	"repro/internal/npb"
+)
+
+func main() {
+	var (
+		progs     = flag.String("prog", "CG,LU", "comma-separated programs (EP,IS,CG,MG,FT,LU,BT,SP or 'all')")
+		classes   = flag.String("class", "S,W", "comma-separated classes (S,W,A,B,C)")
+		ns        = flag.String("N", "2,4,8", "comma-separated slave counts")
+		reps      = flag.Int("reps", 1, "repetitions per configuration (best time reported)")
+		partition = flag.Bool("partition", false, "partition the Reo connectors into independent engines (§V-C(3) fix)")
+		fullExp   = flag.Bool("full-expansion", false, "textbook joint enumeration (reproduces the §V-C(3) blow-up)")
+	)
+	flag.Parse()
+
+	var opts []reo.ConnectOption
+	if *partition {
+		opts = append(opts, reo.WithPartitioning(true))
+	}
+	if *fullExp {
+		opts = append(opts, reo.WithFullExpansion(true))
+	}
+	npb.DefaultReoOptions = npb.ReoCommOptions{Opts: opts}
+
+	var programs []string
+	if *progs == "all" {
+		for _, p := range npb.Programs() {
+			programs = append(programs, p.Name())
+		}
+	} else {
+		for _, s := range strings.Split(*progs, ",") {
+			programs = append(programs, strings.TrimSpace(s))
+		}
+	}
+	var classList []npb.Class
+	for _, s := range strings.Split(*classes, ",") {
+		c, err := npb.ParseClass(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fig13:", err)
+			os.Exit(2)
+		}
+		classList = append(classList, c)
+	}
+	var nList []int
+	for _, s := range strings.Split(*ns, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "fig13: bad N %q\n", s)
+			os.Exit(2)
+		}
+		nList = append(nList, n)
+	}
+
+	var rows []bench.Fig13Row
+	for _, p := range programs {
+		for _, c := range classList {
+			for _, n := range nList {
+				for _, v := range []npb.Variant{npb.Orig, npb.Reo} {
+					best := bench.RunFig13(p, c, v, n)
+					for r := 1; r < *reps && best.Err == nil; r++ {
+						row := bench.RunFig13(p, c, v, n)
+						if row.Err == nil && row.Elapsed < best.Elapsed {
+							best = row
+						}
+					}
+					rows = append(rows, best)
+				}
+			}
+		}
+	}
+	fmt.Print(bench.FormatFig13(rows))
+}

@@ -1,0 +1,105 @@
+// Map-reduce: master–slaves scatter/gather through a connector, using the
+// library API directly (no main definition). The master scatters chunks
+// of a word list; slaves count word lengths; the master reduces the
+// histograms — the communication structure of the paper's NPB experiments
+// (§V-C) in miniature.
+//
+//	go run ./examples/mapreduce -n 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+
+	reo "repro"
+)
+
+// The protocol: one buffered lane per direction per slave, as a single
+// reusable connector definition (compare: with raw channels this wiring
+// pattern would be re-implemented inside every program).
+const protocol = `
+MasterSlaves(mo[],so[];si[],mi[]) =
+    prod (i:1..#mo) Fifo1(mo[i];si[i])
+    mult prod (i:1..#so) Fifo1(so[i];mi[i])
+`
+
+const corpus = `separation of concerns entails dividing a parallel program into
+syntactically separate task modules and protocol modules every task module
+encapsulates a task every protocol module encapsulates synchronization and
+communication between those tasks`
+
+func main() {
+	n := flag.Int("n", 4, "number of slaves")
+	flag.Parse()
+
+	prog, err := reo.Compile(protocol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	conn, err := prog.Connector("MasterSlaves")
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := conn.Connect(map[string]int{"mo": *n, "so": *n, "si": *n, "mi": *n})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer inst.Close()
+
+	words := strings.Fields(corpus)
+	var wg sync.WaitGroup
+
+	// Slaves: receive a chunk, histogram word lengths, send it back.
+	for i := 0; i < *n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			in := inst.Inports("si")[i]
+			out := inst.Outports("so")[i]
+			v, err := in.Recv()
+			if err != nil {
+				return
+			}
+			hist := map[int]int{}
+			for _, w := range v.([]string) {
+				hist[len(w)]++
+			}
+			out.Send(hist)
+		}(i)
+	}
+
+	// Master: scatter chunks, gather and reduce histograms.
+	total := map[int]int{}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < *n; i++ {
+			lo := i * len(words) / *n
+			hi := (i + 1) * len(words) / *n
+			if err := inst.Outports("mo")[i].Send(words[lo:hi]); err != nil {
+				return
+			}
+		}
+		for i := 0; i < *n; i++ {
+			v, err := inst.Inports("mi")[i].Recv()
+			if err != nil {
+				return
+			}
+			for k, c := range v.(map[int]int) {
+				total[k] += c
+			}
+		}
+	}()
+	wg.Wait()
+
+	fmt.Println("word-length histogram:")
+	for l := 1; l <= 16; l++ {
+		if c := total[l]; c > 0 {
+			fmt.Printf("  %2d: %s (%d)\n", l, strings.Repeat("#", c), c)
+		}
+	}
+	fmt.Printf("connector made %d global steps\n", inst.Steps())
+}

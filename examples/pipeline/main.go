@@ -1,0 +1,123 @@
+// Pipeline: N worker stages connected by buffered lanes, with a
+// sequencer-gated, ordered merge of progress reports into a monitor —
+// two protocols composed in one program, each a separate module.
+//
+// Stage i transforms every item (here: multiply-accumulate on integers)
+// and passes it on; every stage also reports each processed item to a
+// monitor, and the connector — not the tasks — guarantees the monitor
+// sees reports in stage order for every item.
+//
+//	go run ./examples/pipeline -n 4 -items 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	reo "repro"
+)
+
+const protocol = `
+// Stage-to-stage lanes: src feeds stage 1, stage i feeds i+1, stage N
+// feeds the sink. One buffered lane per hop.
+Lanes(src,out[];in[],snk) =
+    Fifo1(src;in[1])
+    mult prod (i:1..#out-1) Fifo1(out[i];in[i+1])
+    mult Fifo1(out[#out];snk)
+
+// Ordered progress reports: per item, the monitor must receive the
+// stage-1 report first, then stage 2's, ... — an Alternator-style merge.
+Reports(rep[];mon) =
+    prod (i:1..#rep) Fifo1(rep[i];f[i])
+    mult Merger(f[1..#rep];mon)
+    mult Seq(f[1..#rep];)
+`
+
+func main() {
+	n := flag.Int("n", 4, "number of pipeline stages")
+	items := flag.Int("items", 5, "items pushed through the pipeline")
+	flag.Parse()
+
+	prog, err := reo.Compile(protocol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lanes, err := prog.Connector("Lanes")
+	if err != nil {
+		log.Fatal(err)
+	}
+	lanesInst, err := lanes.Connect(map[string]int{"out": *n, "in": *n})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lanesInst.Close()
+	reports, err := prog.Connector("Reports")
+	if err != nil {
+		log.Fatal(err)
+	}
+	repInst, err := reports.Connect(map[string]int{"rep": *n})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer repInst.Close()
+
+	done := make(chan struct{})
+
+	// Stages: pure computation plus port operations.
+	for i := 0; i < *n; i++ {
+		go func(i int) {
+			in := lanesInst.Inports("in")[i]
+			out := lanesInst.Outports("out")[i]
+			rep := repInst.Outports("rep")[i]
+			for {
+				v, err := in.Recv()
+				if err != nil {
+					return
+				}
+				next := v.(int)*2 + 1
+				if err := rep.Send(fmt.Sprintf("stage %d: %d -> %d", i+1, v, next)); err != nil {
+					return
+				}
+				if err := out.Send(next); err != nil {
+					return
+				}
+			}
+		}(i)
+	}
+
+	// Monitor: the connector enforces stage order per item.
+	go func() {
+		for {
+			v, err := repInst.Inport("mon").Recv()
+			if err != nil {
+				return
+			}
+			fmt.Println(v)
+		}
+	}()
+
+	// Source and sink.
+	go func() {
+		src := lanesInst.Outport("src")
+		for k := 1; k <= *items; k++ {
+			if err := src.Send(k); err != nil {
+				return
+			}
+		}
+	}()
+	go func() {
+		snk := lanesInst.Inport("snk")
+		for k := 0; k < *items; k++ {
+			v, err := snk.Recv()
+			if err != nil {
+				return
+			}
+			fmt.Printf("result %d: %v\n", k+1, v)
+		}
+		close(done)
+	}()
+
+	<-done
+	fmt.Printf("lanes: %d steps; reports: %d steps\n", lanesInst.Steps(), repInst.Steps())
+}

@@ -1,0 +1,313 @@
+// Package ast defines the abstract syntax of the textual connector
+// language of §IV-B: connector definitions composed with `mult`, port
+// arrays, array lengths (#a), conditional expressions, iterated
+// composition (`prod`), and a `main` definition wiring connectors to
+// tasks.
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// File is a parsed source file.
+type File struct {
+	Defs  []*ConnDef
+	Mains []*MainDef
+}
+
+// Def returns the connector definition with the given name, if present.
+func (f *File) Def(name string) *ConnDef {
+	for _, d := range f.Defs {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// Param is a formal parameter of a connector signature: a scalar vertex or
+// a vertex array.
+type Param struct {
+	Name    string
+	IsArray bool
+	Pos     Pos
+}
+
+// ConnDef is one connector definition: Name(tails;heads) = body.
+type ConnDef struct {
+	Name  string
+	Tails []Param
+	Heads []Param
+	Body  Expr
+	Pos   Pos
+}
+
+// Params returns all parameters, tails then heads.
+func (d *ConnDef) Params() []Param {
+	out := make([]Param, 0, len(d.Tails)+len(d.Heads))
+	out = append(out, d.Tails...)
+	return append(out, d.Heads...)
+}
+
+// Expr is a connector expression.
+type Expr interface {
+	exprNode()
+	Position() Pos
+}
+
+// Mult is the composition of factors (the `mult` operator, alluding to ×).
+type Mult struct {
+	Factors []Expr
+	Pos     Pos
+}
+
+// Invoke instantiates a primitive or defined connector's signature.
+// Attr carries the dotted attribute of parametrized primitives
+// (Filter.even, Fifo.4, Transformer.double).
+type Invoke struct {
+	Name  string
+	Attr  string
+	Tails []PortArg
+	Heads []PortArg
+	Pos   Pos
+}
+
+// Prod is iterated composition: prod (i:lo..hi) body.
+type Prod struct {
+	Var    string
+	Lo, Hi IntExpr
+	Body   Expr
+	Pos    Pos
+}
+
+// If is conditional composition. Else may be nil (empty connector).
+type If struct {
+	Cond BoolExpr
+	Then Expr
+	Else Expr
+	Pos  Pos
+}
+
+func (*Mult) exprNode()   {}
+func (*Invoke) exprNode() {}
+func (*Prod) exprNode()   {}
+func (*If) exprNode()     {}
+
+func (m *Mult) Position() Pos   { return m.Pos }
+func (i *Invoke) Position() Pos { return i.Pos }
+func (p *Prod) Position() Pos   { return p.Pos }
+func (i *If) Position() Pos     { return i.Pos }
+
+// PortArg references one vertex or a slice of an array of vertices:
+// name, name[e], name[e1][e2] (multi-dimensional locals introduced by
+// flattening), or name[lo..hi] (an array slice, only valid where an array
+// is expected).
+type PortArg struct {
+	Name    string
+	Indices []IntExpr // nil for bare references
+	IsRange bool
+	Lo, Hi  IntExpr // range bounds when IsRange
+	Pos     Pos
+}
+
+func (p PortArg) String() string {
+	var sb strings.Builder
+	sb.WriteString(p.Name)
+	if p.IsRange {
+		fmt.Fprintf(&sb, "[%s..%s]", Render(p.Lo), Render(p.Hi))
+		return sb.String()
+	}
+	for _, ix := range p.Indices {
+		fmt.Fprintf(&sb, "[%s]", Render(ix))
+	}
+	return sb.String()
+}
+
+// IntExpr is an integer expression over literals, iteration variables,
+// main parameters, and array lengths.
+type IntExpr interface {
+	intNode()
+	Position() Pos
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val int
+	Pos Pos
+}
+
+// VarRef references an iteration variable or a main parameter.
+type VarRef struct {
+	Name string
+	Pos  Pos
+}
+
+// LenOf is #name: the length of an array parameter.
+type LenOf struct {
+	Name string
+	Pos  Pos
+}
+
+// BinInt is a binary arithmetic expression.
+type BinInt struct {
+	Op   string // + - * / %
+	L, R IntExpr
+	Pos  Pos
+}
+
+func (*IntLit) intNode() {}
+func (*VarRef) intNode() {}
+func (*LenOf) intNode()  {}
+func (*BinInt) intNode() {}
+
+func (e *IntLit) Position() Pos { return e.Pos }
+func (e *VarRef) Position() Pos { return e.Pos }
+func (e *LenOf) Position() Pos  { return e.Pos }
+func (e *BinInt) Position() Pos { return e.Pos }
+
+// BoolExpr is a condition.
+type BoolExpr interface {
+	boolNode()
+	Position() Pos
+}
+
+// Cmp compares two integer expressions: == != < <= > >=.
+type Cmp struct {
+	Op   string
+	L, R IntExpr
+	Pos  Pos
+}
+
+// BoolBin combines conditions: && ||.
+type BoolBin struct {
+	Op   string
+	L, R BoolExpr
+	Pos  Pos
+}
+
+// Not negates a condition.
+type Not struct {
+	X   BoolExpr
+	Pos Pos
+}
+
+func (*Cmp) boolNode()     {}
+func (*BoolBin) boolNode() {}
+func (*Not) boolNode()     {}
+
+func (e *Cmp) Position() Pos     { return e.Pos }
+func (e *BoolBin) Position() Pos { return e.Pos }
+func (e *Not) Position() Pos     { return e.Pos }
+
+// MainDef is: main(params) = invocations among tasks.
+type MainDef struct {
+	Params []string
+	Conns  []*Invoke
+	Tasks  []TaskItem
+	Pos    Pos
+}
+
+// TaskItem is either a TaskInst or a TaskForall.
+type TaskItem interface{ taskNode() }
+
+// TaskInst instantiates a task signature, e.g. Tasks.pro(out[i]).
+type TaskInst struct {
+	Name string
+	Args []PortArg
+	Pos  Pos
+}
+
+// TaskForall replicates task instances over a range.
+type TaskForall struct {
+	Var    string
+	Lo, Hi IntExpr
+	Body   []TaskItem
+	Pos    Pos
+}
+
+func (*TaskInst) taskNode()   {}
+func (*TaskForall) taskNode() {}
+
+// Render pretty-prints an integer expression.
+func Render(e IntExpr) string {
+	switch e := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", e.Val)
+	case *VarRef:
+		return e.Name
+	case *LenOf:
+		return "#" + e.Name
+	case *BinInt:
+		return "(" + Render(e.L) + e.Op + Render(e.R) + ")"
+	default:
+		return "?"
+	}
+}
+
+// RenderBool pretty-prints a condition.
+func RenderBool(e BoolExpr) string {
+	switch e := e.(type) {
+	case *Cmp:
+		return Render(e.L) + e.Op + Render(e.R)
+	case *BoolBin:
+		return "(" + RenderBool(e.L) + e.Op + RenderBool(e.R) + ")"
+	case *Not:
+		return "!(" + RenderBool(e.X) + ")"
+	default:
+		return "?"
+	}
+}
+
+// RenderExpr pretty-prints a connector expression (used by cmd/reoc to
+// show flattened and normalized forms).
+func RenderExpr(e Expr, indent string) string {
+	switch e := e.(type) {
+	case *Mult:
+		parts := make([]string, len(e.Factors))
+		for i, f := range e.Factors {
+			parts[i] = RenderExpr(f, indent)
+		}
+		return strings.Join(parts, "\n"+indent+"mult ")
+	case *Invoke:
+		var sb strings.Builder
+		sb.WriteString(e.Name)
+		if e.Attr != "" {
+			sb.WriteString("." + e.Attr)
+		}
+		sb.WriteByte('(')
+		for i, a := range e.Tails {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(a.String())
+		}
+		sb.WriteByte(';')
+		for i, a := range e.Heads {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(a.String())
+		}
+		sb.WriteByte(')')
+		return sb.String()
+	case *Prod:
+		return fmt.Sprintf("prod (%s:%s..%s) {\n%s  %s\n%s}", e.Var, Render(e.Lo), Render(e.Hi),
+			indent, RenderExpr(e.Body, indent+"  "), indent)
+	case *If:
+		s := fmt.Sprintf("if (%s) {\n%s  %s\n%s}", RenderBool(e.Cond), indent, RenderExpr(e.Then, indent+"  "), indent)
+		if e.Else != nil {
+			s += fmt.Sprintf(" else {\n%s  %s\n%s}", indent, RenderExpr(e.Else, indent+"  "), indent)
+		}
+		return s
+	default:
+		return "?"
+	}
+}

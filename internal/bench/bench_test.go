@@ -1,0 +1,95 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/connlib"
+	"repro/internal/npb"
+)
+
+func TestStepRateMeasures(t *testing.T) {
+	d, err := connlib.ByName("Merger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, failed, err := bench.StepRate(d, 3, bench.New(), 100*time.Millisecond)
+	if err != nil || failed {
+		t.Fatalf("steps=%d failed=%v err=%v", steps, failed, err)
+	}
+	if steps == 0 {
+		t.Error("no steps measured")
+	}
+}
+
+func TestStepRateReportsStaticFailure(t *testing.T) {
+	d, err := connlib.ByName("EarlyAsyncMerger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2^24 states cannot fit in 1024.
+	_, failed, err := bench.StepRate(d, 24, bench.Existing(1024), 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Error("static compilation of a 2^24-state automaton succeeded?")
+	}
+}
+
+func TestFig12Classification(t *testing.T) {
+	cases := []struct {
+		row  bench.Fig12Row
+		want string
+	}{
+		{bench.Fig12Row{StepsNew: 100, OldFailed: true}, "new-compiles-old-fails"},
+		{bench.Fig12Row{StepsNew: 100, StepsOld: 90}, "new-wins"},
+		{bench.Fig12Row{StepsNew: 100, StepsOld: 500}, "old-wins-≤10x"},
+		{bench.Fig12Row{StepsNew: 100, StepsOld: 5000}, "old-wins-≤100x"},
+	}
+	for _, tc := range cases {
+		if got := tc.row.Classify(); got != tc.want {
+			t.Errorf("%+v -> %s, want %s", tc.row, got, tc.want)
+		}
+	}
+}
+
+func TestRunFig12Small(t *testing.T) {
+	rows, err := bench.RunFig12(bench.Fig12Config{
+		Connectors: []string{"Merger"},
+		Ns:         []int{2, 4},
+		Budget:     20 * time.Millisecond,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	out := bench.FormatFig12(rows)
+	for _, want := range []string{"Merger", "Summary", "Per-N"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig13Row(t *testing.T) {
+	row := bench.RunFig13("EP", npb.ClassS, npb.Reo, 2)
+	if row.Err != nil {
+		t.Fatal(row.Err)
+	}
+	if row.Elapsed <= 0 || row.Steps == 0 {
+		t.Errorf("row = %+v", row)
+	}
+	out := bench.FormatFig13([]bench.Fig13Row{row})
+	if !strings.Contains(out, "EP") {
+		t.Errorf("format: %s", out)
+	}
+	bad := bench.RunFig13("NOPE", npb.ClassS, npb.Orig, 2)
+	if bad.Err == nil {
+		t.Error("unknown program accepted")
+	}
+}

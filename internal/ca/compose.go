@@ -1,0 +1,348 @@
+package ca
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ExpandMode selects how joint global steps are enumerated from the local
+// steps of a set of constituent automata.
+type ExpandMode uint8
+
+const (
+	// ExpandConnected enumerates only "connected" global steps: sets of
+	// local transitions linked through shared fired ports. Global steps
+	// consisting of several mutually independent local transitions are
+	// not combined — they occur as consecutive steps instead, which is
+	// observationally equivalent and avoids an exponential number of
+	// transitions per composite state.
+	ExpandConnected ExpandMode = iota
+	// ExpandFull enumerates every consistent combination, including
+	// combinations of mutually independent local transitions. This is
+	// the textbook product; per-state transition counts can grow
+	// exponentially in the number of independent constituents — the
+	// blow-up §V-C(3) of the paper observes for NPB with N ≥ 16.
+	ExpandFull
+)
+
+// Joint is one global execution step of a set of constituent automata:
+// a consistent combination of local transitions (at most one per
+// constituent; -1 means the constituent idles).
+type Joint struct {
+	// Local[i] is the index into auts[i].Trans[states[i]] of the chosen
+	// transition, or -1 if constituent i idles.
+	Local []int32
+	// Sync is the union of the chosen transitions' synchronization sets.
+	Sync BitSet
+	// Guards and Acts are the concatenations over chosen transitions.
+	Guards []Guard
+	Acts   []Action
+	// Targets[i] is the successor local state of constituent i.
+	Targets []int32
+}
+
+// ExpandJoint computes the global steps available to the constituents
+// `auts` in local states `states`. All automata must share one Universe.
+//
+// A combination {t_i} is consistent iff for the union S of all chosen
+// sync sets, every constituent j satisfies S ∩ Ports(j) == Sync(t_j)
+// (with Sync(idle) = ∅): a port shared by several constituents flows in
+// all of them or in none.
+func ExpandJoint(auts []*Automaton, states []int32, mode ExpandMode) []Joint {
+	if len(auts) == 0 {
+		return nil
+	}
+	u := auts[0].U
+	for _, a := range auts {
+		a.PadToUniverse()
+	}
+	switch mode {
+	case ExpandFull:
+		return expandFull(u, auts, states)
+	default:
+		return expandConnected(u, auts, states)
+	}
+}
+
+// expandFull is a complete backtracking enumeration with forward pruning.
+func expandFull(u *Universe, auts []*Automaton, states []int32) []Joint {
+	k := len(auts)
+	var out []Joint
+	chosen := make([]int32, k)
+	targets := make([]int32, k)
+	sync := u.NewSet()
+	forb := u.NewSet() // ports owned by an already-decided automaton but not fired by it
+
+	var rec func(i int, any bool)
+	rec = func(i int, nonIdle bool) {
+		if i == k {
+			if nonIdle {
+				out = append(out, buildJoint(u, auts, states, chosen, targets, sync))
+			}
+			return
+		}
+		a := auts[i]
+		// Option: idle. Valid iff no already-fired port belongs to a.
+		if !sync.Intersects(a.Ports) {
+			chosen[i] = -1
+			targets[i] = states[i]
+			forbAdd := a.Ports.And(inverse(forb))
+			forb.OrInto(a.Ports)
+			rec(i+1, nonIdle)
+			forb.AndNotInto(forbAdd)
+		}
+		// Options: each local transition.
+		for ti := range a.Trans[states[i]] {
+			t := &a.Trans[states[i]][ti]
+			// Ports fired by t must not be forbidden, and every
+			// already-fired port owned by a must be fired by t.
+			if t.Sync.Intersects(forb) {
+				continue
+			}
+			if !projectionCovered(sync, a.Ports, t.Sync) {
+				continue
+			}
+			chosen[i] = int32(ti)
+			targets[i] = t.Target
+			syncAdd := t.Sync.And(inverse(sync))
+			sync.OrInto(t.Sync)
+			forbAdd := a.Ports.And(inverse(forb))
+			forbAdd.AndNotInto(t.Sync)
+			// Careful: ports of a not fired by t become forbidden,
+			// except those already forbidden.
+			forb.OrInto(forbAdd)
+			rec(i+1, true)
+			forb.AndNotInto(forbAdd)
+			sync.AndNotInto(syncAdd)
+		}
+	}
+	rec(0, false)
+	return out
+}
+
+// projectionCovered reports whether sync ∩ ports ⊆ chosen, i.e. every
+// already-globally-fired port owned by this automaton is fired by the
+// candidate transition.
+func projectionCovered(sync, ports, chosen BitSet) bool {
+	for i := range sync {
+		if sync[i]&ports[i]&^chosen[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func inverse(b BitSet) BitSet {
+	c := make(BitSet, len(b))
+	for i := range b {
+		c[i] = ^b[i]
+	}
+	return c
+}
+
+// expandConnected enumerates connected global steps only: for each seed
+// transition of the lowest-index participating constituent, grow the
+// cluster by pulling in every constituent whose alphabet intersects the
+// accumulated sync set, branching over its projection-compatible
+// transitions.
+func expandConnected(u *Universe, auts []*Automaton, states []int32) []Joint {
+	k := len(auts)
+	// ownersOf[p] would be ideal; with modest k a scan is fine and
+	// avoids building an index per call (callers memoize results).
+	var out []Joint
+	chosen := make([]int32, k)
+	targets := make([]int32, k)
+
+	for seed := 0; seed < k; seed++ {
+		a := auts[seed]
+		for ti := range a.Trans[states[seed]] {
+			t := &a.Trans[states[seed]][ti]
+			for i := range chosen {
+				chosen[i] = -1
+				targets[i] = states[i]
+			}
+			chosen[seed] = int32(ti)
+			targets[seed] = t.Target
+			sync := t.Sync.Clone()
+			grow(u, auts, states, seed, chosen, targets, sync, func() {
+				out = append(out, buildJoint(u, auts, states, chosen, targets, sync))
+			})
+		}
+	}
+	return out
+}
+
+// grow recursively satisfies the constraint that every constituent whose
+// alphabet intersects sync participates with a matching projection.
+// Constituents with index < seed must not be pulled in (such clusters are
+// emitted when they themselves are the seed), except that a constituent
+// with a *smaller* index that is forced by the sync set means this cluster
+// is a duplicate and is abandoned.
+func grow(u *Universe, auts []*Automaton, states []int32, seed int, chosen, targets []int32, sync BitSet, emit func()) {
+	// Find a constituent that is forced to participate but has not
+	// chosen a transition yet.
+	forced := -1
+	for i, a := range auts {
+		if chosen[i] >= 0 {
+			continue
+		}
+		if a.Ports.Intersects(sync) {
+			if i < seed {
+				return // duplicate cluster; found from smaller seed
+			}
+			forced = i
+			break
+		}
+	}
+	if forced < 0 {
+		// Verify projections of all participants (sync may have grown
+		// after they were chosen).
+		for i, a := range auts {
+			if chosen[i] < 0 {
+				continue
+			}
+			t := &a.Trans[states[i]][chosen[i]]
+			if !t.Sync.IntersectionEqual(sync, a.Ports) {
+				return
+			}
+		}
+		emit()
+		return
+	}
+	a := auts[forced]
+	need := sync.And(a.Ports)
+	for ti := range a.Trans[states[forced]] {
+		t := &a.Trans[states[forced]][ti]
+		if !need.SubsetOf(t.Sync) {
+			continue
+		}
+		chosen[forced] = int32(ti)
+		targets[forced] = t.Target
+		added := t.Sync.And(inverse(sync))
+		sync.OrInto(added)
+		grow(u, auts, states, seed, chosen, targets, sync, emit)
+		sync.AndNotInto(added)
+		chosen[forced] = -1
+		targets[forced] = states[forced]
+	}
+}
+
+func buildJoint(u *Universe, auts []*Automaton, states []int32, chosen, targets []int32, sync BitSet) Joint {
+	j := Joint{
+		Local:   append([]int32(nil), chosen...),
+		Targets: append([]int32(nil), targets...),
+		Sync:    sync.Clone(),
+	}
+	for i, a := range auts {
+		if chosen[i] < 0 {
+			continue
+		}
+		t := &a.Trans[states[i]][chosen[i]]
+		j.Guards = append(j.Guards, t.Guards...)
+		j.Acts = append(j.Acts, t.Acts...)
+	}
+	return j
+}
+
+// ErrTooLarge is returned when materializing a product exceeds limits —
+// the analogue of the existing compiler failing to compile a connector
+// whose large automaton is too big (paper §V-B).
+var ErrTooLarge = errors.New("ca: product exceeds size limits")
+
+// ProductLimits bounds eager product construction.
+type ProductLimits struct {
+	MaxStates      int // 0 = default
+	MaxTransitions int // 0 = default
+}
+
+func (l ProductLimits) states() int {
+	if l.MaxStates <= 0 {
+		return 1 << 20
+	}
+	return l.MaxStates
+}
+
+func (l ProductLimits) transitions() int {
+	if l.MaxTransitions <= 0 {
+		return 4 << 20
+	}
+	return l.MaxTransitions
+}
+
+// ProductAll materializes the synchronous product of the constituents as a
+// single automaton, restricted to the states reachable from the initial
+// configuration (ahead-of-time composition, §IV-D). Mode selects the joint
+// enumeration rule. Returns ErrTooLarge if limits are exceeded.
+func ProductAll(auts []*Automaton, mode ExpandMode, lim ProductLimits) (*Automaton, error) {
+	if len(auts) == 0 {
+		return nil, errors.New("ca: empty product")
+	}
+	u := auts[0].U
+	for _, a := range auts {
+		if a.U != u {
+			return nil, errors.New("ca: product constituents from different universes")
+		}
+		a.PadToUniverse()
+	}
+	k := len(auts)
+	type stateKey string
+	keyOf := func(s []int32) stateKey {
+		b := make([]byte, 4*k)
+		for i, v := range s {
+			b[4*i] = byte(v)
+			b[4*i+1] = byte(v >> 8)
+			b[4*i+2] = byte(v >> 16)
+			b[4*i+3] = byte(v >> 24)
+		}
+		return stateKey(b)
+	}
+
+	init := make([]int32, k)
+	for i, a := range auts {
+		init[i] = a.Initial
+	}
+
+	index := map[stateKey]int32{keyOf(init): 0}
+	tuples := [][]int32{init}
+	out := &Automaton{
+		Name:    "product",
+		U:       u,
+		Ports:   u.NewSet(),
+		Initial: 0,
+	}
+	for _, a := range auts {
+		out.Ports.OrInto(a.Ports)
+	}
+	totalTrans := 0
+	for qi := 0; qi < len(tuples); qi++ {
+		joints := ExpandJoint(auts, tuples[qi], mode)
+		ts := make([]Transition, 0, len(joints))
+		for _, j := range joints {
+			key := keyOf(j.Targets)
+			tgt, ok := index[key]
+			if !ok {
+				tgt = int32(len(tuples))
+				index[key] = tgt
+				tuples = append(tuples, j.Targets)
+				if len(tuples) > lim.states() {
+					return nil, fmt.Errorf("%w: >%d states", ErrTooLarge, lim.states())
+				}
+			}
+			ts = append(ts, Transition{Target: tgt, Sync: j.Sync, Guards: j.Guards, Acts: j.Acts})
+		}
+		totalTrans += len(ts)
+		if totalTrans > lim.transitions() {
+			return nil, fmt.Errorf("%w: >%d transitions", ErrTooLarge, lim.transitions())
+		}
+		out.Trans = append(out.Trans, ts)
+	}
+	return out, nil
+}
+
+// Product composes two automata with the textbook binary rule — used for
+// compile-time composition of a definition's constituents section into a
+// medium automaton (§IV-C). Equivalent to ProductAll with ExpandFull but
+// kept binary for clarity and testability of algebraic laws.
+func Product(a, b *Automaton, lim ProductLimits) (*Automaton, error) {
+	return ProductAll([]*Automaton{a, b}, ExpandFull, lim)
+}

@@ -1,0 +1,159 @@
+package ca
+
+// InstantiateInto clones a into the destination universe dst, mapping
+// ports through portMap. Ports not present in portMap receive fresh
+// private ports in dst (prefixed for diagnosability); memory cells are
+// re-allocated in dst preserving initial values. This is the run-time
+// instantiation step of parametrized execution: one compile-time medium
+// automaton template stamped out per loop iteration (§IV-D, Fig. 10).
+//
+// The returned map extension includes the fresh ports that were created.
+func InstantiateInto(a *Automaton, dst *Universe, portMap map[PortID]PortID, freshPrefix string) (*Automaton, map[PortID]PortID) {
+	full := make(map[PortID]PortID, a.Ports.Count())
+	for k, v := range portMap {
+		full[k] = v
+	}
+	mapPort := func(p PortID) PortID {
+		if q, ok := full[p]; ok {
+			return q
+		}
+		q := dst.FreshPort(freshPrefix + "/" + a.U.Name(p))
+		full[p] = q
+		return q
+	}
+
+	// Cells: re-allocate preserving initial values.
+	cellMap := make([]CellID, a.U.NumCells())
+	cellSeen := make([]bool, a.U.NumCells())
+	inits := a.U.InitialCells()
+	hasInit := a.U.hasInit
+	mapCell := func(c CellID) CellID {
+		if cellSeen[c] {
+			return cellMap[c]
+		}
+		var nc CellID
+		if int(c) < len(hasInit) && hasInit[c] {
+			nc = dst.NewCellInit(inits[c])
+		} else {
+			nc = dst.NewCell()
+		}
+		cellMap[c] = nc
+		cellSeen[c] = true
+		return nc
+	}
+
+	mapLoc := func(l Loc) Loc {
+		switch l.Kind {
+		case LocPort:
+			return PortLoc(mapPort(l.Port))
+		case LocCell:
+			return CellLoc(mapCell(l.Cell))
+		default:
+			return l
+		}
+	}
+
+	out := &Automaton{
+		Name:    a.Name,
+		U:       dst,
+		Initial: a.Initial,
+		Trans:   make([][]Transition, len(a.Trans)),
+	}
+	// Map transitions first so fresh ports exist before sizing bitsets.
+	type protoT struct {
+		target int32
+		sync   []PortID
+		guards []Guard
+		acts   []Action
+	}
+	proto := make([][]protoT, len(a.Trans))
+	var allPorts []PortID
+	for s, ts := range a.Trans {
+		ps := make([]protoT, 0, len(ts))
+		for _, t := range ts {
+			pt := protoT{target: t.Target}
+			t.Sync.ForEach(func(p PortID) {
+				pt.sync = append(pt.sync, mapPort(p))
+			})
+			for _, g := range t.Guards {
+				g.In = mapLoc(g.In)
+				pt.guards = append(pt.guards, g)
+			}
+			for _, act := range t.Acts {
+				act.Dst = mapLoc(act.Dst)
+				act.Src = mapLoc(act.Src)
+				pt.acts = append(pt.acts, act)
+			}
+			ps = append(ps, pt)
+		}
+		proto[s] = ps
+	}
+	a.Ports.ForEach(func(p PortID) { allPorts = append(allPorts, mapPort(p)) })
+
+	out.Ports = dst.NewSet()
+	for _, p := range allPorts {
+		out.Ports.Set(p)
+	}
+	for s, ps := range proto {
+		ts := make([]Transition, 0, len(ps))
+		for _, pt := range ps {
+			t := Transition{
+				Target: pt.target,
+				Sync:   dst.NewSet(),
+				Guards: pt.guards,
+				Acts:   pt.acts,
+			}
+			for _, p := range pt.sync {
+				t.Sync.Set(p)
+			}
+			ts = append(ts, t)
+		}
+		out.Trans[s] = ts
+	}
+	return out, full
+}
+
+// RemapPorts rewrites an automaton within its own universe, substituting
+// port IDs according to subst (identity where absent). Used by node
+// resolution when a shared written vertex must be split per writer.
+func RemapPorts(a *Automaton, subst map[PortID]PortID) *Automaton {
+	get := func(p PortID) PortID {
+		if q, ok := subst[p]; ok {
+			return q
+		}
+		return p
+	}
+	mapLoc := func(l Loc) Loc {
+		if l.Kind == LocPort {
+			return PortLoc(get(l.Port))
+		}
+		return l
+	}
+	out := &Automaton{
+		Name:    a.Name,
+		U:       a.U,
+		Ports:   a.U.NewSet(),
+		Initial: a.Initial,
+		Trans:   make([][]Transition, len(a.Trans)),
+	}
+	a.Ports.ForEach(func(p PortID) { out.Ports.Set(get(p)) })
+	for s, ts := range a.Trans {
+		res := make([]Transition, 0, len(ts))
+		for _, t := range ts {
+			nt := Transition{Target: t.Target, Sync: a.U.NewSet()}
+			t.Sync.ForEach(func(p PortID) { nt.Sync.Set(get(p)) })
+			for _, g := range t.Guards {
+				g.In = mapLoc(g.In)
+				nt.Guards = append(nt.Guards, g)
+			}
+			for _, act := range t.Acts {
+				act.Dst = mapLoc(act.Dst)
+				act.Src = mapLoc(act.Src)
+				nt.Acts = append(nt.Acts, act)
+			}
+			res = append(res, nt)
+		}
+		out.Trans[s] = res
+	}
+	return out
+}

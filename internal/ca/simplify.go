@@ -1,0 +1,128 @@
+package ca
+
+import "fmt"
+
+// Simplify applies the transition-label simplification of the paper's
+// §V-B point (1) (after Jongmans & Arbab, "Take Command of Your
+// Constraints!"): within each transition, data-flow chains through hidden
+// vertices are contracted so that every remaining action reads directly
+// from a boundary source port, a memory cell, or a constant, and writes
+// directly to a boundary sink port or a memory cell. Actions that only
+// feed hidden intermediaries are dropped.
+//
+// Firing a simplified transition needs no lazy chain resolution, which is
+// what makes single-transition firing "(much) faster" in the existing
+// compiler. The engine applies this per medium automaton or per composed
+// automaton depending on options, enabling the E7 ablation.
+//
+// visible reports whether a port is a boundary port (source or sink);
+// everything else is treated as an internal binding to contract.
+func Simplify(a *Automaton, visible func(PortID) bool) (*Automaton, error) {
+	out := &Automaton{
+		Name:    a.Name,
+		U:       a.U,
+		Ports:   a.Ports.Clone(),
+		Initial: a.Initial,
+		Trans:   make([][]Transition, len(a.Trans)),
+	}
+	for s, ts := range a.Trans {
+		res := make([]Transition, 0, len(ts))
+		for i := range ts {
+			nt, err := simplifyTransition(&ts[i], visible)
+			if err != nil {
+				return nil, fmt.Errorf("ca: simplify %q state %d: %w", a.Name, s, err)
+			}
+			res = append(res, nt)
+		}
+		out.Trans[s] = res
+	}
+	return out, nil
+}
+
+// chain is a resolved data source: a root location plus the composition of
+// the transforms encountered along the contracted path.
+type chain struct {
+	root  Loc
+	xform func(any) any
+}
+
+func composeXform(outer, inner func(any) any) func(any) any {
+	if outer == nil {
+		return inner
+	}
+	if inner == nil {
+		return outer
+	}
+	return func(v any) any { return outer(inner(v)) }
+}
+
+func simplifyTransition(t *Transition, visible func(PortID) bool) (Transition, error) {
+	// Index: defining action per internal port.
+	defs := make(map[PortID]*Action)
+	for i := range t.Acts {
+		act := &t.Acts[i]
+		if act.Dst.Kind == LocPort && !visible(act.Dst.Port) {
+			if _, dup := defs[act.Dst.Port]; dup {
+				return Transition{}, fmt.Errorf("port %d written twice in one transition", act.Dst.Port)
+			}
+			defs[act.Dst.Port] = act
+		}
+	}
+
+	memo := make(map[PortID]chain)
+	var resolve func(l Loc, seen map[PortID]bool) (chain, error)
+	resolve = func(l Loc, seen map[PortID]bool) (chain, error) {
+		if l.Kind != LocPort || visible(l.Port) {
+			return chain{root: l}, nil
+		}
+		if c, ok := memo[l.Port]; ok {
+			return c, nil
+		}
+		if seen[l.Port] {
+			return chain{}, fmt.Errorf("causal cycle through port %d", l.Port)
+		}
+		def, ok := defs[l.Port]
+		if !ok {
+			return chain{}, fmt.Errorf("no definition for internal port %d", l.Port)
+		}
+		seen[l.Port] = true
+		c, err := resolve(def.Src, seen)
+		delete(seen, l.Port)
+		if err != nil {
+			return chain{}, err
+		}
+		c = chain{root: c.root, xform: composeXform(def.Xform, c.xform)}
+		memo[l.Port] = c
+		return c, nil
+	}
+
+	nt := Transition{Target: t.Target, Sync: t.Sync}
+	for i := range t.Guards {
+		g := t.Guards[i]
+		c, err := resolve(g.In, map[PortID]bool{})
+		if err != nil {
+			return Transition{}, err
+		}
+		if c.xform != nil {
+			// Fold the chain's transform into the predicate.
+			pred, xf := g.Pred, c.xform
+			g.Pred = func(v any) bool { return pred(xf(v)) }
+		}
+		g.In = c.root
+		nt.Guards = append(nt.Guards, g)
+	}
+	for i := range t.Acts {
+		act := t.Acts[i]
+		if act.Dst.Kind == LocPort && !visible(act.Dst.Port) {
+			continue // internal feed; contracted away
+		}
+		c, err := resolve(act.Src, map[PortID]bool{})
+		if err != nil {
+			return Transition{}, err
+		}
+		act.Src = c.root
+		act.Xform = composeXform(act.Xform, c.xform)
+		nt.Acts = append(nt.Acts, act)
+	}
+	return nt, nil
+}

@@ -1,0 +1,157 @@
+// Package ca implements constraint automata with data — the formal
+// semantics of Reo connectors (Baier, Sirjani, Arbab, Rutten 2006) — along
+// with the synchronous product, hiding, reachability restriction, and the
+// transition-label simplification used by the paper's "existing" compiler.
+//
+// An Automaton is a finite control structure whose transitions are labeled
+// with a synchronization set (the ports through which data flows in that
+// step, as a BitSet), a list of data guards, and a list of data actions
+// (assignments moving message values between ports and memory cells).
+package ca
+
+import "fmt"
+
+// PortID identifies a vertex/port within a Universe.
+type PortID int32
+
+// CellID identifies a memory cell (e.g. a FIFO buffer slot) within a
+// Universe. Cell contents live in per-connector-instance storage; the
+// Universe only records allocation and initial values.
+type CellID int32
+
+// Dir is the direction of a boundary port from the environment's view.
+type Dir uint8
+
+const (
+	// DirNone marks internal vertices (no task attached).
+	DirNone Dir = iota
+	// DirSource marks ports on which a task performs send operations
+	// (data flows from the environment into the connector).
+	DirSource
+	// DirSink marks ports on which a task performs receive operations
+	// (data flows from the connector to the environment).
+	DirSink
+)
+
+func (d Dir) String() string {
+	switch d {
+	case DirSource:
+		return "source"
+	case DirSink:
+		return "sink"
+	default:
+		return "internal"
+	}
+}
+
+// Universe interns port names and allocates memory cells for one connector
+// (template or instance). PortIDs and CellIDs are only meaningful relative
+// to their Universe.
+type Universe struct {
+	names   []string
+	byName  map[string]PortID
+	dirs    []Dir
+	cells   []any // initial values; nil means empty
+	hasInit []bool
+}
+
+// NewUniverse returns an empty universe.
+func NewUniverse() *Universe {
+	return &Universe{byName: make(map[string]PortID)}
+}
+
+// Port interns name and returns its ID, creating it if necessary.
+func (u *Universe) Port(name string) PortID {
+	if id, ok := u.byName[name]; ok {
+		return id
+	}
+	id := PortID(len(u.names))
+	u.names = append(u.names, name)
+	u.dirs = append(u.dirs, DirNone)
+	u.byName[name] = id
+	return id
+}
+
+// FreshPort creates a new port with a unique name derived from prefix.
+func (u *Universe) FreshPort(prefix string) PortID {
+	name := fmt.Sprintf("%s·%d", prefix, len(u.names))
+	for {
+		if _, ok := u.byName[name]; !ok {
+			break
+		}
+		name += "'"
+	}
+	return u.Port(name)
+}
+
+// Lookup returns the ID for name, if interned.
+func (u *Universe) Lookup(name string) (PortID, bool) {
+	id, ok := u.byName[name]
+	return id, ok
+}
+
+// Name returns the interned name of p.
+func (u *Universe) Name(p PortID) string {
+	if int(p) < 0 || int(p) >= len(u.names) {
+		return fmt.Sprintf("?port%d", p)
+	}
+	return u.names[p]
+}
+
+// NumPorts returns the number of interned ports.
+func (u *Universe) NumPorts() int { return len(u.names) }
+
+// SetDir records the boundary direction of p.
+func (u *Universe) SetDir(p PortID, d Dir) { u.dirs[p] = d }
+
+// DirOf returns the boundary direction of p.
+func (u *Universe) DirOf(p PortID) Dir {
+	if int(p) >= len(u.dirs) {
+		return DirNone
+	}
+	return u.dirs[p]
+}
+
+// NewCell allocates a memory cell with no initial value.
+func (u *Universe) NewCell() CellID {
+	u.cells = append(u.cells, nil)
+	u.hasInit = append(u.hasInit, false)
+	return CellID(len(u.cells) - 1)
+}
+
+// NewCellInit allocates a memory cell whose initial content is v (the cell
+// starts full, as in an initially-full FIFO1).
+func (u *Universe) NewCellInit(v any) CellID {
+	u.cells = append(u.cells, v)
+	u.hasInit = append(u.hasInit, true)
+	return CellID(len(u.cells) - 1)
+}
+
+// NumCells returns the number of allocated cells.
+func (u *Universe) NumCells() int { return len(u.cells) }
+
+// InitialCells returns a fresh cell store with initial values applied.
+func (u *Universe) InitialCells() []any {
+	out := make([]any, len(u.cells))
+	copy(out, u.cells)
+	return out
+}
+
+// NewSet returns an empty bit set sized for this universe's ports.
+func (u *Universe) NewSet() BitSet { return NewBitSet(len(u.names)) }
+
+// SetOf returns a bit set containing exactly the given ports.
+func (u *Universe) SetOf(ports ...PortID) BitSet {
+	s := u.NewSet()
+	for _, p := range ports {
+		s.Set(p)
+	}
+	return s
+}
+
+// PortSetNames renders a port set with names, for diagnostics.
+func (u *Universe) PortSetNames(s BitSet) []string {
+	var out []string
+	s.ForEach(func(p PortID) { out = append(out, u.Name(p)) })
+	return out
+}

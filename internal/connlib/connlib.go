@@ -1,0 +1,249 @@
+// Package connlib defines the eighteen parametrizable benchmark
+// connectors of experiment E1 (the paper's §V-B suite: a comprehensive
+// selection covering the major examples of parametrizable connectors in
+// the Reo literature), together with driver metadata used by the
+// benchmark harness and the test suite.
+package connlib
+
+import (
+	"fmt"
+
+	reo "repro"
+)
+
+// Kind classifies a connector's boundary shape, which determines how the
+// benchmark driver attaches tasks.
+type Kind uint8
+
+const (
+	// ManyToOne: N senders on "in", one receiver on "out".
+	ManyToOne Kind = iota
+	// OneToMany: one sender on "in", N receivers on "out".
+	OneToMany
+	// ManyToMany: N senders on "a", N receivers on "b".
+	ManyToMany
+	// ClientsOnly: N clients performing sends only (drain-style).
+	ClientsOnly
+	// ReceiversOnly: N clients performing receives only.
+	ReceiversOnly
+	// AcquireRelease: N clients alternating sends on "acq" and "rel".
+	AcquireRelease
+	// GatedManyToMany: ManyToMany plus a control sender on "ctl".
+	GatedManyToMany
+)
+
+// Def is one benchmark connector.
+type Def struct {
+	Name string
+	Kind Kind
+	// Src is the textual definition; the definition's name equals Name.
+	Src string
+	// Lengths returns the Connect lengths for n senders/receivers.
+	Lengths func(n int) map[string]int
+	// MinN is the smallest supported instantiation (most support 1).
+	MinN int
+}
+
+// All returns the eighteen benchmark connectors.
+func All() []Def {
+	return []Def{
+		{
+			Name: "Merger",
+			Kind: ManyToOne,
+			Src: `
+Merger18(in[];out) = Merger(in[1..#in];out)`,
+			Lengths: lens1("in"),
+		},
+		{
+			Name: "Replicator",
+			Kind: OneToMany,
+			Src: `
+Replicator18(in;out[]) = Replicator(in;out[1..#out])`,
+			Lengths: lens1("out"),
+		},
+		{
+			Name: "Router",
+			Kind: OneToMany,
+			Src: `
+Router18(in;out[]) = Router(in;out[1..#out])`,
+			Lengths: lens1("out"),
+		},
+		{
+			Name: "EarlyAsyncMerger",
+			Kind: ManyToOne,
+			Src: `
+EarlyAsyncMerger18(in[];out) = prod (i:1..#in) Fifo1(in[i];out)`,
+			Lengths: lens1("in"),
+		},
+		{
+			Name: "LateAsyncMerger",
+			Kind: ManyToOne,
+			Src: `
+LateAsyncMerger18(in[];out) = Merger(in[1..#in];m) mult Fifo1(m;out)`,
+			Lengths: lens1("in"),
+		},
+		{
+			Name: "EarlyAsyncReplicator",
+			Kind: OneToMany,
+			Src: `
+EarlyAsyncReplicator18(in;out[]) = Fifo1(in;m) mult Replicator(m;out[1..#out])`,
+			Lengths: lens1("out"),
+		},
+		{
+			Name: "LateAsyncReplicator",
+			Kind: OneToMany,
+			Src: `
+LateAsyncReplicator18(in;out[]) = prod (i:1..#out) Fifo1(in;out[i])`,
+			Lengths: lens1("out"),
+		},
+		{
+			Name: "EarlyAsyncRouter",
+			Kind: OneToMany,
+			Src: `
+EarlyAsyncRouter18(in;out[]) = Fifo1(in;m) mult Router(m;out[1..#out])`,
+			Lengths: lens1("out"),
+		},
+		{
+			Name: "LateAsyncRouter",
+			Kind: OneToMany,
+			Src: `
+LateAsyncRouter18(in;out[]) =
+    Router(in;t[1..#out]) mult prod (i:1..#out) Fifo1(t[i];out[i])`,
+			Lengths: lens1("out"),
+		},
+		{
+			Name: "Barrier",
+			Kind: ManyToMany,
+			Src: `
+Barrier18(a[];b[]) =
+    prod (i:1..#a) Sync(a[i];b[i])
+    mult prod (i:1..#a-1) SyncDrain(a[i],a[i+1];)`,
+			Lengths: lens2("a", "b"),
+		},
+		{
+			Name: "Alternator",
+			Kind: ManyToOne,
+			Src: `
+Alternator18(in[];out) =
+    prod (i:1..#in) Fifo1(in[i];f[i])
+    mult prod (i:1..#in-1) SyncDrain(in[i],in[i+1];)
+    mult Merger(f[1..#in];out)
+    mult Seq(f[1..#in];)`,
+			Lengths: lens1("in"),
+		},
+		{
+			Name: "Sequencer",
+			Kind: ClientsOnly,
+			Src: `
+Sequencer18(c[];) =
+    prod (i:1..#c-1) Fifo1(r[i];r[i+1])
+    mult Fifo1Full(r[#c];r[1])
+    mult prod (i:1..#c) SyncDrain(c[i],r[i];)`,
+			Lengths: lens1("c"),
+		},
+		{
+			Name: "Lock",
+			Kind: AcquireRelease,
+			Src: `
+Lock18(acq[],rel[];) =
+    Merger(acq[1..#acq];am) mult Merger(rel[1..#rel];rm)
+    mult SyncDrain(am,tk;) mult Fifo1Full(rm;tk)`,
+			Lengths: lens2("acq", "rel"),
+		},
+		{
+			Name: "OrderedMany2One",
+			Kind: ManyToMany,
+			Src: `
+X(tl;prev,next,hd) =
+    Replicator(tl;prev,v) mult Fifo1(v;w) mult Replicator(w;next,hd)
+
+OrderedMany2One18(a[];b[]) =
+    if (#a == 1) {
+        Fifo1(a[1];b[1])
+    } else {
+        prod (i:1..#a) X(a[i];prev[i],next[i],b[i])
+        mult prod (i:1..#a-1) Seq(next[i],prev[i+1];)
+        mult Seq(prev[1],next[#a];)
+    }`,
+			Lengths: lens2("a", "b"),
+		},
+		{
+			Name: "Exchanger",
+			Kind: ManyToMany,
+			Src: `
+Exchanger18(a[];b[]) =
+    prod (i:1..#a) Sync(a[i];b[i%#a+1])
+    mult prod (i:1..#a-1) SyncDrain(a[i],a[i+1];)`,
+			Lengths: lens2("a", "b"),
+		},
+		{
+			Name: "Valve",
+			Kind: GatedManyToMany,
+			Src: `
+Valve18(a[],ctl;b[]) = prod (i:1..#a) Valve1(a[i],ctl;b[i])`,
+			Lengths: lens2("a", "b"),
+		},
+		{
+			Name: "Discriminator",
+			Kind: ManyToOne,
+			Src: `
+Discriminator18(in[];out) =
+    prod (i:1..#in) Fifo1(in[i];f[i])
+    mult Seq(f[1..#in];)
+    mult Sync(f[#in];out)`,
+			Lengths: lens1("in"),
+		},
+		{
+			Name: "TokenRing",
+			Kind: ReceiversOnly,
+			Src: `
+TokenRing18(;c[]) =
+    prod (i:1..#c-1) Fifo1(s[i];r[i+1])
+    mult Fifo1Full(s[#c];r[1])
+    mult prod (i:1..#c) Replicator(r[i];c[i],s[i])`,
+			Lengths: lens1("c"),
+		},
+	}
+}
+
+// ByName returns the named benchmark connector.
+func ByName(name string) (Def, error) {
+	for _, d := range All() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Def{}, fmt.Errorf("connlib: unknown connector %q", name)
+}
+
+func lens1(param string) func(int) map[string]int {
+	return func(n int) map[string]int { return map[string]int{param: n} }
+}
+
+func lens2(p1, p2 string) func(int) map[string]int {
+	return func(n int) map[string]int { return map[string]int{p1: n, p2: n} }
+}
+
+// DefName returns the DSL definition name ("<Name>18").
+func (d Def) DefName() string { return d.Name + "18" }
+
+// Compile compiles the connector's program.
+func (d Def) Compile(opts ...reo.CompileOption) (*reo.Connector, error) {
+	prog, err := reo.Compile(d.Src, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Connector(d.DefName())
+}
+
+// Connect compiles and instantiates the connector for n senders/receivers.
+func (d Def) Connect(n int, opts ...reo.ConnectOption) (*reo.Instance, error) {
+	if d.MinN > 0 && n < d.MinN {
+		return nil, fmt.Errorf("connlib: %s requires N >= %d", d.Name, d.MinN)
+	}
+	conn, err := d.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return conn.Connect(d.Lengths(n), opts...)
+}

@@ -1,0 +1,597 @@
+package connlib_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	reo "repro"
+	"repro/internal/connlib"
+)
+
+const tick = 50 * time.Millisecond
+
+func within(t *testing.T, d time.Duration, what string, f func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() { defer close(done); f() }()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatalf("timeout waiting for %s", what)
+	}
+}
+
+func connect(t *testing.T, name string, n int, opts ...reo.ConnectOption) *reo.Instance {
+	t.Helper()
+	d, err := connlib.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := d.Connect(n, opts...)
+	if err != nil {
+		t.Fatalf("connect %s N=%d: %v", name, n, err)
+	}
+	t.Cleanup(func() { inst.Close() })
+	return inst
+}
+
+// TestAllCompileAndConnect smoke-tests every benchmark connector at
+// several N in JIT mode, and at small N in all modes.
+func TestAllCompileAndConnect(t *testing.T) {
+	for _, d := range connlib.All() {
+		t.Run(d.Name, func(t *testing.T) {
+			for _, n := range []int{1, 2, 5} {
+				inst, err := d.Connect(n)
+				if err != nil {
+					t.Fatalf("N=%d: %v", n, err)
+				}
+				inst.Close()
+			}
+			for _, mode := range []reo.Mode{reo.AOT, reo.Static} {
+				inst, err := d.Connect(3, reo.WithMode(mode))
+				if err != nil {
+					t.Fatalf("mode %v: %v", mode, err)
+				}
+				inst.Close()
+			}
+		})
+	}
+}
+
+// TestAllDriversMakeProgress runs the benchmark driver briefly on every
+// connector and checks global steps accumulate — the liveness property
+// underlying Fig. 12's metric.
+func TestAllDriversMakeProgress(t *testing.T) {
+	for _, d := range connlib.All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			t.Parallel()
+			inst, err := d.Connect(4, reo.WithSeed(11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wait := connlib.Drive(d, inst, 4)
+			time.Sleep(200 * time.Millisecond)
+			steps := inst.Steps()
+			inst.Close()
+			wait()
+			if steps == 0 {
+				t.Errorf("%s made no global steps", d.Name)
+			}
+		})
+	}
+}
+
+// TestLargeNAcrossWordBoundary is a regression test for bit-set padding:
+// instances whose universes grow past 64/128 ports while automata are
+// being stamped out must still compose (EarlyAsyncMerger at N=40 crosses
+// the word boundary between the fifo constituents and the node merger).
+func TestLargeNAcrossWordBoundary(t *testing.T) {
+	for _, name := range []string{"EarlyAsyncMerger", "OrderedMany2One", "Barrier"} {
+		t.Run(name, func(t *testing.T) {
+			d, err := connlib.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst, err := d.Connect(40, reo.WithSeed(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wait := connlib.Drive(d, inst, 40)
+			time.Sleep(150 * time.Millisecond)
+			steps := inst.Steps()
+			inst.Close()
+			wait()
+			if steps == 0 {
+				t.Error("no steps at N=40")
+			}
+		})
+	}
+}
+
+func TestMergerDeliversAllDistinct(t *testing.T) {
+	inst := connect(t, "Merger", 5, reo.WithSeed(2))
+	outs := inst.Outports("in")
+	within(t, 10*time.Second, "merger", func() {
+		var wg sync.WaitGroup
+		for i, o := range outs {
+			wg.Add(1)
+			go func(i int, o reo.Outport) { defer wg.Done(); o.Send(i) }(i, o)
+		}
+		seen := map[any]bool{}
+		for range outs {
+			v, err := inst.Inport("out").Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seen[v] {
+				t.Errorf("duplicate %v", v)
+			}
+			seen[v] = true
+		}
+		wg.Wait()
+	})
+}
+
+func TestReplicatorBroadcasts(t *testing.T) {
+	inst := connect(t, "Replicator", 4)
+	within(t, 10*time.Second, "replicate", func() {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() { defer wg.Done(); inst.Outport("in").Send("x") }()
+		for _, in := range inst.Inports("out") {
+			wg.Add(1)
+			go func(in reo.Inport) {
+				defer wg.Done()
+				if v, err := in.Recv(); err != nil || v != "x" {
+					t.Errorf("recv = %v, %v", v, err)
+				}
+			}(in)
+		}
+		wg.Wait()
+	})
+}
+
+func TestRouterExclusiveDelivery(t *testing.T) {
+	inst := connect(t, "Router", 3, reo.WithSeed(5))
+	ins := inst.Inports("out")
+	const total = 30
+	var delivered atomic.Int64
+	within(t, 20*time.Second, "route", func() {
+		var wg sync.WaitGroup
+		for _, in := range ins {
+			wg.Add(1)
+			go func(in reo.Inport) {
+				defer wg.Done()
+				for {
+					if _, err := in.Recv(); err != nil {
+						return
+					}
+					delivered.Add(1)
+				}
+			}(in)
+		}
+		for i := 0; i < total; i++ {
+			if err := inst.Outport("in").Send(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for delivered.Load() < total {
+			time.Sleep(5 * time.Millisecond)
+		}
+		inst.Close()
+		wg.Wait()
+	})
+	if delivered.Load() != total {
+		t.Errorf("delivered = %d, want %d (exclusive routing)", delivered.Load(), total)
+	}
+}
+
+func TestEarlyAsyncMergerBuffers(t *testing.T) {
+	inst := connect(t, "EarlyAsyncMerger", 3, reo.WithSeed(7))
+	outs := inst.Outports("in")
+	within(t, 10*time.Second, "buffered sends", func() {
+		// All sends complete with no receiver: one buffer per sender.
+		for i, o := range outs {
+			if err := o.Send(i * 100); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	within(t, 10*time.Second, "drain", func() {
+		sum := 0
+		for range outs {
+			v, err := inst.Inport("out").Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += v.(int)
+		}
+		if sum != 300 {
+			t.Errorf("sum = %d, want 300", sum)
+		}
+	})
+}
+
+func TestLateAsyncMergerSingleBuffer(t *testing.T) {
+	inst := connect(t, "LateAsyncMerger", 3)
+	outs := inst.Outports("in")
+	within(t, 5*time.Second, "first buffered send", func() {
+		if err := outs[0].Send("a"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Second send must block: the single shared fifo slot is taken.
+	second := make(chan struct{})
+	go func() { outs[1].Send("b"); close(second) }()
+	select {
+	case <-second:
+		t.Fatal("second send completed with full shared buffer")
+	case <-time.After(tick):
+	}
+	within(t, 5*time.Second, "drain frees buffer", func() {
+		if v, err := inst.Inport("out").Recv(); err != nil || v != "a" {
+			t.Fatalf("recv = %v, %v", v, err)
+		}
+		<-second
+	})
+}
+
+func TestBarrierLockstep(t *testing.T) {
+	const n = 4
+	inst := connect(t, "Barrier", n)
+	outs := inst.Outports("a")
+	ins := inst.Inports("b")
+
+	recvDone := make(chan int, n)
+	for i, in := range ins {
+		go func(i int, in reo.Inport) {
+			if _, err := in.Recv(); err == nil {
+				recvDone <- i
+			}
+		}(i, in)
+	}
+	// n-1 senders: nothing may complete.
+	for i := 0; i < n-1; i++ {
+		go outs[i].Send(i)
+	}
+	select {
+	case i := <-recvDone:
+		t.Fatalf("receiver %d completed before all senders arrived", i)
+	case <-time.After(tick):
+	}
+	within(t, 10*time.Second, "barrier releases", func() {
+		go outs[n-1].Send(n - 1)
+		for i := 0; i < n; i++ {
+			<-recvDone
+		}
+	})
+}
+
+func TestAlternatorRoundRobin(t *testing.T) {
+	const n = 3
+	inst := connect(t, "Alternator", n, reo.WithSeed(13))
+	outs := inst.Outports("in")
+	within(t, 20*time.Second, "alternation", func() {
+		var wg sync.WaitGroup
+		for i, o := range outs {
+			wg.Add(1)
+			go func(i int, o reo.Outport) {
+				defer wg.Done()
+				for r := 0; r < 4; r++ {
+					if err := o.Send(fmt.Sprintf("%d/%d", i, r)); err != nil {
+						return
+					}
+				}
+			}(i, o)
+		}
+		for r := 0; r < 4; r++ {
+			for i := 0; i < n; i++ {
+				v, err := inst.Inport("out").Recv()
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := fmt.Sprintf("%d/%d", i, r)
+				if v != want {
+					t.Fatalf("round %d pos %d: got %v, want %s", r, i, v, want)
+				}
+			}
+		}
+		wg.Wait()
+	})
+}
+
+func TestSequencerOrdersClients(t *testing.T) {
+	const n = 3
+	inst := connect(t, "Sequencer", n)
+	outs := inst.Outports("c")
+
+	// Client 2 tries first; it must stay blocked until client 1 went.
+	second := make(chan struct{})
+	go func() { outs[1].Send(0); close(second) }()
+	select {
+	case <-second:
+		t.Fatal("client 2 completed before client 1")
+	case <-time.After(tick):
+	}
+	within(t, 10*time.Second, "sequence 1,2,3", func() {
+		if err := outs[0].Send(0); err != nil {
+			t.Fatal(err)
+		}
+		<-second
+		if err := outs[2].Send(0); err != nil {
+			t.Fatal(err)
+		}
+		// And around again.
+		if err := outs[0].Send(1); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	const n = 4
+	inst := connect(t, "Lock", n, reo.WithSeed(3))
+	acq := inst.Outports("acq")
+	rel := inst.Outports("rel")
+
+	var inCrit atomic.Int32
+	var maxSeen atomic.Int32
+	within(t, 30*time.Second, "lock clients", func() {
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for r := 0; r < 20; r++ {
+					if err := acq[i].Send(r); err != nil {
+						return
+					}
+					c := inCrit.Add(1)
+					for {
+						m := maxSeen.Load()
+						if c <= m || maxSeen.CompareAndSwap(m, c) {
+							break
+						}
+					}
+					inCrit.Add(-1)
+					if err := rel[i].Send(r); err != nil {
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+	})
+	if maxSeen.Load() > 1 {
+		t.Errorf("mutual exclusion violated: %d clients in critical section", maxSeen.Load())
+	}
+}
+
+func TestExchangerRingShift(t *testing.T) {
+	const n = 3
+	inst := connect(t, "Exchanger", n)
+	outs := inst.Outports("a")
+	ins := inst.Inports("b")
+	within(t, 10*time.Second, "exchange", func() {
+		var wg sync.WaitGroup
+		got := make([]any, n)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) { defer wg.Done(); outs[i].Send(i + 1) }(i)
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				v, err := ins[i].Recv()
+				if err != nil {
+					t.Errorf("recv %d: %v", i, err)
+					return
+				}
+				got[i] = v
+			}(i)
+		}
+		wg.Wait()
+		// a[i] -> b[i%n+1]: b[2]=a[1]=1, b[3]=a[2]=2, b[1]=a[3]=3.
+		want := []any{3, 1, 2}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("b[%d] = %v, want %v", i+1, got[i], want[i])
+			}
+		}
+	})
+}
+
+func TestValveGates(t *testing.T) {
+	inst := connect(t, "Valve", 2)
+	outs := inst.Outports("a")
+	ins := inst.Inports("b")
+	ctl := inst.Outport("ctl")
+
+	within(t, 10*time.Second, "open flow", func() {
+		go outs[0].Send("v")
+		if v, err := ins[0].Recv(); err != nil || v != "v" {
+			t.Fatalf("open valve: %v, %v", v, err)
+		}
+	})
+	within(t, 5*time.Second, "close", func() { ctl.Send(0) })
+	blocked := make(chan struct{})
+	go func() { outs[1].Send("w"); close(blocked) }()
+	recvd := make(chan struct{})
+	go func() { ins[1].Recv(); close(recvd) }()
+	select {
+	case <-recvd:
+		t.Fatal("closed valve let data through")
+	case <-time.After(tick):
+	}
+	within(t, 10*time.Second, "reopen", func() {
+		ctl.Send(1)
+		<-blocked
+		<-recvd
+	})
+}
+
+func TestDiscriminatorOnePerRound(t *testing.T) {
+	const n = 3
+	inst := connect(t, "Discriminator", n)
+	outs := inst.Outports("in")
+
+	got := make(chan any, 4)
+	go func() {
+		for {
+			v, err := inst.Inport("out").Recv()
+			if err != nil {
+				return
+			}
+			got <- v
+		}
+	}()
+	within(t, 10*time.Second, "full round", func() {
+		for i, o := range outs {
+			if err := o.Send(fmt.Sprintf("p%d", i+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	within(t, 10*time.Second, "one output", func() {
+		v := <-got
+		if v != fmt.Sprintf("p%d", n) {
+			t.Errorf("round output = %v, want p%d", v, n)
+		}
+	})
+	select {
+	case v := <-got:
+		t.Fatalf("extra output %v without a second round", v)
+	case <-time.After(tick):
+	}
+}
+
+func TestTokenRingOrder(t *testing.T) {
+	const n = 3
+	inst := connect(t, "TokenRing", n)
+	ins := inst.Inports("c")
+
+	// Client 2 alone must block: the token starts at position 1.
+	second := make(chan struct{})
+	go func() { ins[1].Recv(); close(second) }()
+	select {
+	case <-second:
+		t.Fatal("client 2 got the token first")
+	case <-time.After(tick):
+	}
+	within(t, 10*time.Second, "token circulates", func() {
+		if _, err := ins[0].Recv(); err != nil {
+			t.Fatal(err)
+		}
+		<-second
+		if _, err := ins[2].Recv(); err != nil {
+			t.Fatal(err)
+		}
+		// Full circle.
+		if _, err := ins[0].Recv(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAsyncRoutersDeliver(t *testing.T) {
+	for _, name := range []string{"EarlyAsyncRouter", "LateAsyncRouter"} {
+		t.Run(name, func(t *testing.T) {
+			inst := connect(t, name, 3, reo.WithSeed(17))
+			within(t, 10*time.Second, "buffered route", func() {
+				if err := inst.Outport("in").Send(42); err != nil {
+					t.Fatal(err)
+				}
+				// Exactly one receiver can get it; all try.
+				got := make(chan any, 3)
+				for _, in := range inst.Inports("out") {
+					go func(in reo.Inport) {
+						if v, err := in.Recv(); err == nil {
+							got <- v
+						}
+					}(in)
+				}
+				if v := <-got; v != 42 {
+					t.Errorf("routed value = %v", v)
+				}
+				select {
+				case v := <-got:
+					t.Errorf("value %v delivered twice", v)
+				case <-time.After(tick):
+				}
+			})
+		})
+	}
+}
+
+func TestAsyncReplicatorsDeliver(t *testing.T) {
+	for _, name := range []string{"EarlyAsyncReplicator", "LateAsyncReplicator"} {
+		t.Run(name, func(t *testing.T) {
+			inst := connect(t, name, 3)
+			within(t, 10*time.Second, "buffered broadcast", func() {
+				if err := inst.Outport("in").Send("bc"); err != nil {
+					t.Fatal(err)
+				}
+				var wg sync.WaitGroup
+				for _, in := range inst.Inports("out") {
+					wg.Add(1)
+					go func(in reo.Inport) {
+						defer wg.Done()
+						if v, err := in.Recv(); err != nil || v != "bc" {
+							t.Errorf("recv = %v, %v", v, err)
+						}
+					}(in)
+				}
+				wg.Wait()
+			})
+		})
+	}
+}
+
+// TestOrderedMany2OneAllN exercises the paper's running connector across
+// modes via connlib.
+func TestOrderedMany2OneAllN(t *testing.T) {
+	d, err := connlib.ByName("OrderedMany2One")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 4} {
+		for _, mode := range []reo.Mode{reo.JIT, reo.Static} {
+			t.Run(fmt.Sprintf("N=%d/%v", n, mode), func(t *testing.T) {
+				inst, err := d.Connect(n, reo.WithMode(mode))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer inst.Close()
+				outs := inst.Outports("a")
+				ins := inst.Inports("b")
+				within(t, 20*time.Second, "ordered rounds", func() {
+					var wg sync.WaitGroup
+					for i, o := range outs {
+						wg.Add(1)
+						go func(i int, o reo.Outport) {
+							defer wg.Done()
+							for r := 0; r < 3; r++ {
+								o.Send(fmt.Sprintf("%d/%d", i, r))
+							}
+						}(i, o)
+					}
+					for r := 0; r < 3; r++ {
+						for i := 0; i < n; i++ {
+							v, err := ins[i].Recv()
+							if err != nil {
+								t.Fatal(err)
+							}
+							if want := fmt.Sprintf("%d/%d", i, r); v != want {
+								t.Fatalf("got %v, want %s", v, want)
+							}
+						}
+					}
+					wg.Wait()
+				})
+			})
+		}
+	}
+}

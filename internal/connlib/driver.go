@@ -1,0 +1,95 @@
+package connlib
+
+import (
+	"sync"
+
+	reo "repro"
+)
+
+// Drive spawns the benchmark driver tasks for the connector: every task
+// sends or receives in a tight loop ("every task just tried to send and
+// receive as often as possible", §V-B) until the instance closes. The
+// returned function waits for all tasks to exit; close the instance first.
+func Drive(d Def, inst *reo.Instance, n int) (wait func()) {
+	var wg sync.WaitGroup
+	sender := func(out reo.Outport) {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			if err := out.Send(i); err != nil {
+				return
+			}
+		}
+	}
+	receiver := func(in reo.Inport) {
+		defer wg.Done()
+		for {
+			if _, err := in.Recv(); err != nil {
+				return
+			}
+		}
+	}
+	spawnSenders := func(param string) {
+		for _, p := range inst.Outports(param) {
+			wg.Add(1)
+			go sender(p)
+		}
+	}
+	spawnReceivers := func(param string) {
+		for _, p := range inst.Inports(param) {
+			wg.Add(1)
+			go receiver(p)
+		}
+	}
+
+	switch d.Kind {
+	case ManyToOne:
+		spawnSenders("in")
+		spawnReceivers("out")
+	case OneToMany:
+		spawnSenders("in")
+		spawnReceivers("out")
+	case ManyToMany:
+		spawnSenders("a")
+		spawnReceivers("b")
+	case ClientsOnly:
+		spawnSenders("c")
+	case ReceiversOnly:
+		spawnReceivers("c")
+	case AcquireRelease:
+		acq := inst.Outports("acq")
+		rel := inst.Outports("rel")
+		for i := range acq {
+			wg.Add(1)
+			go func(a, r reo.Outport) {
+				defer wg.Done()
+				for k := 0; ; k++ {
+					if err := a.Send(k); err != nil {
+						return
+					}
+					if err := r.Send(k); err != nil {
+						return
+					}
+				}
+			}(acq[i], rel[i])
+		}
+	case GatedManyToMany:
+		spawnSenders("a")
+		spawnReceivers("b")
+		// The control task toggles the valve; two sends in a row
+		// return it to the open state so data keeps flowing.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctl := inst.Outport("ctl")
+			for {
+				if err := ctl.Send(0); err != nil {
+					return
+				}
+				if err := ctl.Send(1); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	return wg.Wait
+}

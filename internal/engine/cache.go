@@ -1,0 +1,128 @@
+package engine
+
+import "math/rand"
+
+// EvictionPolicy selects which expanded composite state to discard when a
+// bounded state cache is full (the §V-B future-work extension).
+type EvictionPolicy uint8
+
+const (
+	// LRU evicts the least recently used state.
+	LRU EvictionPolicy = iota
+	// FIFO evicts the state expanded longest ago.
+	FIFO
+	// RandomEvict evicts a uniformly random state.
+	RandomEvict
+)
+
+func (p EvictionPolicy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	default:
+		return "random"
+	}
+}
+
+type centry struct {
+	key        string
+	ex         *expanded
+	prev, next *centry
+	idx        int // position in keys slice (RandomEvict)
+}
+
+// jointCache memoizes composite-state expansions. cap == 0 means
+// unbounded. Not safe for concurrent use; the engine serializes access.
+type jointCache struct {
+	cap       int
+	policy    EvictionPolicy
+	m         map[string]*centry
+	head      *centry // most recent (LRU) / newest (FIFO)
+	tail      *centry // eviction candidate
+	entries   []*centry
+	rng       *rand.Rand
+	evictions int64
+}
+
+func newJointCache(capacity int, policy EvictionPolicy, rng *rand.Rand) *jointCache {
+	return &jointCache{cap: capacity, policy: policy, m: make(map[string]*centry), rng: rng}
+}
+
+func (c *jointCache) len() int { return len(c.m) }
+
+func (c *jointCache) get(key string) (*expanded, bool) {
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	if c.cap > 0 && c.policy == LRU {
+		c.unlink(e)
+		c.pushFront(e)
+	}
+	return e.ex, true
+}
+
+func (c *jointCache) put(key string, ex *expanded) {
+	if _, ok := c.m[key]; ok {
+		return
+	}
+	e := &centry{key: key, ex: ex}
+	if c.cap > 0 && len(c.m) >= c.cap {
+		c.evict()
+	}
+	c.m[key] = e
+	switch {
+	case c.cap == 0:
+		// Unbounded: no ordering bookkeeping needed.
+	case c.policy == RandomEvict:
+		e.idx = len(c.entries)
+		c.entries = append(c.entries, e)
+	default:
+		c.pushFront(e)
+	}
+}
+
+func (c *jointCache) evict() {
+	c.evictions++
+	if c.policy == RandomEvict {
+		i := c.rng.Intn(len(c.entries))
+		victim := c.entries[i]
+		last := len(c.entries) - 1
+		c.entries[i] = c.entries[last]
+		c.entries[i].idx = i
+		c.entries = c.entries[:last]
+		delete(c.m, victim.key)
+		return
+	}
+	victim := c.tail
+	c.unlink(victim)
+	delete(c.m, victim.key)
+}
+
+func (c *jointCache) pushFront(e *centry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *jointCache) unlink(e *centry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

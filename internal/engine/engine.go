@@ -1,0 +1,423 @@
+// Package engine executes composed connectors at run time.
+//
+// An Engine is the reactive state machine of §III-B: tasks register
+// pending send/receive operations on boundary ports; whenever an operation
+// arrives, the engine checks whether some global transition of the
+// composite automaton is enabled (all ports in its synchronization set
+// have matching pending operations and all data guards hold), fires it,
+// distributes data, and completes the involved operations.
+//
+// The composite automaton is never materialized as a whole unless asked:
+// the engine keeps the constituent ("medium") automata and a cache of
+// expanded composite states. Ahead-of-time composition (§IV-D) expands the
+// full reachable space at construction; just-in-time composition expands a
+// composite state the first time it is visited. The cache may be bounded,
+// with an eviction policy, implementing the future-work extension of §V-B.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ca"
+)
+
+// ErrClosed is returned by operations on a closed connector.
+var ErrClosed = errors.New("engine: connector closed")
+
+// ErrPortBusy is returned when a second operation is attempted on a port
+// that already has one pending. Ports are single-owner.
+var ErrPortBusy = errors.New("engine: port already has a pending operation")
+
+// ErrLivelock is returned when the engine fires an excessive burst of
+// internal (τ) steps without completing any boundary operation.
+var ErrLivelock = errors.New("engine: internal-step livelock")
+
+// Composition selects when composite states are expanded.
+type Composition uint8
+
+const (
+	// JIT expands a composite state the first time it is reached
+	// (just-in-time composition, §IV-D).
+	JIT Composition = iota
+	// AOT expands the entire reachable composite state space at
+	// construction time (ahead-of-time composition, §IV-D).
+	AOT
+)
+
+// Options configure an Engine.
+type Options struct {
+	Composition Composition
+	Expand      ca.ExpandMode
+	// CacheSize bounds the number of expanded composite states retained
+	// (0 = unbounded). Ignored for AOT.
+	CacheSize int
+	Policy    EvictionPolicy
+	// Seed makes nondeterministic transition selection reproducible.
+	Seed int64
+	// MaxStates bounds AOT expansion (0 = 1<<20).
+	MaxStates int
+	// MaxTauBurst bounds consecutive internal steps (0 = 1<<20).
+	MaxTauBurst int
+}
+
+type op struct {
+	send bool
+	val  any
+	out  any
+	err  error
+	done chan struct{}
+}
+
+// Engine coordinates one connector instance (or one partition of one).
+type Engine struct {
+	u    *ca.Universe
+	auts []*ca.Automaton
+	opts Options
+
+	mu       sync.Mutex
+	state    []int32
+	cells    []any
+	pend     []*op
+	pendMask ca.BitSet
+	// boundary marks ports with a task attached (source or sink).
+	// Ports outside it are internal vertices: they appear in
+	// synchronization sets purely to couple constituents and require no
+	// pending operation.
+	boundary ca.BitSet
+	dirs     []ca.Dir
+	cache    *jointCache
+	rng      *rand.Rand
+	closed   bool
+	broken   error
+	tracer   Tracer
+
+	steps      atomic.Int64
+	expansions atomic.Int64
+	keyBuf     []byte
+}
+
+// New builds an engine over the constituent automata, which must all
+// belong to universe u. Port directions are taken from u. For AOT
+// composition the reachable composite space is expanded eagerly; ErrTooLarge
+// is returned if it exceeds Options.MaxStates — the run-time analogue of
+// the existing compiler failing on connectors with huge automata.
+func New(u *ca.Universe, auts []*ca.Automaton, opts Options) (*Engine, error) {
+	if len(auts) == 0 {
+		return nil, errors.New("engine: no constituent automata")
+	}
+	for _, a := range auts {
+		if a.U != u {
+			return nil, errors.New("engine: constituent from foreign universe")
+		}
+		a.PadToUniverse()
+	}
+	if opts.MaxTauBurst <= 0 {
+		opts.MaxTauBurst = 1 << 20
+	}
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = 1 << 20
+	}
+	e := &Engine{
+		u:        u,
+		auts:     auts,
+		opts:     opts,
+		state:    make([]int32, len(auts)),
+		cells:    u.InitialCells(),
+		pend:     make([]*op, u.NumPorts()),
+		pendMask: u.NewSet(),
+		boundary: u.NewSet(),
+		dirs:     make([]ca.Dir, u.NumPorts()),
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		keyBuf:   make([]byte, 4*len(auts)),
+	}
+	for p := range e.dirs {
+		e.dirs[p] = u.DirOf(ca.PortID(p))
+		if e.dirs[p] != ca.DirNone {
+			e.boundary.Set(ca.PortID(p))
+		}
+	}
+	for i, a := range auts {
+		e.state[i] = a.Initial
+	}
+	cacheSize := opts.CacheSize
+	if opts.Composition == AOT {
+		cacheSize = 0 // AOT requires the full space retained
+	}
+	e.cache = newJointCache(cacheSize, opts.Policy, e.rng)
+	if opts.Composition == AOT {
+		if err := e.expandAll(); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// expanded is the memoized expansion of one composite state.
+type expanded struct {
+	trans   []ca.Transition
+	targets [][]int32
+}
+
+func (e *Engine) key(state []int32) string {
+	b := e.keyBuf
+	for i, v := range state {
+		b[4*i] = byte(v)
+		b[4*i+1] = byte(v >> 8)
+		b[4*i+2] = byte(v >> 16)
+		b[4*i+3] = byte(v >> 24)
+	}
+	return string(b)
+}
+
+// expandState returns the expansion of the given composite state, using
+// the cache. Must be called with mu held.
+func (e *Engine) expandState(state []int32) *expanded {
+	k := e.key(state)
+	if ex, ok := e.cache.get(k); ok {
+		return ex
+	}
+	joints := ca.ExpandJoint(e.auts, state, e.opts.Expand)
+	ex := &expanded{
+		trans:   make([]ca.Transition, len(joints)),
+		targets: make([][]int32, len(joints)),
+	}
+	for i, j := range joints {
+		ex.trans[i] = ca.Transition{Sync: j.Sync, Guards: j.Guards, Acts: j.Acts}
+		ex.targets[i] = j.Targets
+	}
+	e.expansions.Add(1)
+	e.cache.put(k, ex)
+	return ex
+}
+
+// expandAll performs AOT composition: BFS over reachable composite states.
+func (e *Engine) expandAll() error {
+	seen := map[string]bool{}
+	queue := [][]int32{append([]int32(nil), e.state...)}
+	seen[e.key(e.state)] = true
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		ex := e.expandState(st)
+		for _, tgt := range ex.targets {
+			k := e.key(tgt)
+			if !seen[k] {
+				seen[k] = true
+				if len(seen) > e.opts.MaxStates {
+					return fmt.Errorf("%w: ahead-of-time composition >%d states", ca.ErrTooLarge, e.opts.MaxStates)
+				}
+				queue = append(queue, append([]int32(nil), tgt...))
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Engine) isSource(p ca.PortID) bool { return e.dirs[p] == ca.DirSource }
+func (e *Engine) isSink(p ca.PortID) bool   { return e.dirs[p] == ca.DirSink }
+
+func (e *Engine) portVal(p ca.PortID) any {
+	if o := e.pend[p]; o != nil {
+		return o.val
+	}
+	return nil
+}
+
+// Send registers a send operation on port p and blocks until a transition
+// involving p fires (completing the operation) or the connector closes.
+func (e *Engine) Send(p ca.PortID, v any) error {
+	o, err := e.register(p, true, v)
+	if err != nil {
+		return err
+	}
+	<-o.done
+	return o.err
+}
+
+// Recv registers a receive operation on port p and blocks until a value is
+// delivered or the connector closes.
+func (e *Engine) Recv(p ca.PortID) (any, error) {
+	o, err := e.register(p, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	<-o.done
+	return o.out, o.err
+}
+
+func (e *Engine) register(p ca.PortID, send bool, v any) (*op, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	if e.broken != nil {
+		return nil, e.broken
+	}
+	if int(p) >= len(e.pend) {
+		return nil, fmt.Errorf("engine: unknown port %d", p)
+	}
+	if send && e.dirs[p] != ca.DirSource {
+		return nil, fmt.Errorf("engine: send on non-source port %q", e.u.Name(p))
+	}
+	if !send && e.dirs[p] != ca.DirSink {
+		return nil, fmt.Errorf("engine: recv on non-sink port %q", e.u.Name(p))
+	}
+	if e.pend[p] != nil {
+		return nil, ErrPortBusy
+	}
+	o := &op{send: send, val: v, done: make(chan struct{})}
+	e.pend[p] = o
+	e.pendMask.Set(p)
+	e.fireLoop()
+	return o, nil
+}
+
+// fireLoop fires enabled transitions until quiescence. Called with mu held.
+func (e *Engine) fireLoop() {
+	if e.broken != nil {
+		return
+	}
+	tau := 0
+	for {
+		ex := e.expandState(e.state)
+		var enabled []int
+		var envs []*ca.Env
+		for i := range ex.trans {
+			t := &ex.trans[i]
+			// Enabled iff every *boundary* port in the sync set has a
+			// pending operation; internal vertices need none.
+			if !t.Sync.MaskedSubsetOf(e.boundary, e.pendMask) {
+				continue
+			}
+			env := ca.NewEnv(t, e.cells, e.isSource, e.portVal)
+			ok, err := env.CheckGuards()
+			if err != nil {
+				e.break_(err)
+				return
+			}
+			if ok {
+				enabled = append(enabled, i)
+				envs = append(envs, env)
+			}
+		}
+		if len(enabled) == 0 {
+			return
+		}
+		pick := 0
+		if len(enabled) > 1 {
+			pick = e.rng.Intn(len(enabled))
+		}
+		ti := enabled[pick]
+		t := &ex.trans[ti]
+		res, err := envs[pick].Execute(e.isSink)
+		if err != nil {
+			e.break_(err)
+			return
+		}
+		for c, v := range res.CellWrites {
+			e.cells[c] = v
+		}
+		completedAny := false
+		var traced []TracePort
+		t.Sync.ForEach(func(p ca.PortID) {
+			o := e.pend[p]
+			if o == nil {
+				return // internal vertex; no operation to complete
+			}
+			if !o.send {
+				o.out = res.Delivered[p]
+			}
+			if e.tracer != nil {
+				val := o.val
+				if !o.send {
+					val = o.out
+				}
+				traced = append(traced, TracePort{Name: e.u.Name(p), Dir: e.dirs[p], Val: val})
+			}
+			e.pend[p] = nil
+			e.pendMask.Clear(p)
+			close(o.done)
+			completedAny = true
+		})
+		copy(e.state, ex.targets[ti])
+		step := e.steps.Add(1)
+		if e.tracer != nil {
+			e.tracer(TraceEvent{Step: step, Ports: traced, Internal: !completedAny})
+		}
+		if completedAny {
+			tau = 0
+		} else {
+			tau++
+			if tau > e.opts.MaxTauBurst {
+				e.break_(ErrLivelock)
+				return
+			}
+		}
+	}
+}
+
+// break_ marks the engine broken and fails all pending operations.
+// Called with mu held.
+func (e *Engine) break_(err error) {
+	e.broken = err
+	for p, o := range e.pend {
+		if o == nil {
+			continue
+		}
+		o.err = err
+		e.pend[p] = nil
+		e.pendMask.Clear(ca.PortID(p))
+		close(o.done)
+	}
+}
+
+// Close shuts the connector down, failing all pending and future
+// operations with ErrClosed.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	for p, o := range e.pend {
+		if o == nil {
+			continue
+		}
+		o.err = ErrClosed
+		e.pend[p] = nil
+		e.pendMask.Clear(ca.PortID(p))
+		close(o.done)
+	}
+	return nil
+}
+
+// Steps returns the number of global execution steps fired so far — the
+// metric of the paper's connector benchmarks (§V-B).
+func (e *Engine) Steps() int64 { return e.steps.Load() }
+
+// Expansions returns how many composite states have been expanded
+// (cache misses), a measure of composition work done at run time.
+func (e *Engine) Expansions() int64 { return e.expansions.Load() }
+
+// CachedStates returns the number of composite states currently retained.
+func (e *Engine) CachedStates() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cache.len()
+}
+
+// Evictions returns how many cache entries have been evicted.
+func (e *Engine) Evictions() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cache.evictions
+}
+
+// Universe returns the instance universe (for diagnostics).
+func (e *Engine) Universe() *ca.Universe { return e.u }

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ca"
+)
+
+// Coordinator is the operational interface of a connector instance: what
+// ports talk to. Both Engine and Multi implement it.
+type Coordinator interface {
+	Send(p ca.PortID, v any) error
+	Recv(p ca.PortID) (any, error)
+	Close() error
+	Steps() int64
+	Expansions() int64
+}
+
+var (
+	_ Coordinator = (*Engine)(nil)
+	_ Coordinator = (*Multi)(nil)
+)
+
+// Multi is a partitioned coordinator (the optimization of §V-C(3), after
+// Jongmans, Santini & Arbab, "Partially distributed coordination with Reo
+// and constraint automata"): the constituent automata are partitioned into
+// connected components of the shared-port graph; each component is an
+// independent Engine with its own lock and composite state. Components
+// share no ports, so no consensus between them is ever needed, and the
+// per-state expansion work is exponential only in the largest component —
+// not in the whole connector.
+type Multi struct {
+	engines []*Engine
+	owner   []int // port -> engine index (-1 if unknown)
+}
+
+// NewMulti partitions the constituents and builds one engine per
+// component. The static analysis is linear in the total automaton size.
+func NewMulti(u *ca.Universe, auts []*ca.Automaton, opts Options) (*Multi, error) {
+	if len(auts) == 0 {
+		return nil, errors.New("engine: no constituent automata")
+	}
+	parent := make([]int, len(auts))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	// Union constituents sharing any port. portFirst remembers the first
+	// constituent seen per port; linear in total port occurrences.
+	portFirst := make([]int, u.NumPorts())
+	for i := range portFirst {
+		portFirst[i] = -1
+	}
+	for i, a := range auts {
+		a.Ports.ForEach(func(p ca.PortID) {
+			if portFirst[p] < 0 {
+				portFirst[p] = i
+			} else {
+				union(portFirst[p], i)
+			}
+		})
+	}
+
+	groups := make(map[int][]*ca.Automaton)
+	var order []int
+	for i, a := range auts {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], a)
+	}
+
+	m := &Multi{owner: make([]int, u.NumPorts())}
+	for i := range m.owner {
+		m.owner[i] = -1
+	}
+	for gi, r := range order {
+		sub := groups[r]
+		eng, err := New(u, sub, opts)
+		if err != nil {
+			return nil, fmt.Errorf("engine: partition %d: %w", gi, err)
+		}
+		m.engines = append(m.engines, eng)
+		for _, a := range sub {
+			a.Ports.ForEach(func(p ca.PortID) { m.owner[p] = gi })
+		}
+	}
+	return m, nil
+}
+
+// Partitions returns the number of independent components.
+func (m *Multi) Partitions() int { return len(m.engines) }
+
+func (m *Multi) engineFor(p ca.PortID) (*Engine, error) {
+	if int(p) >= len(m.owner) || m.owner[p] < 0 {
+		return nil, fmt.Errorf("engine: port %d not owned by any partition", p)
+	}
+	return m.engines[m.owner[p]], nil
+}
+
+// Send routes to the owning partition.
+func (m *Multi) Send(p ca.PortID, v any) error {
+	e, err := m.engineFor(p)
+	if err != nil {
+		return err
+	}
+	return e.Send(p, v)
+}
+
+// Recv routes to the owning partition.
+func (m *Multi) Recv(p ca.PortID) (any, error) {
+	e, err := m.engineFor(p)
+	if err != nil {
+		return nil, err
+	}
+	return e.Recv(p)
+}
+
+// Close closes all partitions.
+func (m *Multi) Close() error {
+	for _, e := range m.engines {
+		e.Close()
+	}
+	return nil
+}
+
+// Steps sums global steps across partitions.
+func (m *Multi) Steps() int64 {
+	var n int64
+	for _, e := range m.engines {
+		n += e.Steps()
+	}
+	return n
+}
+
+// Expansions sums composite-state expansions across partitions.
+func (m *Multi) Expansions() int64 {
+	var n int64
+	for _, e := range m.engines {
+		n += e.Expansions()
+	}
+	return n
+}

@@ -1,0 +1,48 @@
+package engine
+
+import "repro/internal/ca"
+
+// Outport is a task's sending end of a connector boundary vertex
+// (the generalized Foster-Chandy model, Fig. 3 of the paper). Send blocks
+// until the connector fires a transition accepting the value.
+type Outport struct {
+	c    Coordinator
+	p    ca.PortID
+	name string
+}
+
+// NewOutport binds a source port to a coordinator.
+func NewOutport(c Coordinator, p ca.PortID, name string) *Outport {
+	return &Outport{c: c, p: p, name: name}
+}
+
+// Send offers v to the connector and blocks until accepted.
+func (o *Outport) Send(v any) error { return o.c.Send(o.p, v) }
+
+// Name returns the vertex name this outport is linked to.
+func (o *Outport) Name() string { return o.name }
+
+// ID returns the underlying port ID.
+func (o *Outport) ID() ca.PortID { return o.p }
+
+// Inport is a task's receiving end of a connector boundary vertex.
+// Recv blocks until the connector fires a transition delivering a value.
+type Inport struct {
+	c    Coordinator
+	p    ca.PortID
+	name string
+}
+
+// NewInport binds a sink port to a coordinator.
+func NewInport(c Coordinator, p ca.PortID, name string) *Inport {
+	return &Inport{c: c, p: p, name: name}
+}
+
+// Recv blocks until the connector delivers a value.
+func (i *Inport) Recv() (any, error) { return i.c.Recv(i.p) }
+
+// Name returns the vertex name this inport is linked to.
+func (i *Inport) Name() string { return i.name }
+
+// ID returns the underlying port ID.
+func (i *Inport) ID() ca.PortID { return i.p }

@@ -1,0 +1,85 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ca"
+	"repro/internal/engine"
+	"repro/internal/prim"
+)
+
+func TestTraceRecordsSteps(t *testing.T) {
+	u := ca.NewUniverse()
+	a, b := u.Port("a"), u.Port("b")
+	u.SetDir(a, ca.DirSource)
+	u.SetDir(b, ca.DirSink)
+	e, err := engine.New(u, []*ca.Automaton{prim.Fifo1(u, a, b)}, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	var rec engine.Recorder
+	e.SetTracer(rec.Trace)
+	e.Send(a, 42)
+	v, _ := e.Recv(b)
+	if v != 42 {
+		t.Fatalf("recv = %v", v)
+	}
+
+	evs := rec.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	if evs[0].Step != 1 || evs[1].Step != 2 {
+		t.Errorf("step numbering: %+v", evs)
+	}
+	if len(evs[0].Ports) != 1 || evs[0].Ports[0].Name != "a" || evs[0].Ports[0].Val != 42 {
+		t.Errorf("first event: %+v", evs[0])
+	}
+	if evs[1].Ports[0].Dir != ca.DirSink || evs[1].Ports[0].Val != 42 {
+		t.Errorf("second event: %+v", evs[1])
+	}
+	if s := evs[0].String(); !strings.Contains(s, "a->42") {
+		t.Errorf("render: %s", s)
+	}
+	if s := evs[1].String(); !strings.Contains(s, "b<-42") {
+		t.Errorf("render: %s", s)
+	}
+
+	// Clearing stops recording.
+	e.SetTracer(nil)
+	e.Send(a, 1)
+	if len(rec.Events()) != 2 {
+		t.Error("tracer fired after clearing")
+	}
+}
+
+func TestTraceInternalSteps(t *testing.T) {
+	// Chained fifos produce τ steps when the datum shuffles internally.
+	u := ca.NewUniverse()
+	a, m, b := u.Port("a"), u.Port("m"), u.Port("b")
+	u.SetDir(a, ca.DirSource)
+	u.SetDir(b, ca.DirSink)
+	e, err := engine.New(u, []*ca.Automaton{prim.Fifo1(u, a, m), prim.Fifo1(u, m, b)}, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var rec engine.Recorder
+	e.SetTracer(rec.Trace)
+	e.Send(a, "x")
+	sawInternal := false
+	for _, ev := range rec.Events() {
+		if ev.Internal {
+			sawInternal = true
+			if !strings.Contains(ev.String(), "τ") {
+				t.Errorf("internal event render: %s", ev)
+			}
+		}
+	}
+	if !sawInternal {
+		t.Error("no τ step traced for the internal shuffle")
+	}
+}

@@ -1,0 +1,446 @@
+// Package flatten expands composite connector definitions in-line
+// (§IV-C, first compilation step): every non-primitive constituent is
+// recursively replaced by its body, with parameters substituted by the
+// invocation's arguments and local vertices hygienically renamed.
+//
+// A local vertex of an in-lined body that sits under enclosing `prod`
+// iterations at the invocation site becomes an array indexed by the
+// enclosing iteration variables: each instantiated body gets its own
+// private vertices, as the paper's in-lining semantics requires. Local
+// vertices of the *top-level* definition itself are single vertices with
+// static scope, shared across iterations.
+package flatten
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/sema"
+)
+
+// Flatten returns the body of the named definition with all composite
+// constituents expanded. The result contains only primitive invocations
+// under Mult/Prod/If structure.
+func Flatten(info *sema.Info, name string) (ast.Expr, error) {
+	di, ok := info.Defs[name]
+	if !ok {
+		return nil, fmt.Errorf("flatten: unknown definition %q", name)
+	}
+	f := &flattener{info: info}
+	env := newEnv()
+	// Top-level parameters bind to themselves.
+	for _, p := range di.Def.Params() {
+		env.ports[p.Name] = binding{arg: ast.PortArg{Name: p.Name}, isArray: p.IsArray, identity: true}
+	}
+	return f.expr(di.Def.Body, env)
+}
+
+type binding struct {
+	// arg is the resolved argument: a scalar reference or a range.
+	arg     ast.PortArg
+	isArray bool
+	// identity marks top-level parameters bound to themselves.
+	identity bool
+}
+
+type env struct {
+	// ports binds parameter names of the definition being expanded.
+	ports map[string]binding
+	// locals maps this definition's local names to their renamed form.
+	locals map[string]string
+	// vars renames iteration variables (capture avoidance).
+	vars map[string]string
+	// encl is the stack of iteration variables (post-rename) enclosing
+	// the current position, used to freeze ext at inline sites.
+	encl []string
+	// ext is the frozen stack of iteration variables that enclosed the
+	// *invocation site* of the body being expanded. An in-lined body's
+	// locals become arrays over exactly these dimensions: one private
+	// copy per instantiation of the body, but a single vertex with
+	// respect to the body's own internal loops (locals have static
+	// scope within their definition).
+	ext []string
+	// extendLocals is true while expanding an in-lined body (locals get
+	// renamed and the ext-dimension extension); false at top level.
+	extendLocals bool
+	// lens substitutes #param for expanded bodies.
+	lens map[string]ast.IntExpr
+}
+
+func newEnv() *env {
+	return &env{
+		ports:  make(map[string]binding),
+		locals: make(map[string]string),
+		vars:   make(map[string]string),
+		lens:   make(map[string]ast.IntExpr),
+	}
+}
+
+type flattener struct {
+	info *sema.Info
+	uid  int
+	// scope tracks all iteration-variable names in scope to keep
+	// renames collision-free.
+	scope map[string]bool
+}
+
+func (f *flattener) fresh(base string) string {
+	f.uid++
+	return fmt.Sprintf("%s$%d", base, f.uid)
+}
+
+func (f *flattener) expr(e ast.Expr, en *env) (ast.Expr, error) {
+	switch e := e.(type) {
+	case *ast.Mult:
+		out := &ast.Mult{Pos: e.Pos}
+		for _, fac := range e.Factors {
+			nf, err := f.expr(fac, en)
+			if err != nil {
+				return nil, err
+			}
+			if m, ok := nf.(*ast.Mult); ok {
+				out.Factors = append(out.Factors, m.Factors...)
+			} else {
+				out.Factors = append(out.Factors, nf)
+			}
+		}
+		if len(out.Factors) == 1 {
+			return out.Factors[0], nil
+		}
+		return out, nil
+
+	case *ast.Invoke:
+		if _, isBuiltin := sema.Builtins[e.Name]; isBuiltin {
+			return f.substInvoke(e, en)
+		}
+		return f.inline(e, en)
+
+	case *ast.Prod:
+		lo, err := f.intExpr(e.Lo, en)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := f.intExpr(e.Hi, en)
+		if err != nil {
+			return nil, err
+		}
+		// Rename the iteration variable if it is already in scope.
+		name := e.Var
+		if f.scope == nil {
+			f.scope = make(map[string]bool)
+		}
+		if f.scope[name] {
+			name = f.fresh(name)
+		}
+		f.scope[name] = true
+		oldVar, hadVar := en.vars[e.Var]
+		en.vars[e.Var] = name
+		en.encl = append(en.encl, name)
+		body, err := f.expr(e.Body, en)
+		en.encl = en.encl[:len(en.encl)-1]
+		if hadVar {
+			en.vars[e.Var] = oldVar
+		} else {
+			delete(en.vars, e.Var)
+		}
+		delete(f.scope, name)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Prod{Var: name, Lo: lo, Hi: hi, Body: body, Pos: e.Pos}, nil
+
+	case *ast.If:
+		cond, err := f.boolExpr(e.Cond, en)
+		if err != nil {
+			return nil, err
+		}
+		then, err := f.expr(e.Then, en)
+		if err != nil {
+			return nil, err
+		}
+		out := &ast.If{Cond: cond, Then: then, Pos: e.Pos}
+		if e.Else != nil {
+			out.Else, err = f.expr(e.Else, en)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("flatten: unknown expression node %T", e)
+}
+
+// substInvoke rewrites a primitive invocation's port arguments under the
+// current environment.
+func (f *flattener) substInvoke(inv *ast.Invoke, en *env) (*ast.Invoke, error) {
+	out := &ast.Invoke{Name: inv.Name, Attr: inv.Attr, Pos: inv.Pos}
+	var err error
+	out.Tails, err = f.portArgs(inv.Tails, en)
+	if err != nil {
+		return nil, err
+	}
+	out.Heads, err = f.portArgs(inv.Heads, en)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (f *flattener) portArgs(args []ast.PortArg, en *env) ([]ast.PortArg, error) {
+	out := make([]ast.PortArg, 0, len(args))
+	for _, a := range args {
+		na, err := f.portArg(a, en)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, na)
+	}
+	return out, nil
+}
+
+// portArg resolves one vertex reference under the environment.
+func (f *flattener) portArg(a ast.PortArg, en *env) (ast.PortArg, error) {
+	// Substitute index expressions first.
+	indices := make([]ast.IntExpr, 0, len(a.Indices))
+	for _, ix := range a.Indices {
+		nix, err := f.intExpr(ix, en)
+		if err != nil {
+			return ast.PortArg{}, err
+		}
+		indices = append(indices, nix)
+	}
+	if a.IsRange {
+		lo, err := f.intExpr(a.Lo, en)
+		if err != nil {
+			return ast.PortArg{}, err
+		}
+		hi, err := f.intExpr(a.Hi, en)
+		if err != nil {
+			return ast.PortArg{}, err
+		}
+		if b, isParam := en.ports[a.Name]; isParam {
+			return rebindRange(a, b, lo, hi)
+		}
+		// Range over a local array. Supported only where the local needs
+		// no enclosing-dimension extension (top-level definitions):
+		// a range cannot carry a multi-dimensional prefix.
+		if en.extendLocals && len(en.ext) > 0 {
+			return ast.PortArg{}, fmt.Errorf("%s: range over local array %q inside an in-lined body under iteration", a.Pos, a.Name)
+		}
+		name, seen := en.locals[a.Name]
+		if !seen {
+			if en.extendLocals {
+				name = f.fresh(a.Name)
+			} else {
+				name = a.Name
+			}
+			en.locals[a.Name] = name
+		}
+		return ast.PortArg{Name: name, IsRange: true, Lo: lo, Hi: hi, Pos: a.Pos}, nil
+	}
+
+	if b, isParam := en.ports[a.Name]; isParam {
+		return rebindScalar(a, b, indices)
+	}
+
+	// Local vertex.
+	name, seen := en.locals[a.Name]
+	if !seen {
+		if en.extendLocals {
+			name = f.fresh(a.Name)
+		} else {
+			name = a.Name
+		}
+		en.locals[a.Name] = name
+	}
+	out := ast.PortArg{Name: name, Pos: a.Pos}
+	if en.extendLocals {
+		for _, v := range en.ext {
+			out.Indices = append(out.Indices, &ast.VarRef{Name: v, Pos: a.Pos})
+		}
+	}
+	out.Indices = append(out.Indices, indices...)
+	return out, nil
+}
+
+// rebindScalar resolves a parameter reference (bare or indexed) through
+// its binding.
+func rebindScalar(a ast.PortArg, b binding, indices []ast.IntExpr) (ast.PortArg, error) {
+	if !b.isArray {
+		if len(indices) > 0 {
+			return ast.PortArg{}, fmt.Errorf("%s: scalar parameter %q indexed", a.Pos, a.Name)
+		}
+		// The binding's argument is already fully resolved.
+		return b.arg, nil
+	}
+	// Bare reference to an array parameter: a whole-array pass-through
+	// (valid only as an argument for another array parameter; sema
+	// enforces the context).
+	if len(indices) == 0 {
+		return b.arg, nil
+	}
+	// Array parameter with an index: p[e].
+	if len(indices) != 1 {
+		return ast.PortArg{}, fmt.Errorf("%s: array parameter %q needs exactly one index", a.Pos, a.Name)
+	}
+	e := indices[0]
+	if b.identity {
+		return ast.PortArg{Name: b.arg.Name, Indices: []ast.IntExpr{e}, Pos: a.Pos}, nil
+	}
+	if b.arg.IsRange {
+		// p bound to x[lo..hi]: p[e] = x[lo + e - 1] (arrays are 1-based).
+		ix := addInt(addInt(b.arg.Lo, e), &ast.IntLit{Val: -1})
+		return ast.PortArg{Name: b.arg.Name, Indices: []ast.IntExpr{ix}, Pos: a.Pos}, nil
+	}
+	// p bound to a whole array by name.
+	out := b.arg
+	out.Indices = append(append([]ast.IntExpr(nil), b.arg.Indices...), e)
+	return out, nil
+}
+
+// rebindRange resolves p[lo..hi] where p is an array parameter.
+func rebindRange(a ast.PortArg, b binding, lo, hi ast.IntExpr) (ast.PortArg, error) {
+	if !b.isArray {
+		return ast.PortArg{}, fmt.Errorf("%s: range over scalar parameter %q", a.Pos, a.Name)
+	}
+	if b.identity {
+		return ast.PortArg{Name: b.arg.Name, IsRange: true, Lo: lo, Hi: hi, Pos: a.Pos}, nil
+	}
+	if b.arg.IsRange {
+		// p = x[plo..phi]; p[lo..hi] = x[plo+lo-1 .. plo+hi-1].
+		nlo := addInt(addInt(b.arg.Lo, lo), &ast.IntLit{Val: -1})
+		nhi := addInt(addInt(b.arg.Lo, hi), &ast.IntLit{Val: -1})
+		return ast.PortArg{Name: b.arg.Name, IsRange: true, Lo: nlo, Hi: nhi, Pos: a.Pos}, nil
+	}
+	return ast.PortArg{Name: b.arg.Name, IsRange: true, Lo: lo, Hi: hi, Pos: a.Pos}, nil
+}
+
+func addInt(l, r ast.IntExpr) ast.IntExpr {
+	// Fold the common literal cases to keep flattened output readable.
+	ll, lok := l.(*ast.IntLit)
+	rl, rok := r.(*ast.IntLit)
+	if lok && rok {
+		return &ast.IntLit{Val: ll.Val + rl.Val}
+	}
+	if lok && ll.Val == 0 {
+		return r
+	}
+	if rok && rl.Val == 0 {
+		return l
+	}
+	return &ast.BinInt{Op: "+", L: l, R: r}
+}
+
+// inline expands a composite invocation.
+func (f *flattener) inline(inv *ast.Invoke, en *env) (ast.Expr, error) {
+	target := f.info.Defs[inv.Name]
+	if target == nil {
+		return nil, fmt.Errorf("%s: unknown connector %q", inv.Pos, inv.Name)
+	}
+	def := target.Def
+
+	// Resolve the invocation arguments in the caller environment.
+	tails, err := f.portArgs(inv.Tails, en)
+	if err != nil {
+		return nil, err
+	}
+	heads, err := f.portArgs(inv.Heads, en)
+	if err != nil {
+		return nil, err
+	}
+
+	inner := newEnv()
+	inner.extendLocals = true
+	inner.encl = append(inner.encl, en.encl...)
+	inner.ext = append(inner.ext, en.encl...)
+	// vars: enclosing iteration variables remain visible inside index
+	// expressions introduced by substitution only — the body's own
+	// references to them are out of scope (sema guarantees the body only
+	// references its own iteration variables and parameters).
+
+	bind := func(params []ast.Param, args []ast.PortArg) error {
+		if len(params) != len(args) {
+			return fmt.Errorf("%s: %q expects %d arguments, got %d", inv.Pos, def.Name, len(params), len(args))
+		}
+		for i, p := range params {
+			arg := args[i]
+			inner.ports[p.Name] = binding{arg: arg, isArray: p.IsArray}
+			if p.IsArray {
+				if arg.IsRange {
+					// #p = hi - lo + 1
+					inner.lens[p.Name] = addInt(addInt(arg.Hi, &ast.BinInt{Op: "-", L: &ast.IntLit{Val: 0}, R: arg.Lo}), &ast.IntLit{Val: 1})
+				} else {
+					inner.lens[p.Name] = &ast.LenOf{Name: arg.Name}
+				}
+			}
+		}
+		return nil
+	}
+	if err := bind(def.Tails, tails); err != nil {
+		return nil, err
+	}
+	if err := bind(def.Heads, heads); err != nil {
+		return nil, err
+	}
+	return f.expr(def.Body, inner)
+}
+
+func (f *flattener) intExpr(e ast.IntExpr, en *env) (ast.IntExpr, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e, nil
+	case *ast.VarRef:
+		if n, ok := en.vars[e.Name]; ok {
+			return &ast.VarRef{Name: n, Pos: e.Pos}, nil
+		}
+		return e, nil
+	case *ast.LenOf:
+		if sub, ok := en.lens[e.Name]; ok {
+			return sub, nil
+		}
+		return e, nil
+	case *ast.BinInt:
+		l, err := f.intExpr(e.L, en)
+		if err != nil {
+			return nil, err
+		}
+		r, err := f.intExpr(e.R, en)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.BinInt{Op: e.Op, L: l, R: r, Pos: e.Pos}, nil
+	}
+	return nil, fmt.Errorf("flatten: unknown integer expression %T", e)
+}
+
+func (f *flattener) boolExpr(e ast.BoolExpr, en *env) (ast.BoolExpr, error) {
+	switch e := e.(type) {
+	case *ast.Cmp:
+		l, err := f.intExpr(e.L, en)
+		if err != nil {
+			return nil, err
+		}
+		r, err := f.intExpr(e.R, en)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Cmp{Op: e.Op, L: l, R: r, Pos: e.Pos}, nil
+	case *ast.BoolBin:
+		l, err := f.boolExpr(e.L, en)
+		if err != nil {
+			return nil, err
+		}
+		r, err := f.boolExpr(e.R, en)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.BoolBin{Op: e.Op, L: l, R: r, Pos: e.Pos}, nil
+	case *ast.Not:
+		x, err := f.boolExpr(e.X, en)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Not{X: x, Pos: e.Pos}, nil
+	}
+	return nil, fmt.Errorf("flatten: unknown condition %T", e)
+}

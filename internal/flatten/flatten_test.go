@@ -1,0 +1,198 @@
+package flatten_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/flatten"
+	"repro/internal/parser"
+	"repro/internal/sema"
+)
+
+func flat(t *testing.T, src, def string) ast.Expr {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := flatten.Flatten(info, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// countInvokes counts primitive invocations by name.
+func countInvokes(e ast.Expr) map[string]int {
+	out := map[string]int{}
+	var walk func(ast.Expr)
+	walk = func(e ast.Expr) {
+		switch e := e.(type) {
+		case *ast.Mult:
+			for _, f := range e.Factors {
+				walk(f)
+			}
+		case *ast.Invoke:
+			out[e.Name]++
+		case *ast.Prod:
+			walk(e.Body)
+		case *ast.If:
+			walk(e.Then)
+			if e.Else != nil {
+				walk(e.Else)
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+// TestExample9 reproduces the paper's Example 9: flattening
+// ConnectorEx11b yields ConnectorEx11a up to associativity and
+// commutativity of mult (same multiset of primitives).
+func TestExample9(t *testing.T) {
+	src := `
+ConnectorEx11a(tl1,tl2;hd1,hd2) =
+    Replicator(tl1;prev1,v1) mult Replicator(tl2;prev2,v2)
+    mult Fifo1(v1;w1) mult Fifo1(v2;w2)
+    mult Replicator(w1;next1,hd1) mult Replicator(w2;next2,hd2)
+    mult Seq(next1,prev2;) mult Seq(prev1,next2;)
+
+X(tl;prev,next,hd) =
+    Replicator(tl;prev,v) mult Fifo1(v;w) mult Replicator(w;next,hd)
+
+ConnectorEx11b(tl1,tl2;hd1,hd2) =
+    X(tl1;prev1,next1,hd1) mult X(tl2;prev2,next2,hd2)
+    mult Seq(next1,prev2;) mult Seq(prev1,next2;)
+`
+	a := countInvokes(flat(t, src, "ConnectorEx11a"))
+	b := countInvokes(flat(t, src, "ConnectorEx11b"))
+	for name, n := range a {
+		if b[name] != n {
+			t.Errorf("%s: a has %d, b has %d", name, n, b[name])
+		}
+	}
+	if len(a) != len(b) {
+		t.Errorf("primitive sets differ: %v vs %v", a, b)
+	}
+}
+
+// TestHygienicRenaming: two inlines of the same definition get distinct
+// locals.
+func TestHygienicRenaming(t *testing.T) {
+	src := `
+B(x;y) = Fifo1(x;m) mult Fifo1(m;y)
+A(a;b) = B(a;mid) mult B(mid;b)
+`
+	e := flat(t, src, "A")
+	rendered := ast.RenderExpr(e, "")
+	// Two distinct renamed locals must appear, and the bare name "m"
+	// must not leak.
+	if strings.Contains(rendered, "(m;") || strings.Contains(rendered, ";m)") {
+		t.Errorf("unrenamed local leaked:\n%s", rendered)
+	}
+	names := map[string]bool{}
+	for _, tok := range strings.FieldsFunc(rendered, func(r rune) bool {
+		return strings.ContainsRune("();, \n", r)
+	}) {
+		if strings.HasPrefix(tok, "m$") {
+			names[tok] = true
+		}
+	}
+	if len(names) != 2 {
+		t.Errorf("want 2 distinct renamed m locals, got %v", names)
+	}
+}
+
+// TestLoopLocalExtension: locals of a body in-lined under prod become
+// arrays over the iteration variable (fresh vertices per iteration).
+func TestLoopLocalExtension(t *testing.T) {
+	src := `
+X(x;y) = Fifo1(x;v) mult Fifo1(v;y)
+A(a[];b[]) = prod (i:1..#a) X(a[i];b[i])
+`
+	e := flat(t, src, "A")
+	rendered := ast.RenderExpr(e, "")
+	if !strings.Contains(rendered, "[i]") || !strings.Contains(rendered, "v$") {
+		t.Errorf("loop-extended local missing:\n%s", rendered)
+	}
+}
+
+// TestTopLevelLocalNotExtended: the defining connector's own locals keep
+// static scope across iterations (the implicit-merger idiom).
+func TestTopLevelLocalNotExtended(t *testing.T) {
+	src := `A(a[];b) = prod (i:1..#a) Sync(a[i];m) mult Sync(m;b)`
+	e := flat(t, src, "A")
+	rendered := ast.RenderExpr(e, "")
+	if strings.Contains(rendered, "m[") || strings.Contains(rendered, "m$") {
+		t.Errorf("top-level local wrongly extended:\n%s", rendered)
+	}
+}
+
+// TestRangeIndexArithmetic: binding an array parameter to a slice offsets
+// indices (p[e] -> x[lo+e-1]).
+func TestRangeIndexArithmetic(t *testing.T) {
+	src := `
+B(x[];y) = Merger(x[1..#x];y)
+A(a[];b) = B(a[3..5];b)
+`
+	e := flat(t, src, "A")
+	rendered := ast.RenderExpr(e, "")
+	// #x = 5-3+1 = 3; x[1..3] maps back to a[3..5].
+	if !strings.Contains(rendered, "a[") {
+		t.Errorf("slice rebinding lost the base array:\n%s", rendered)
+	}
+	inv := e.(*ast.Invoke)
+	if !inv.Tails[0].IsRange {
+		t.Fatalf("expected range arg, got %v", inv.Tails[0])
+	}
+}
+
+// TestLenOfSubstitution: #p for a range-bound parameter becomes hi-lo+1.
+func TestLenOfSubstitution(t *testing.T) {
+	src := `
+B(x[];) = Seq(x[1..#x];)
+A(a[];) = B(a[2..#a];)
+`
+	e := flat(t, src, "A")
+	inv := e.(*ast.Invoke)
+	if inv.Name != "Seq" {
+		t.Fatalf("got %s", inv.Name)
+	}
+	arg := inv.Tails[0]
+	if !arg.IsRange || arg.Name != "a" {
+		t.Fatalf("arg: %+v", arg)
+	}
+	if strings.Contains(ast.Render(arg.Hi), "#x") {
+		t.Errorf("#x not substituted: %s", ast.Render(arg.Hi))
+	}
+}
+
+// TestIterationVarCapture: nested inlines with clashing loop variables
+// stay hygienic.
+func TestIterationVarCapture(t *testing.T) {
+	src := `
+B(x[];y[]) = prod (i:1..#x) Sync(x[i];y[i])
+A(a[];b[]) = prod (i:1..#a) B(a;b)
+`
+	e := flat(t, src, "A")
+	// Outer prod over i; inner prod must have been renamed.
+	outer := e.(*ast.Prod)
+	inner := outer.Body.(*ast.Prod)
+	if inner.Var == outer.Var {
+		t.Errorf("loop variable captured: outer %q inner %q", outer.Var, inner.Var)
+	}
+}
+
+func TestFlattenUnknownDef(t *testing.T) {
+	f, _ := parser.Parse(`A(a;b) = Sync(a;b)`)
+	info, _ := sema.Check(f)
+	if _, err := flatten.Flatten(info, "Nope"); err == nil {
+		t.Error("unknown definition accepted")
+	}
+}

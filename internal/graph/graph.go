@@ -1,0 +1,166 @@
+// Package graph implements Reo's graphical representation of connectors —
+// a directed hypergraph of vertices and typed (hyper)arcs (§III-A) — and
+// the graph-to-text translator of the paper's toolchain (Fig. 11): a
+// drawn, nonparametrized connector is translated to the textual syntax,
+// which can then be parametrized by hand.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ArcType is a primitive connector type (the markings of Fig. 6).
+type ArcType string
+
+// Arc types supported by the translator; these mirror the builtin
+// primitives of the textual language.
+const (
+	Sync        ArcType = "Sync"
+	LossySync   ArcType = "LossySync"
+	SyncDrain   ArcType = "SyncDrain"
+	AsyncDrain  ArcType = "AsyncDrain"
+	SyncSpout   ArcType = "SyncSpout"
+	Fifo1       ArcType = "Fifo1"
+	Fifo1Full   ArcType = "Fifo1Full"
+	Merger      ArcType = "Merger"
+	Replicator  ArcType = "Replicator"
+	Router      ArcType = "Router"
+	Seq         ArcType = "Seq"
+	Filter      ArcType = "Filter"
+	Transformer ArcType = "Transformer"
+	Valve1      ArcType = "Valve1"
+)
+
+// Arc is one (hyper)arc: a set of tails, a set of heads, and a type
+// (graphically, the marking). Attr carries Filter/Transformer function
+// names and Fifo capacities.
+type Arc struct {
+	Type  ArcType
+	Tails []string
+	Heads []string
+	Attr  string
+}
+
+// Connector is a drawn connector: Γ as a set of primitives (the
+// alternative representation (V,A) = ⊕Γ of §III-A; prim(a) for every arc).
+type Connector struct {
+	Name string
+	Arcs []Arc
+	// BoundaryTails/BoundaryHeads are the public vertices linked to
+	// connectees, in signature order.
+	BoundaryTails []string
+	BoundaryHeads []string
+}
+
+// Vertices returns all vertex names, sorted.
+func (c *Connector) Vertices() []string {
+	set := map[string]bool{}
+	for _, a := range c.Arcs {
+		for _, v := range a.Tails {
+			set[v] = true
+		}
+		for _, v := range a.Heads {
+			set[v] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Public reports whether a vertex is public: it has at most one incoming
+// or outgoing arc end (§III-A).
+func (c *Connector) Public(v string) bool {
+	in, out := 0, 0
+	for _, a := range c.Arcs {
+		for _, h := range a.Heads {
+			if h == v {
+				in++
+			}
+		}
+		for _, t := range a.Tails {
+			if t == v {
+				out++
+			}
+		}
+	}
+	return in <= 1 || out <= 1
+}
+
+// Validate checks the connector's boundary declaration: boundary tails
+// must not be written by any arc, boundary heads not read.
+func (c *Connector) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("graph: connector needs a name")
+	}
+	for _, v := range c.BoundaryTails {
+		for _, a := range c.Arcs {
+			for _, h := range a.Heads {
+				if h == v {
+					return fmt.Errorf("graph: boundary tail %q is written by a %s arc", v, a.Type)
+				}
+			}
+		}
+	}
+	for _, v := range c.BoundaryHeads {
+		for _, a := range c.Arcs {
+			for _, t := range a.Tails {
+				if t == v {
+					return fmt.Errorf("graph: boundary head %q is read by a %s arc", v, a.Type)
+				}
+			}
+		}
+	}
+	if len(c.Arcs) == 0 {
+		return fmt.Errorf("graph: connector has no arcs")
+	}
+	return nil
+}
+
+// ToText translates the drawn connector to the textual syntax (Fig. 11's
+// graph-to-text component; e.g. Fig. 5 to Fig. 8).
+func (c *Connector) ToText() (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s(%s;%s) =\n", c.Name,
+		strings.Join(c.BoundaryTails, ","), strings.Join(c.BoundaryHeads, ","))
+	for i, a := range c.Arcs {
+		sep := "    "
+		if i > 0 {
+			sep = "    mult "
+		}
+		name := string(a.Type)
+		if a.Attr != "" {
+			name += "." + a.Attr
+		}
+		fmt.Fprintf(&sb, "%s%s(%s;%s)\n", sep, name,
+			strings.Join(a.Tails, ","), strings.Join(a.Heads, ","))
+	}
+	return sb.String(), nil
+}
+
+// Example1 builds Fig. 5 — the paper's running example as a drawn graph.
+func Example1() *Connector {
+	return &Connector{
+		Name:          "ConnectorEx11",
+		BoundaryTails: []string{"tl1", "tl2"},
+		BoundaryHeads: []string{"hd1", "hd2"},
+		Arcs: []Arc{
+			{Type: Replicator, Tails: []string{"tl1"}, Heads: []string{"prev1", "v1"}},
+			{Type: Replicator, Tails: []string{"tl2"}, Heads: []string{"prev2", "v2"}},
+			{Type: Fifo1, Tails: []string{"v1"}, Heads: []string{"w1"}},
+			{Type: Fifo1, Tails: []string{"v2"}, Heads: []string{"w2"}},
+			{Type: Replicator, Tails: []string{"w1"}, Heads: []string{"next1", "hd1"}},
+			{Type: Replicator, Tails: []string{"w2"}, Heads: []string{"next2", "hd2"}},
+			{Type: Seq, Tails: []string{"next1", "prev2"}},
+			{Type: Seq, Tails: []string{"prev1", "next2"}},
+		},
+	}
+}

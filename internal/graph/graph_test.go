@@ -1,0 +1,89 @@
+package graph_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	reo "repro"
+	"repro/internal/graph"
+)
+
+// TestExample1RoundTrip draws Fig. 5, translates it to text (Fig. 8),
+// compiles it, and checks the protocol of Example 1 end to end — the full
+// workflow of Fig. 11.
+func TestExample1RoundTrip(t *testing.T) {
+	g := graph.Example1()
+	src, err := g.ToText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "ConnectorEx11(tl1,tl2;hd1,hd2)") {
+		t.Fatalf("unexpected header in:\n%s", src)
+	}
+	prog, err := reo.Compile(src)
+	if err != nil {
+		t.Fatalf("generated text does not compile: %v\n%s", err, src)
+	}
+	conn, err := prog.Connector("ConnectorEx11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := conn.Connect(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		go inst.Outport("tl1").Send("A")
+		go inst.Outport("tl2").Send("B")
+		if v, err := inst.Inport("hd1").Recv(); err != nil || v != "A" {
+			t.Errorf("hd1 = %v, %v", v, err)
+		}
+		if v, err := inst.Inport("hd2").Recv(); err != nil || v != "B" {
+			t.Errorf("hd2 = %v, %v", v, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("round-tripped connector deadlocked")
+	}
+}
+
+func TestValidateCatchesBadBoundary(t *testing.T) {
+	g := &graph.Connector{
+		Name:          "Bad",
+		BoundaryTails: []string{"a"},
+		BoundaryHeads: []string{"b"},
+		Arcs: []graph.Arc{
+			{Type: graph.Sync, Tails: []string{"b"}, Heads: []string{"a"}},
+		},
+	}
+	if err := g.Validate(); err == nil {
+		t.Error("boundary tail written by arc not rejected")
+	}
+}
+
+func TestPublicVertexRule(t *testing.T) {
+	g := graph.Example1()
+	for _, v := range []string{"tl1", "tl2", "hd1", "hd2"} {
+		if !g.Public(v) {
+			t.Errorf("boundary vertex %q not public", v)
+		}
+	}
+	vs := g.Vertices()
+	if len(vs) != 12 {
+		t.Errorf("vertices = %d, want 12: %v", len(vs), vs)
+	}
+}
+
+func TestEmptyConnectorRejected(t *testing.T) {
+	g := &graph.Connector{Name: "E", BoundaryTails: []string{"a"}}
+	if err := g.Validate(); err == nil {
+		t.Error("empty connector accepted")
+	}
+}

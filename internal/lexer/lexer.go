@@ -1,0 +1,325 @@
+// Package lexer tokenizes the textual connector language.
+package lexer
+
+import (
+	"fmt"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/ast"
+)
+
+// Kind classifies tokens.
+type Kind uint8
+
+const (
+	EOF Kind = iota
+	IDENT
+	INT
+	// Punctuation and operators.
+	LPAREN  // (
+	RPAREN  // )
+	LBRACK  // [
+	RBRACK  // ]
+	LBRACE  // {
+	RBRACE  // }
+	COMMA   // ,
+	SEMI    // ;
+	COLON   // :
+	ASSIGN  // =
+	HASH    // #
+	DOTDOT  // ..
+	DOT     // .
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+	EQ      // ==
+	NEQ     // !=
+	LT      // <
+	LE      // <=
+	GT      // >
+	GE      // >=
+	ANDAND  // &&
+	OROR    // ||
+	NOT     // !
+	// Keywords.
+	KWMULT   // mult
+	KWPROD   // prod
+	KWIF     // if
+	KWELSE   // else
+	KWMAIN   // main
+	KWAMONG  // among
+	KWAND    // and
+	KWFORALL // forall
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of input", IDENT: "identifier", INT: "integer",
+	LPAREN: "'('", RPAREN: "')'", LBRACK: "'['", RBRACK: "']'",
+	LBRACE: "'{'", RBRACE: "'}'", COMMA: "','", SEMI: "';'",
+	COLON: "':'", ASSIGN: "'='", HASH: "'#'", DOTDOT: "'..'", DOT: "'.'",
+	PLUS: "'+'", MINUS: "'-'", STAR: "'*'", SLASH: "'/'", PERCENT: "'%'",
+	EQ: "'=='", NEQ: "'!='", LT: "'<'", LE: "'<='", GT: "'>'", GE: "'>='",
+	ANDAND: "'&&'", OROR: "'||'", NOT: "'!'",
+	KWMULT: "'mult'", KWPROD: "'prod'", KWIF: "'if'", KWELSE: "'else'",
+	KWMAIN: "'main'", KWAMONG: "'among'", KWAND: "'and'", KWFORALL: "'forall'",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", k)
+}
+
+var keywords = map[string]Kind{
+	"mult": KWMULT, "prod": KWPROD, "if": KWIF, "else": KWELSE,
+	"main": KWMAIN, "among": KWAMONG, "and": KWAND, "forall": KWFORALL,
+}
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind Kind
+	Text string
+	Int  int
+	Pos  ast.Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case INT:
+		return fmt.Sprintf("integer %d", t.Int)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Lexer scans a source string.
+type Lexer struct {
+	src       string
+	off       int
+	line, col int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Error is a lexical error with position.
+type Error struct {
+	Pos ast.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func (l *Lexer) errf(pos ast.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	return r
+}
+
+func (l *Lexer) advance() rune {
+	if l.off >= len(l.src) {
+		return -1
+	}
+	r, n := utf8.DecodeRuneInString(l.src[l.off:])
+	l.off += n
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for {
+		r := l.peek()
+		switch {
+		case r == -1:
+			return nil
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/':
+			for l.peek() != '\n' && l.peek() != -1 {
+				l.advance()
+			}
+		case r == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '*':
+			pos := l.pos()
+			l.advance()
+			l.advance()
+			for {
+				if l.peek() == -1 {
+					return l.errf(pos, "unterminated block comment")
+				}
+				if l.peek() == '*' {
+					l.advance()
+					if l.peek() == '/' {
+						l.advance()
+						break
+					}
+					continue
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func (l *Lexer) pos() ast.Pos { return ast.Pos{Line: l.line, Col: l.col} }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentCont(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Next scans the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	r := l.peek()
+	if r == -1 {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+
+	switch {
+	case isIdentStart(r):
+		start := l.off
+		for isIdentCont(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: pos}, nil
+	case unicode.IsDigit(r):
+		start := l.off
+		for unicode.IsDigit(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		n := 0
+		for _, d := range text {
+			n = n*10 + int(d-'0')
+			if n > 1<<31 {
+				return Token{}, l.errf(pos, "integer literal %s too large", text)
+			}
+		}
+		return Token{Kind: INT, Text: text, Int: n, Pos: pos}, nil
+	}
+
+	l.advance()
+	simple := func(k Kind) (Token, error) { return Token{Kind: k, Text: string(r), Pos: pos}, nil }
+	switch r {
+	case '(':
+		return simple(LPAREN)
+	case ')':
+		return simple(RPAREN)
+	case '[':
+		return simple(LBRACK)
+	case ']':
+		return simple(RBRACK)
+	case '{':
+		return simple(LBRACE)
+	case '}':
+		return simple(RBRACE)
+	case ',':
+		return simple(COMMA)
+	case ';':
+		return simple(SEMI)
+	case ':':
+		return simple(COLON)
+	case '#':
+		return simple(HASH)
+	case '+':
+		return simple(PLUS)
+	case '-':
+		return simple(MINUS)
+	case '*':
+		return simple(STAR)
+	case '/':
+		return simple(SLASH)
+	case '%':
+		return simple(PERCENT)
+	case '.':
+		if l.peek() == '.' {
+			l.advance()
+			return Token{Kind: DOTDOT, Text: "..", Pos: pos}, nil
+		}
+		return simple(DOT)
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: EQ, Text: "==", Pos: pos}, nil
+		}
+		return simple(ASSIGN)
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: NEQ, Text: "!=", Pos: pos}, nil
+		}
+		return simple(NOT)
+	case '<':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: LE, Text: "<=", Pos: pos}, nil
+		}
+		return simple(LT)
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: GE, Text: ">=", Pos: pos}, nil
+		}
+		return simple(GT)
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return Token{Kind: ANDAND, Text: "&&", Pos: pos}, nil
+		}
+		return Token{}, l.errf(pos, "unexpected '&' (use '&&')")
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return Token{Kind: OROR, Text: "||", Pos: pos}, nil
+		}
+		return Token{}, l.errf(pos, "unexpected '|' (use '||')")
+	}
+	return Token{}, l.errf(pos, "unexpected character %q", r)
+}
+
+// All scans the whole input, returning every token up to and including EOF.
+func All(src string) ([]Token, error) {
+	l := New(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}

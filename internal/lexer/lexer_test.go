@@ -1,0 +1,120 @@
+package lexer_test
+
+import (
+	"testing"
+
+	"repro/internal/lexer"
+)
+
+func kinds(t *testing.T, src string) []lexer.Kind {
+	t.Helper()
+	toks, err := lexer.All(src)
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	out := make([]lexer.Kind, 0, len(toks))
+	for _, tk := range toks {
+		out = append(out, tk.Kind)
+	}
+	return out
+}
+
+func expect(t *testing.T, src string, want ...lexer.Kind) {
+	t.Helper()
+	got := kinds(t, src)
+	want = append(want, lexer.EOF)
+	if len(got) != len(want) {
+		t.Fatalf("lex %q: got %v, want %v", src, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lex %q token %d: got %v, want %v", src, i, got[i], want[i])
+		}
+	}
+}
+
+func TestBasicTokens(t *testing.T) {
+	expect(t, "A(a;b) = Sync(a;b)",
+		lexer.IDENT, lexer.LPAREN, lexer.IDENT, lexer.SEMI, lexer.IDENT, lexer.RPAREN,
+		lexer.ASSIGN, lexer.IDENT, lexer.LPAREN, lexer.IDENT, lexer.SEMI, lexer.IDENT, lexer.RPAREN)
+}
+
+func TestArrayAndHash(t *testing.T) {
+	expect(t, "tl[] #tl tl[i+1] tl[1..#tl]",
+		lexer.IDENT, lexer.LBRACK, lexer.RBRACK,
+		lexer.HASH, lexer.IDENT,
+		lexer.IDENT, lexer.LBRACK, lexer.IDENT, lexer.PLUS, lexer.INT, lexer.RBRACK,
+		lexer.IDENT, lexer.LBRACK, lexer.INT, lexer.DOTDOT, lexer.HASH, lexer.IDENT, lexer.RBRACK)
+}
+
+func TestKeywords(t *testing.T) {
+	expect(t, "mult prod if else main among and forall",
+		lexer.KWMULT, lexer.KWPROD, lexer.KWIF, lexer.KWELSE,
+		lexer.KWMAIN, lexer.KWAMONG, lexer.KWAND, lexer.KWFORALL)
+}
+
+func TestOperators(t *testing.T) {
+	expect(t, "== != < <= > >= && || ! % * / - +",
+		lexer.EQ, lexer.NEQ, lexer.LT, lexer.LE, lexer.GT, lexer.GE,
+		lexer.ANDAND, lexer.OROR, lexer.NOT, lexer.PERCENT,
+		lexer.STAR, lexer.SLASH, lexer.MINUS, lexer.PLUS)
+}
+
+func TestDotForms(t *testing.T) {
+	expect(t, "Filter.even Fifo.4 Tasks.pro 1..2",
+		lexer.IDENT, lexer.DOT, lexer.IDENT,
+		lexer.IDENT, lexer.DOT, lexer.INT,
+		lexer.IDENT, lexer.DOT, lexer.IDENT,
+		lexer.INT, lexer.DOTDOT, lexer.INT)
+}
+
+func TestComments(t *testing.T) {
+	expect(t, "a // line comment\n b /* block\ncomment */ c",
+		lexer.IDENT, lexer.IDENT, lexer.IDENT)
+}
+
+func TestIntValues(t *testing.T) {
+	toks, err := lexer.All("0 42 123456")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 42, 123456}
+	for i, w := range want {
+		if toks[i].Kind != lexer.INT || toks[i].Int != w {
+			t.Errorf("token %d = %+v, want INT %d", i, toks[i], w)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := lexer.All("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, src := range []string{"a & b", "a | b", "a @ b", "/* unterminated"} {
+		if _, err := lexer.All(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestDollarInIdent(t *testing.T) {
+	// Flattening-generated names like v$1 must survive re-lexing
+	// (cmd/reoc round trips).
+	toks, err := lexer.All("v$1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != lexer.IDENT || toks[0].Text != "v$1" {
+		t.Errorf("got %+v", toks[0])
+	}
+}

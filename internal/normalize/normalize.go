@@ -1,0 +1,97 @@
+// Package normalize rewrites flattened connector expressions into the
+// normal form of §IV-C: from left to right, first a section with only
+// (primitive) constituents, then a section with only iteration
+// expressions, and finally a section with only conditional expressions —
+// recursively inside iteration bodies and conditional branches. The
+// reordering is sound because mult (×) is associative and commutative.
+package normalize
+
+import "repro/internal/ast"
+
+// Normalize returns the normal form of a flattened expression.
+func Normalize(e ast.Expr) ast.Expr {
+	var invokes, prods, ifs []ast.Expr
+	collect(e, &invokes, &prods, &ifs)
+	factors := make([]ast.Expr, 0, len(invokes)+len(prods)+len(ifs))
+	factors = append(factors, invokes...)
+	factors = append(factors, prods...)
+	factors = append(factors, ifs...)
+	if len(factors) == 1 {
+		return factors[0]
+	}
+	return &ast.Mult{Factors: factors, Pos: e.Position()}
+}
+
+func collect(e ast.Expr, invokes, prods, ifs *[]ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Mult:
+		for _, f := range e.Factors {
+			collect(f, invokes, prods, ifs)
+		}
+	case *ast.Invoke:
+		*invokes = append(*invokes, e)
+	case *ast.Prod:
+		body := Normalize(e.Body)
+		*prods = append(*prods, &ast.Prod{Var: e.Var, Lo: e.Lo, Hi: e.Hi, Body: body, Pos: e.Pos})
+	case *ast.If:
+		n := &ast.If{Cond: e.Cond, Then: Normalize(e.Then), Pos: e.Pos}
+		if e.Else != nil {
+			n.Else = Normalize(e.Else)
+		}
+		*ifs = append(*ifs, n)
+	}
+}
+
+// IsNormal reports whether an expression is in normal form (used by tests
+// and cmd/reoc).
+func IsNormal(e ast.Expr) bool {
+	m, ok := e.(*ast.Mult)
+	if !ok {
+		switch e := e.(type) {
+		case *ast.Invoke:
+			return true
+		case *ast.Prod:
+			return IsNormal(e.Body)
+		case *ast.If:
+			if !IsNormal(e.Then) {
+				return false
+			}
+			return e.Else == nil || IsNormal(e.Else)
+		}
+		return false
+	}
+	// Sections in order: invokes, prods, ifs; nested Mult not allowed.
+	const (
+		secInvoke = iota
+		secProd
+		secIf
+	)
+	section := secInvoke
+	for _, f := range m.Factors {
+		switch f := f.(type) {
+		case *ast.Invoke:
+			if section > secInvoke {
+				return false
+			}
+		case *ast.Prod:
+			if section > secProd {
+				return false
+			}
+			section = secProd
+			if !IsNormal(f.Body) {
+				return false
+			}
+		case *ast.If:
+			section = secIf
+			if !IsNormal(f.Then) {
+				return false
+			}
+			if f.Else != nil && !IsNormal(f.Else) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,185 @@
+package normalize_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ast"
+	"repro/internal/normalize"
+	"repro/internal/parser"
+)
+
+func parse(t *testing.T, src string) ast.Expr {
+	t.Helper()
+	e, err := parser.ParseExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestExample10Order(t *testing.T) {
+	// §IV-C Example 10: after normalization, constituents come first,
+	// then iterations, then conditionals.
+	e := parse(t, `
+        if (1 == 1) { Sync(a;b) }
+        mult prod (i:1..3) Sync(x[i];y[i])
+        mult Fifo1(p;q)
+        mult prod (j:1..2) Fifo1(s[j];t[j])
+        mult Sync(c;d)
+    `)
+	n := normalize.Normalize(e)
+	if !normalize.IsNormal(n) {
+		t.Fatalf("not normal:\n%s", ast.RenderExpr(n, ""))
+	}
+	m := n.(*ast.Mult)
+	kinds := []string{}
+	for _, f := range m.Factors {
+		switch f.(type) {
+		case *ast.Invoke:
+			kinds = append(kinds, "inv")
+		case *ast.Prod:
+			kinds = append(kinds, "prod")
+		case *ast.If:
+			kinds = append(kinds, "if")
+		}
+	}
+	want := []string{"inv", "inv", "prod", "prod", "if"}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestNestedNormalization(t *testing.T) {
+	e := parse(t, `
+        prod (i:1..3) {
+            if (i == 1) { Sync(a[i];b[i]) } mult Fifo1(c[i];d[i])
+        }
+    `)
+	n := normalize.Normalize(e)
+	if !normalize.IsNormal(n) {
+		t.Fatalf("nested body not normalized:\n%s", ast.RenderExpr(n, ""))
+	}
+	p := n.(*ast.Prod)
+	body := p.Body.(*ast.Mult)
+	if _, ok := body.Factors[0].(*ast.Invoke); !ok {
+		t.Error("invoke not first in prod body")
+	}
+}
+
+func TestSingleFactorCollapses(t *testing.T) {
+	e := parse(t, `Sync(a;b)`)
+	n := normalize.Normalize(e)
+	if _, ok := n.(*ast.Invoke); !ok {
+		t.Errorf("single invoke wrapped: %T", n)
+	}
+}
+
+func TestIsNormalRejects(t *testing.T) {
+	e := parse(t, `prod (i:1..2) Sync(a[i];b) mult Fifo1(c;d)`)
+	if normalize.IsNormal(e) {
+		t.Error("prod-before-invoke accepted as normal")
+	}
+}
+
+// genExpr builds a random connector expression for the property test.
+func genExpr(r *rand.Rand, depth int) ast.Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		return &ast.Invoke{
+			Name:  "Sync",
+			Tails: []ast.PortArg{{Name: "a"}},
+			Heads: []ast.PortArg{{Name: "b"}},
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		n := 2 + r.Intn(3)
+		m := &ast.Mult{}
+		for i := 0; i < n; i++ {
+			m.Factors = append(m.Factors, genExpr(r, depth-1))
+		}
+		return m
+	case 1:
+		return &ast.Prod{
+			Var:  "i",
+			Lo:   &ast.IntLit{Val: 1},
+			Hi:   &ast.IntLit{Val: 3},
+			Body: genExpr(r, depth-1),
+		}
+	default:
+		node := &ast.If{
+			Cond: &ast.Cmp{Op: "==", L: &ast.IntLit{Val: 1}, R: &ast.IntLit{Val: 1}},
+			Then: genExpr(r, depth-1),
+		}
+		if r.Intn(2) == 0 {
+			node.Else = genExpr(r, depth-1)
+		}
+		return node
+	}
+}
+
+func countLeaves(e ast.Expr) (inv, prod, ifs int) {
+	switch e := e.(type) {
+	case *ast.Mult:
+		for _, f := range e.Factors {
+			i2, p2, f2 := countLeaves(f)
+			inv += i2
+			prod += p2
+			ifs += f2
+		}
+	case *ast.Invoke:
+		inv++
+	case *ast.Prod:
+		prod++
+		i2, p2, f2 := countLeaves(e.Body)
+		inv += i2
+		prod += p2
+		ifs += f2
+	case *ast.If:
+		ifs++
+		i2, p2, f2 := countLeaves(e.Then)
+		inv += i2
+		prod += p2
+		ifs += f2
+		if e.Else != nil {
+			i2, p2, f2 = countLeaves(e.Else)
+			inv += i2
+			prod += p2
+			ifs += f2
+		}
+	}
+	return
+}
+
+// TestNormalizePropertyBased: for random expressions, Normalize always
+// yields a normal form, preserves the multiset of constructs, and is
+// idempotent.
+func TestNormalizePropertyBased(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	prop := func() bool {
+		e := genExpr(r, 4)
+		n := normalize.Normalize(e)
+		if !normalize.IsNormal(n) {
+			return false
+		}
+		i1, p1, f1 := countLeaves(e)
+		i2, p2, f2 := countLeaves(n)
+		if i1 != i2 || p1 != p2 || f1 != f2 {
+			return false
+		}
+		// Idempotence up to structure: normalizing again stays normal
+		// and preserves counts.
+		n2 := normalize.Normalize(n)
+		i3, p3, f3 := countLeaves(n2)
+		return normalize.IsNormal(n2) && i3 == i2 && p3 == p2 && f3 == f2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,294 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+)
+
+// Shared infrastructure for the BT and SP application benchmarks: both
+// are ADI (alternating direction implicit) solvers that repeatedly solve
+// banded systems along x lines (rows, local to the owning slave) and
+// along y lines (columns, partitioned across slaves with a barrier
+// between the passes). SP solves scalar tridiagonal systems; BT solves
+// 2x2 block tridiagonal systems. This mirrors the real NPB programs'
+// structure (scalar penta- vs 5x5-block tridiagonal) at reduced band
+// width, preserving the communication pattern and the local-solve work.
+
+type adiParams struct {
+	n      int
+	iters  int
+	lambda float64
+}
+
+func adiSizes(c Class) adiParams {
+	switch c {
+	case ClassS:
+		return adiParams{n: 32, iters: 4, lambda: 0.25}
+	case ClassW:
+		return adiParams{n: 64, iters: 6, lambda: 0.25}
+	case ClassA:
+		return adiParams{n: 128, iters: 8, lambda: 0.25}
+	case ClassB:
+		return adiParams{n: 256, iters: 10, lambda: 0.25}
+	default:
+		return adiParams{n: 512, iters: 12, lambda: 0.25}
+	}
+}
+
+// adiGrid is the shared field, components interleaved: comps values per
+// cell (1 for SP, 2 for BT), row-major.
+type adiGrid struct {
+	n, comps int
+	u        []float64
+	scratch  []float64 // per-cell scratch for the sweeps
+}
+
+func newADIGrid(n, comps int) *adiGrid {
+	g := &adiGrid{n: n, comps: comps,
+		u:       make([]float64, n*n*comps),
+		scratch: make([]float64, n*n*comps)}
+	r := NewRand(314159265)
+	for i := range g.u {
+		g.u[i] = r.Next()
+	}
+	return g
+}
+
+// triSolve solves an in-place scalar tridiagonal system with constant
+// coefficients (-lambda, 1+2*lambda, -lambda) by the Thomas algorithm.
+// d is the right-hand side and receives the solution; cp is scratch of
+// the same length.
+func triSolve(d, cp []float64, lambda float64) {
+	n := len(d)
+	b := 1 + 2*lambda
+	a := -lambda
+	cp[0] = a / b
+	d[0] = d[0] / b
+	for i := 1; i < n; i++ {
+		m := 1 / (b - a*cp[i-1])
+		cp[i] = a * m
+		d[i] = (d[i] - a*d[i-1]) * m
+	}
+	for i := n - 2; i >= 0; i-- {
+		d[i] -= cp[i] * d[i+1]
+	}
+}
+
+// blockTriSolve solves a 2x2 block tridiagonal system with constant
+// blocks: diagonal D = [[1+2λ, λ/2], [-λ/2, 1+2λ]], off-diagonal
+// A = -λ·I. d holds 2 components per point and receives the solution.
+func blockTriSolve(d []float64, cp []float64, lambda float64) {
+	n := len(d) / 2
+	// Diagonal block and its inverse helpers.
+	d11, d12 := 1+2*lambda, lambda/2
+	d21, d22 := -lambda/2, 1+2*lambda
+	a := -lambda // off-diagonal scalar block a·I
+
+	inv2 := func(m11, m12, m21, m22 float64) (i11, i12, i21, i22 float64) {
+		det := m11*m22 - m12*m21
+		return m22 / det, -m12 / det, -m21 / det, m11 / det
+	}
+
+	// Forward elimination with 2x2 pivots; cp stores the 4 entries of
+	// C'_i per point.
+	i11, i12, i21, i22 := inv2(d11, d12, d21, d22)
+	cp[0], cp[1], cp[2], cp[3] = a*i11, a*i12, a*i21, a*i22
+	x, y := d[0], d[1]
+	d[0], d[1] = i11*x+i12*y, i21*x+i22*y
+	for i := 1; i < n; i++ {
+		// M = D - a·C'_{i-1}
+		m11 := d11 - a*cp[(i-1)*4+0]
+		m12 := d12 - a*cp[(i-1)*4+1]
+		m21 := d21 - a*cp[(i-1)*4+2]
+		m22 := d22 - a*cp[(i-1)*4+3]
+		j11, j12, j21, j22 := inv2(m11, m12, m21, m22)
+		cp[i*4+0], cp[i*4+1] = a*j11, a*j12
+		cp[i*4+2], cp[i*4+3] = a*j21, a*j22
+		// rhs' = inv(M)·(d_i - a·d'_{i-1})
+		rx := d[i*2] - a*d[(i-1)*2]
+		ry := d[i*2+1] - a*d[(i-1)*2+1]
+		d[i*2], d[i*2+1] = j11*rx+j12*ry, j21*rx+j22*ry
+	}
+	for i := n - 2; i >= 0; i-- {
+		d[i*2] -= cp[i*4+0]*d[(i+1)*2] + cp[i*4+1]*d[(i+1)*2+1]
+		d[i*2+1] -= cp[i*4+2]*d[(i+1)*2] + cp[i*4+3]*d[(i+1)*2+1]
+	}
+}
+
+// adiXSweep solves the line systems along x (rows) for rows [lo,hi).
+func (g *adiGrid) adiXSweep(lambda float64, lo, hi int) {
+	n, cs := g.n, g.comps
+	line := make([]float64, n*cs)
+	cp := make([]float64, n*4)
+	for i := lo; i < hi; i++ {
+		copy(line, g.u[i*n*cs:(i+1)*n*cs])
+		if cs == 1 {
+			triSolve(line, cp[:n], lambda)
+		} else {
+			blockTriSolve(line, cp, lambda)
+		}
+		copy(g.u[i*n*cs:(i+1)*n*cs], line)
+	}
+}
+
+// adiYSweep solves the line systems along y (columns) for columns [lo,hi).
+func (g *adiGrid) adiYSweep(lambda float64, lo, hi int) {
+	n, cs := g.n, g.comps
+	line := make([]float64, n*cs)
+	cp := make([]float64, n*4)
+	for j := lo; j < hi; j++ {
+		for i := 0; i < n; i++ {
+			for c := 0; c < cs; c++ {
+				line[i*cs+c] = g.u[(i*n+j)*cs+c]
+			}
+		}
+		if cs == 1 {
+			triSolve(line, cp[:n], lambda)
+		} else {
+			blockTriSolve(line, cp, lambda)
+		}
+		for i := 0; i < n; i++ {
+			for c := 0; c < cs; c++ {
+				g.u[(i*n+j)*cs+c] = line[i*cs+c]
+			}
+		}
+	}
+}
+
+func (g *adiGrid) adiChecksum() float64 {
+	var s float64
+	for _, v := range g.u {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// adiOp is one broadcast phase of the ADI run.
+type adiOp struct {
+	Kind string // "x" | "y" | "stop"
+	G    *adiGrid
+}
+
+// adiRun executes the benchmark with the given per-phase barrier.
+func adiRun(prm adiParams, comps int, apply func(op adiOp) error) (*adiGrid, error) {
+	g := newADIGrid(prm.n, comps)
+	for it := 0; it < prm.iters; it++ {
+		if err := apply(adiOp{Kind: "x", G: g}); err != nil {
+			return nil, err
+		}
+		if err := apply(adiOp{Kind: "y", G: g}); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// adiProgramRun is the shared Run implementation for BT and SP.
+func adiProgramRun(name string, comps int, class Class, variant Variant, slaves int) (*Result, error) {
+	prm := adiSizes(class)
+	want := cachedSerial(name+"/"+class.String(), func() float64 {
+		serialG, _ := adiRun(prm, comps, func(op adiOp) error {
+			if op.Kind == "x" {
+				op.G.adiXSweep(prm.lambda, 0, prm.n)
+			} else {
+				op.G.adiYSweep(prm.lambda, 0, prm.n)
+			}
+			return nil
+		})
+		return serialG.adiChecksum()
+	})
+	res := &Result{Program: name, Class: class, Variant: variant, Slaves: slaves}
+	if variant == Serial {
+		res.Checksum = want
+		res.Verified = true
+		return res, nil
+	}
+
+	var got float64
+	master := func(c Comm) error {
+		g, err := adiRun(prm, comps, func(op adiOp) error {
+			for i := 0; i < slaves; i++ {
+				if err := c.SendToSlave(i, op); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < slaves; i++ {
+				if _, err := c.RecvFromSlave(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		got = g.adiChecksum()
+		for i := 0; i < slaves; i++ {
+			if err := c.SendToSlave(i, adiOp{Kind: "stop"}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	slave := func(c PipeComm, i int) error {
+		for {
+			v, err := c.SlaveRecv(i)
+			if err != nil {
+				return err
+			}
+			op := v.(adiOp)
+			switch op.Kind {
+			case "stop":
+				return nil
+			case "x":
+				lo, hi := splitRange(op.G.n, slaves, i)
+				op.G.adiXSweep(prm.lambda, lo, hi)
+			case "y":
+				lo, hi := splitRange(op.G.n, slaves, i)
+				op.G.adiYSweep(prm.lambda, lo, hi)
+			}
+			if err := c.SlaveSend(i, struct{}{}); err != nil {
+				return err
+			}
+		}
+	}
+	steps, err := runMasterSlaves(variant, slaves, false, DefaultReoOptions, master, slave)
+	if err != nil {
+		return nil, err
+	}
+	res.Steps = steps
+	res.Checksum = got
+	res.Verified = closeEnough(got, want)
+	if !res.Verified {
+		return res, fmt.Errorf("%s: checksum %g, want %g", name, got, want)
+	}
+	return res, nil
+}
+
+// BT is the block-tridiagonal ADI application (2x2 blocks).
+type BT struct{}
+
+// NewBT returns the BT application.
+func NewBT() *BT { return &BT{} }
+
+// Name returns "BT".
+func (*BT) Name() string { return "BT" }
+
+// Run executes BT.
+func (p *BT) Run(class Class, variant Variant, slaves int) (*Result, error) {
+	return adiProgramRun(p.Name(), 2, class, variant, slaves)
+}
+
+// SP is the scalar-tridiagonal ADI application.
+type SP struct{}
+
+// NewSP returns the SP application.
+func NewSP() *SP { return &SP{} }
+
+// Name returns "SP".
+func (*SP) Name() string { return "SP" }
+
+// Run executes SP.
+func (p *SP) Run(class Class, variant Variant, slaves int) (*Result, error) {
+	return adiProgramRun(p.Name(), 1, class, variant, slaves)
+}

@@ -1,0 +1,311 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+)
+
+// CG estimates the smallest eigenvalue of a sparse symmetric positive
+// definite matrix by inverse power iteration, solving A·z = x with the
+// conjugate gradient method. Matrix rows are partitioned across slaves;
+// every CG step broadcasts the direction vector and gathers the partial
+// mat-vec rows and partial dot products — the master–slaves kernel shown
+// in Fig. 13 (left panels).
+type CG struct{}
+
+// NewCG returns the CG kernel.
+func NewCG() *CG { return &CG{} }
+
+// Name returns "CG".
+func (*CG) Name() string { return "CG" }
+
+type cgParams struct {
+	n       int // matrix order
+	nzRow   int // off-diagonal entries generated per row
+	outer   int // inverse power iterations
+	cgSteps int // CG steps per solve
+	shift   float64
+}
+
+func cgSizes(c Class) cgParams {
+	switch c {
+	case ClassS:
+		return cgParams{n: 1000, nzRow: 6, outer: 4, cgSteps: 15, shift: 10}
+	case ClassW:
+		return cgParams{n: 4000, nzRow: 7, outer: 6, cgSteps: 20, shift: 12}
+	case ClassA:
+		return cgParams{n: 14000, nzRow: 8, outer: 8, cgSteps: 25, shift: 20}
+	case ClassB:
+		return cgParams{n: 35000, nzRow: 10, outer: 10, cgSteps: 25, shift: 60}
+	default:
+		return cgParams{n: 75000, nzRow: 12, outer: 12, cgSteps: 25, shift: 110}
+	}
+}
+
+// sparseSym is a CSR sparse symmetric matrix.
+type sparseSym struct {
+	n      int
+	rowPtr []int32
+	colIdx []int32
+	val    []float64
+}
+
+// cgMakeA generates the test matrix deterministically: nzRow random
+// symmetric off-diagonal pairs per row plus a dominant diagonal — SPD by
+// diagonal dominance (a simplified analogue of NPB's makea).
+func cgMakeA(p cgParams) *sparseSym {
+	r := NewRand(314159265)
+	rows := make([]map[int32]float64, p.n)
+	for i := range rows {
+		rows[i] = make(map[int32]float64, p.nzRow*2+1)
+	}
+	for i := 0; i < p.n; i++ {
+		for k := 0; k < p.nzRow; k++ {
+			j := int32(r.Next() * float64(p.n))
+			v := 2*r.Next() - 1
+			if int(j) == i {
+				continue
+			}
+			rows[i][j] += v
+			rows[int(j)][int32(i)] += v
+		}
+	}
+	a := &sparseSym{n: p.n, rowPtr: make([]int32, p.n+1)}
+	for i := 0; i < p.n; i++ {
+		var rowSum float64
+		for _, v := range rows[i] {
+			rowSum += math.Abs(v)
+		}
+		rows[i][int32(i)] = rowSum + p.shift
+		// Deterministic column order.
+		cols := make([]int32, 0, len(rows[i]))
+		for j := range rows[i] {
+			cols = append(cols, j)
+		}
+		sortInt32(cols)
+		for _, j := range cols {
+			a.colIdx = append(a.colIdx, j)
+			a.val = append(a.val, rows[i][j])
+		}
+		a.rowPtr[i+1] = int32(len(a.colIdx))
+	}
+	return a
+}
+
+func sortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+// matVecRows computes q[lo:hi] = (A·p)[lo:hi] and returns the partial dot
+// product p[lo:hi]·q[lo:hi].
+func (a *sparseSym) matVecRows(p, q []float64, lo, hi int) float64 {
+	var dot float64
+	for i := lo; i < hi; i++ {
+		var s float64
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			s += a.val[k] * p[a.colIdx[k]]
+		}
+		q[i] = s
+		dot += p[i] * s
+	}
+	return dot
+}
+
+// cgState is the master-held solver state.
+type cgState struct {
+	a          *sparseSym
+	x, z, r, p *[]float64
+	q          []float64
+}
+
+// cgSerial runs the whole benchmark serially and returns the checksum.
+func cgSerial(prm cgParams) float64 {
+	a := cgMakeA(prm)
+	solve := func(x []float64) ([]float64, float64) {
+		n := a.n
+		z := make([]float64, n)
+		r := make([]float64, n)
+		p := make([]float64, n)
+		q := make([]float64, n)
+		copy(r, x)
+		copy(p, x)
+		rho := dot(r, r)
+		for it := 0; it < prm.cgSteps; it++ {
+			pq := a.matVecRows(p, q, 0, n)
+			alpha := rho / pq
+			for i := 0; i < n; i++ {
+				z[i] += alpha * p[i]
+				r[i] -= alpha * q[i]
+			}
+			rho2 := dot(r, r)
+			beta := rho2 / rho
+			rho = rho2
+			for i := 0; i < n; i++ {
+				p[i] = r[i] + beta*p[i]
+			}
+		}
+		return z, math.Sqrt(rho)
+	}
+	n := a.n
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	var zeta float64
+	for outer := 0; outer < prm.outer; outer++ {
+		z, _ := solve(x)
+		zeta = prm.shift + 1/dot(x, z)
+		norm := math.Sqrt(dot(z, z))
+		for i := range x {
+			x[i] = z[i] / norm
+		}
+	}
+	return zeta
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// cgJob is the per-step broadcast; cgDone the per-step gather.
+type cgJob struct {
+	Op string // "matvec" or "stop"
+	P  []float64
+	Q  []float64
+}
+
+type cgDone struct {
+	PartialPQ float64
+}
+
+// Run executes CG.
+func (g *CG) Run(class Class, variant Variant, slaves int) (*Result, error) {
+	prm := cgSizes(class)
+	want := cachedSerial("CG/"+class.String(), func() float64 { return cgSerial(prm) })
+	res := &Result{Program: g.Name(), Class: class, Variant: variant, Slaves: slaves}
+	if variant == Serial {
+		res.Checksum = want
+		res.Verified = true
+		return res, nil
+	}
+
+	a := cgMakeA(prm)
+	n := a.n
+	var zeta float64
+
+	master := func(c Comm) error {
+		// Distribute the matrix once (by reference, as in the Java
+		// threads implementation; the scatter/gather rounds per CG step
+		// are the measured coordination).
+		for i := 0; i < slaves; i++ {
+			if err := c.SendToSlave(i, a); err != nil {
+				return err
+			}
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = 1
+		}
+		z := make([]float64, n)
+		r := make([]float64, n)
+		p := make([]float64, n)
+		q := make([]float64, n)
+
+		matvec := func() (float64, error) {
+			for i := 0; i < slaves; i++ {
+				if err := c.SendToSlave(i, cgJob{Op: "matvec", P: p, Q: q}); err != nil {
+					return 0, err
+				}
+			}
+			var pq float64
+			for i := 0; i < slaves; i++ {
+				v, err := c.RecvFromSlave(i)
+				if err != nil {
+					return 0, err
+				}
+				pq += v.(cgDone).PartialPQ
+			}
+			return pq, nil
+		}
+
+		for outer := 0; outer < prm.outer; outer++ {
+			for i := range z {
+				z[i] = 0
+			}
+			copy(r, x)
+			copy(p, x)
+			rho := dot(r, r)
+			for it := 0; it < prm.cgSteps; it++ {
+				pq, err := matvec()
+				if err != nil {
+					return err
+				}
+				alpha := rho / pq
+				for i := 0; i < n; i++ {
+					z[i] += alpha * p[i]
+					r[i] -= alpha * q[i]
+				}
+				rho2 := dot(r, r)
+				beta := rho2 / rho
+				rho = rho2
+				for i := 0; i < n; i++ {
+					p[i] = r[i] + beta*p[i]
+				}
+			}
+			zeta = prm.shift + 1/dot(x, z)
+			norm := math.Sqrt(dot(z, z))
+			for i := range x {
+				x[i] = z[i] / norm
+			}
+		}
+		for i := 0; i < slaves; i++ {
+			if err := c.SendToSlave(i, cgJob{Op: "stop"}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	slave := func(c PipeComm, i int) error {
+		v, err := c.SlaveRecv(i)
+		if err != nil {
+			return err
+		}
+		mat := v.(*sparseSym)
+		lo, hi := splitRange(mat.n, slaves, i)
+		for {
+			v, err := c.SlaveRecv(i)
+			if err != nil {
+				return err
+			}
+			job := v.(cgJob)
+			if job.Op == "stop" {
+				return nil
+			}
+			pq := mat.matVecRows(job.P, job.Q, lo, hi)
+			if err := c.SlaveSend(i, cgDone{PartialPQ: pq}); err != nil {
+				return err
+			}
+		}
+	}
+
+	steps, err := runMasterSlaves(variant, slaves, false, DefaultReoOptions, master, slave)
+	if err != nil {
+		return nil, err
+	}
+	res.Steps = steps
+	res.Checksum = zeta
+	res.Verified = closeEnough(zeta, want)
+	if !res.Verified {
+		return res, fmt.Errorf("CG: zeta %g, want %g", zeta, want)
+	}
+	return res, nil
+}

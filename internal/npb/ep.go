@@ -1,0 +1,141 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+)
+
+// EP is the "embarrassingly parallel" kernel: generate pairs of uniform
+// deviates with the NPB LCG, transform them into Gaussian deviates by the
+// acceptance-rejection scheme, and tally them per square annulus. The
+// only communication is the final reduction — the baseline for
+// coordination overhead.
+type EP struct{}
+
+// NewEP returns the EP kernel.
+func NewEP() *EP { return &EP{} }
+
+// Name returns "EP".
+func (*EP) Name() string { return "EP" }
+
+const epSeed = 271828183
+
+// epPairs returns the number of generated pairs per class (NPB uses
+// 2^24 … 2^32; scaled down ~2^8 for laptop time budgets).
+func epPairs(c Class) int {
+	switch c {
+	case ClassS:
+		return 1 << 16
+	case ClassW:
+		return 1 << 18
+	case ClassA:
+		return 1 << 20
+	case ClassB:
+		return 1 << 22
+	default:
+		return 1 << 24
+	}
+}
+
+// epAccum is the per-chunk tally.
+type epAccum struct {
+	Q      [10]int64
+	Sx, Sy float64
+	Pairs  int64
+}
+
+func (a *epAccum) add(b epAccum) {
+	for i := range a.Q {
+		a.Q[i] += b.Q[i]
+	}
+	a.Sx += b.Sx
+	a.Sy += b.Sy
+	a.Pairs += b.Pairs
+}
+
+// epChunk processes pairs [lo,hi) of the global stream.
+func epChunk(lo, hi int) epAccum {
+	r := NewRand(epSeed)
+	r.Skip(uint64(2 * lo))
+	var acc epAccum
+	for k := lo; k < hi; k++ {
+		x := 2*r.Next() - 1
+		y := 2*r.Next() - 1
+		t := x*x + y*y
+		if t > 1 || t == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(t) / t)
+		gx := x * f
+		gy := y * f
+		l := int(math.Max(math.Abs(gx), math.Abs(gy)))
+		if l > 9 {
+			l = 9
+		}
+		acc.Q[l]++
+		acc.Sx += gx
+		acc.Sy += gy
+		acc.Pairs++
+	}
+	return acc
+}
+
+func (a epAccum) checksum() float64 {
+	s := a.Sx + a.Sy
+	for i, q := range a.Q {
+		s += float64(i+1) * float64(q)
+	}
+	return s
+}
+
+// Run executes EP.
+func (p *EP) Run(class Class, variant Variant, slaves int) (*Result, error) {
+	pairs := epPairs(class)
+	want := cachedSerial("EP/"+class.String(), func() float64 {
+		return epChunk(0, pairs).checksum()
+	})
+	res := &Result{Program: p.Name(), Class: class, Variant: variant, Slaves: slaves}
+
+	if variant == Serial {
+		res.Checksum = want
+		res.Verified = true
+		return res, nil
+	}
+
+	var total epAccum
+	master := func(c Comm) error {
+		for i := 0; i < slaves; i++ {
+			lo, hi := splitRange(pairs, slaves, i)
+			if err := c.SendToSlave(i, [2]int{lo, hi}); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < slaves; i++ {
+			v, err := c.RecvFromSlave(i)
+			if err != nil {
+				return err
+			}
+			total.add(v.(epAccum))
+		}
+		return nil
+	}
+	slave := func(c PipeComm, i int) error {
+		v, err := c.SlaveRecv(i)
+		if err != nil {
+			return err
+		}
+		b := v.([2]int)
+		return c.SlaveSend(i, epChunk(b[0], b[1]))
+	}
+	steps, err := runMasterSlaves(variant, slaves, false, DefaultReoOptions, master, slave)
+	if err != nil {
+		return nil, err
+	}
+	res.Steps = steps
+	res.Checksum = total.checksum()
+	res.Verified = closeEnough(res.Checksum, want) && total.Pairs > 0
+	if !res.Verified {
+		return res, fmt.Errorf("EP: checksum %g, want %g", res.Checksum, want)
+	}
+	return res, nil
+}

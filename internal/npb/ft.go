@@ -1,0 +1,280 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FT is the 3D FFT kernel: a forward 3D FFT of a pseudorandom complex
+// field, followed by several evolution steps in the spectral domain, each
+// checksummed. Slaves own slabs; 1D line FFTs along each axis are
+// partitioned so that every line is owned by exactly one slave, with a
+// scatter/gather barrier between axis passes (the shared-array analogue of
+// NPB's transpose steps).
+type FT struct{}
+
+// NewFT returns the FT kernel.
+func NewFT() *FT { return &FT{} }
+
+// Name returns "FT".
+func (*FT) Name() string { return "FT" }
+
+type ftParams struct {
+	n     int // cube edge (power of two)
+	iters int
+}
+
+func ftSizes(c Class) ftParams {
+	switch c {
+	case ClassS:
+		return ftParams{n: 16, iters: 2}
+	case ClassW:
+		return ftParams{n: 32, iters: 3}
+	case ClassA:
+		return ftParams{n: 64, iters: 4}
+	case ClassB:
+		return ftParams{n: 64, iters: 12}
+	default:
+		return ftParams{n: 128, iters: 6}
+	}
+}
+
+// fft1 performs an in-place iterative radix-2 FFT on a of length n=2^k;
+// invert selects the inverse transform (unscaled).
+func fft1(a []complex128, invert bool) {
+	n := len(a)
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if invert {
+			ang = -ang
+		}
+		wl := cmplx.Rect(1, ang)
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := a[i+j]
+				v := a[i+j+length/2] * w
+				a[i+j] = u + v
+				a[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// ftField is the shared cube, index (x*n+y)*n+z.
+type ftField struct {
+	n int
+	v []complex128
+}
+
+func newFTField(n int) *ftField { return &ftField{n: n, v: make([]complex128, n*n*n)} }
+
+func ftInit(f *ftField) {
+	r := NewRand(314159265)
+	for i := range f.v {
+		f.v[i] = complex(r.Next()-0.5, r.Next()-0.5)
+	}
+}
+
+// ftAxisPass FFTs all lines along the given axis whose owning index lies
+// in [lo,hi). Ownership: z-axis lines owned by x; y-axis lines owned by
+// x; x-axis lines owned by y — each line is touched by exactly one slave.
+func ftAxisPass(f *ftField, axis int, invert bool, lo, hi int) {
+	n := f.n
+	line := make([]complex128, n)
+	switch axis {
+	case 2: // z lines: fixed (x,y); owner = x
+		for x := lo; x < hi; x++ {
+			for y := 0; y < n; y++ {
+				base := (x*n + y) * n
+				copy(line, f.v[base:base+n])
+				fft1(line, invert)
+				copy(f.v[base:base+n], line)
+			}
+		}
+	case 1: // y lines: fixed (x,z); owner = x
+		for x := lo; x < hi; x++ {
+			for z := 0; z < n; z++ {
+				for y := 0; y < n; y++ {
+					line[y] = f.v[(x*n+y)*n+z]
+				}
+				fft1(line, invert)
+				for y := 0; y < n; y++ {
+					f.v[(x*n+y)*n+z] = line[y]
+				}
+			}
+		}
+	case 0: // x lines: fixed (y,z); owner = y
+		for y := lo; y < hi; y++ {
+			for z := 0; z < n; z++ {
+				for x := 0; x < n; x++ {
+					line[x] = f.v[(x*n+y)*n+z]
+				}
+				fft1(line, invert)
+				for x := 0; x < n; x++ {
+					f.v[(x*n+y)*n+z] = line[x]
+				}
+			}
+		}
+	}
+}
+
+// ftEvolve multiplies the spectrum slab by the evolution factors for
+// step t.
+func ftEvolve(f *ftField, t int, lo, hi int) {
+	n := f.n
+	alpha := 1e-6
+	for x := lo; x < hi; x++ {
+		kx := x
+		if kx > n/2 {
+			kx -= n
+		}
+		for y := 0; y < n; y++ {
+			ky := y
+			if ky > n/2 {
+				ky -= n
+			}
+			for z := 0; z < n; z++ {
+				kz := z
+				if kz > n/2 {
+					kz -= n
+				}
+				k2 := float64(kx*kx + ky*ky + kz*kz)
+				f.v[(x*n+y)*n+z] *= complex(math.Exp(-4*alpha*math.Pi*math.Pi*k2*float64(t+1)), 0)
+			}
+		}
+	}
+}
+
+// ftChecksum samples 64 spectrum entries along a fixed stride.
+func ftChecksum(f *ftField) complex128 {
+	var s complex128
+	n3 := len(f.v)
+	for j := 1; j <= 64; j++ {
+		s += f.v[(j*j*31)%n3]
+	}
+	return s
+}
+
+// ftOp is one broadcast phase.
+type ftOp struct {
+	Kind   string // fft | evolve | stop
+	Axis   int
+	Invert bool
+	T      int
+	F      *ftField
+}
+
+func ftApply(op ftOp, slaves, slave int) {
+	lo, hi := splitRange(op.F.n, slaves, slave)
+	switch op.Kind {
+	case "fft":
+		ftAxisPass(op.F, op.Axis, op.Invert, lo, hi)
+	case "evolve":
+		ftEvolve(op.F, op.T, lo, hi)
+	}
+}
+
+// ftSequence is the phase list of the whole benchmark run.
+func ftSequence(iters int) []ftOp {
+	ops := []ftOp{
+		{Kind: "fft", Axis: 2}, {Kind: "fft", Axis: 1}, {Kind: "fft", Axis: 0},
+	}
+	for t := 0; t < iters; t++ {
+		ops = append(ops, ftOp{Kind: "evolve", T: t})
+	}
+	return ops
+}
+
+func ftRun(prm ftParams, apply func(op ftOp) error) (*ftField, error) {
+	f := newFTField(prm.n)
+	ftInit(f)
+	for _, op := range ftSequence(prm.iters) {
+		op.F = f
+		if err := apply(op); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// Run executes FT.
+func (p *FT) Run(class Class, variant Variant, slaves int) (*Result, error) {
+	prm := ftSizes(class)
+	want := cachedSerial("FT/"+class.String(), func() float64 {
+		serialF, _ := ftRun(prm, func(op ftOp) error { ftApply(op, 1, 0); return nil })
+		return cmplx.Abs(ftChecksum(serialF))
+	})
+	res := &Result{Program: p.Name(), Class: class, Variant: variant, Slaves: slaves}
+	if variant == Serial {
+		res.Checksum = want
+		res.Verified = true
+		return res, nil
+	}
+
+	var got float64
+	master := func(c Comm) error {
+		f, err := ftRun(prm, func(op ftOp) error {
+			for i := 0; i < slaves; i++ {
+				if err := c.SendToSlave(i, op); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < slaves; i++ {
+				if _, err := c.RecvFromSlave(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		got = cmplx.Abs(ftChecksum(f))
+		for i := 0; i < slaves; i++ {
+			if err := c.SendToSlave(i, ftOp{Kind: "stop"}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	slave := func(c PipeComm, i int) error {
+		for {
+			v, err := c.SlaveRecv(i)
+			if err != nil {
+				return err
+			}
+			op := v.(ftOp)
+			if op.Kind == "stop" {
+				return nil
+			}
+			ftApply(op, slaves, i)
+			if err := c.SlaveSend(i, struct{}{}); err != nil {
+				return err
+			}
+		}
+	}
+	steps, err := runMasterSlaves(variant, slaves, false, DefaultReoOptions, master, slave)
+	if err != nil {
+		return nil, err
+	}
+	res.Steps = steps
+	res.Checksum = got
+	res.Verified = closeEnough(got, want)
+	if !res.Verified {
+		return res, fmt.Errorf("FT: checksum %g, want %g", got, want)
+	}
+	return res, nil
+}

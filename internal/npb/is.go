@@ -1,0 +1,176 @@
+package npb
+
+import "fmt"
+
+// IS is the integer-sort kernel: rank a stream of uniformly distributed
+// integer keys by bucket counting. Communication: slaves histogram their
+// key chunks, the master reduces the histograms into global bucket
+// offsets, and slaves then rank their buckets — two scatter/gather rounds.
+type IS struct{}
+
+// NewIS returns the IS kernel.
+func NewIS() *IS { return &IS{} }
+
+// Name returns "IS".
+func (*IS) Name() string { return "IS" }
+
+const (
+	isSeed    = 314159265
+	isMaxKey  = 1 << 11
+	isChkStep = 1021 // stride for the rank checksum (prime)
+)
+
+func isKeys(c Class) int {
+	switch c {
+	case ClassS:
+		return 1 << 14
+	case ClassW:
+		return 1 << 16
+	case ClassA:
+		return 1 << 18
+	case ClassB:
+		return 1 << 20
+	default:
+		return 1 << 22
+	}
+}
+
+// isKeyAt deterministically generates the k-th key of the stream.
+func isGenChunk(lo, hi int) []int32 {
+	r := NewRand(isSeed)
+	r.Skip(uint64(lo))
+	out := make([]int32, hi-lo)
+	for i := range out {
+		out[i] = int32(r.Next() * isMaxKey)
+	}
+	return out
+}
+
+// isHistogram counts keys per value.
+func isHistogram(keys []int32) []int64 {
+	h := make([]int64, isMaxKey)
+	for _, k := range keys {
+		h[k]++
+	}
+	return h
+}
+
+// isChecksum computes a deterministic function of the sorted key stream
+// from the global histogram: for every key value v occupying positions
+// [off, off+cnt) of the sorted order, add v multiplied by the number of
+// checkpoint positions (multiples of isChkStep) inside the range.
+func isChecksum(hist []int64, valueLo, valueHi int, prefix []int64) float64 {
+	var s float64
+	for v := valueLo; v < valueHi; v++ {
+		off := prefix[v]
+		cnt := hist[v]
+		if cnt == 0 {
+			continue
+		}
+		// Checkpoints in [off, off+cnt): ceil division bookkeeping.
+		first := (off + isChkStep - 1) / isChkStep
+		last := (off + cnt - 1) / isChkStep
+		if k := last - first + 1; k > 0 {
+			s += float64(v) * float64(k)
+		}
+	}
+	return s
+}
+
+func isPrefix(hist []int64) []int64 {
+	prefix := make([]int64, len(hist)+1)
+	for v := 0; v < len(hist); v++ {
+		prefix[v+1] = prefix[v] + hist[v]
+	}
+	return prefix
+}
+
+// isRankJob is the message of IS round 2.
+type isRankJob struct {
+	Hist   []int64
+	Prefix []int64
+	Lo, Hi int
+}
+
+func isSerial(class Class) float64 {
+	n := isKeys(class)
+	hist := isHistogram(isGenChunk(0, n))
+	return isChecksum(hist, 0, isMaxKey, isPrefix(hist))
+}
+
+// Run executes IS.
+func (p *IS) Run(class Class, variant Variant, slaves int) (*Result, error) {
+	want := cachedSerial("IS/"+class.String(), func() float64 { return isSerial(class) })
+	res := &Result{Program: p.Name(), Class: class, Variant: variant, Slaves: slaves}
+	if variant == Serial {
+		res.Checksum = want
+		res.Verified = true
+		return res, nil
+	}
+
+	n := isKeys(class)
+	var checksum float64
+	master := func(c Comm) error {
+		// Round 1: scatter key ranges, gather histograms.
+		for i := 0; i < slaves; i++ {
+			lo, hi := splitRange(n, slaves, i)
+			if err := c.SendToSlave(i, [2]int{lo, hi}); err != nil {
+				return err
+			}
+		}
+		global := make([]int64, isMaxKey)
+		for i := 0; i < slaves; i++ {
+			v, err := c.RecvFromSlave(i)
+			if err != nil {
+				return err
+			}
+			for k, cnt := range v.([]int64) {
+				global[k] += cnt
+			}
+		}
+		prefix := isPrefix(global)
+		// Round 2: scatter bucket-value ranges for ranking, gather
+		// partial checksums.
+		for i := 0; i < slaves; i++ {
+			lo, hi := splitRange(isMaxKey, slaves, i)
+			if err := c.SendToSlave(i, isRankJob{Hist: global, Prefix: prefix, Lo: lo, Hi: hi}); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < slaves; i++ {
+			v, err := c.RecvFromSlave(i)
+			if err != nil {
+				return err
+			}
+			checksum += v.(float64)
+		}
+		return nil
+	}
+	slave := func(c PipeComm, i int) error {
+		v, err := c.SlaveRecv(i)
+		if err != nil {
+			return err
+		}
+		b := v.([2]int)
+		if err := c.SlaveSend(i, isHistogram(isGenChunk(b[0], b[1]))); err != nil {
+			return err
+		}
+		v, err = c.SlaveRecv(i)
+		if err != nil {
+			return err
+		}
+		job := v.(isRankJob)
+		return c.SlaveSend(i, isChecksum(job.Hist, job.Lo, job.Hi, job.Prefix))
+	}
+	steps, err := runMasterSlaves(variant, slaves, false, DefaultReoOptions, master, slave)
+	if err != nil {
+		return nil, err
+	}
+	res.Steps = steps
+	res.Checksum = checksum
+	res.Verified = closeEnough(checksum, want)
+	if !res.Verified {
+		return res, fmt.Errorf("IS: checksum %g, want %g", checksum, want)
+	}
+	return res, nil
+}

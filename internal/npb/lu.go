@@ -1,0 +1,289 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+)
+
+// LU is the SSOR application benchmark: symmetric successive
+// over-relaxation sweeps on a 2D 5-point Poisson problem. The forward
+// (lower-triangular) sweep carries a true data dependency from row i-1 to
+// row i, so row blocks owned by consecutive slaves form a software
+// pipeline over column blocks; the backward sweep pipelines in the
+// opposite direction. Per iteration the master only launches the sweep
+// and reduces the residual — "master–slaves and pipeline" (Fig. 13,
+// right panels).
+type LU struct{}
+
+// NewLU returns the LU application.
+func NewLU() *LU { return &LU{} }
+
+// Name returns "LU".
+func (*LU) Name() string { return "LU" }
+
+type luParams struct {
+	n     int
+	iters int
+	omega float64
+}
+
+func luSizes(c Class) luParams {
+	switch c {
+	case ClassS:
+		return luParams{n: 32, iters: 4, omega: 1.2}
+	case ClassW:
+		return luParams{n: 64, iters: 6, omega: 1.2}
+	case ClassA:
+		return luParams{n: 128, iters: 8, omega: 1.2}
+	case ClassB:
+		return luParams{n: 256, iters: 10, omega: 1.2}
+	default:
+		return luParams{n: 512, iters: 12, omega: 1.2}
+	}
+}
+
+// luGrid holds the shared state: solution u and right-hand side b,
+// both n×n row-major.
+type luGrid struct {
+	n    int
+	u, b []float64
+}
+
+func newLUGrid(n int) *luGrid {
+	g := &luGrid{n: n, u: make([]float64, n*n), b: make([]float64, n*n)}
+	r := NewRand(314159265)
+	for i := range g.b {
+		g.b[i] = r.Next() - 0.5
+	}
+	return g
+}
+
+// luColBlocks is the pipeline granularity.
+const luColBlocks = 4
+
+// luForwardRows applies the forward SOR update to rows [rlo,rhi) and
+// columns [clo,chi), in row-major order (Gauss-Seidel: reads already
+// updated west/north neighbors).
+func (g *luGrid) luForwardRows(rlo, rhi, clo, chi int, omega float64) {
+	n := g.n
+	for i := rlo; i < rhi; i++ {
+		for j := clo; j < chi; j++ {
+			var west, north, east, south float64
+			if j > 0 {
+				west = g.u[i*n+j-1]
+			}
+			if i > 0 {
+				north = g.u[(i-1)*n+j]
+			}
+			if j < n-1 {
+				east = g.u[i*n+j+1]
+			}
+			if i < n-1 {
+				south = g.u[(i+1)*n+j]
+			}
+			gs := (g.b[i*n+j] + west + north + east + south) / 4
+			g.u[i*n+j] = (1-omega)*g.u[i*n+j] + omega*gs
+		}
+	}
+}
+
+// luBackwardRows is the mirrored update in reverse row/column order.
+func (g *luGrid) luBackwardRows(rlo, rhi, clo, chi int, omega float64) {
+	n := g.n
+	for i := rhi - 1; i >= rlo; i-- {
+		for j := chi - 1; j >= clo; j-- {
+			var west, north, east, south float64
+			if j > 0 {
+				west = g.u[i*n+j-1]
+			}
+			if i > 0 {
+				north = g.u[(i-1)*n+j]
+			}
+			if j < n-1 {
+				east = g.u[i*n+j+1]
+			}
+			if i < n-1 {
+				south = g.u[(i+1)*n+j]
+			}
+			gs := (g.b[i*n+j] + west + north + east + south) / 4
+			g.u[i*n+j] = (1-omega)*g.u[i*n+j] + omega*gs
+		}
+	}
+}
+
+// luResidualRows returns the squared residual over rows [rlo,rhi).
+func (g *luGrid) luResidualRows(rlo, rhi int) float64 {
+	n := g.n
+	var s float64
+	for i := rlo; i < rhi; i++ {
+		for j := 0; j < n; j++ {
+			var west, north, east, south float64
+			if j > 0 {
+				west = g.u[i*n+j-1]
+			}
+			if i > 0 {
+				north = g.u[(i-1)*n+j]
+			}
+			if j < n-1 {
+				east = g.u[i*n+j+1]
+			}
+			if i < n-1 {
+				south = g.u[(i+1)*n+j]
+			}
+			r := g.b[i*n+j] + west + north + east + south - 4*g.u[i*n+j]
+			s += r * r
+		}
+	}
+	return s
+}
+
+func luSerial(prm luParams) float64 {
+	g := newLUGrid(prm.n)
+	var resid float64
+	for it := 0; it < prm.iters; it++ {
+		// Same column-block order as the pipelined version, so results
+		// agree bit for bit.
+		for cb := 0; cb < luColBlocks; cb++ {
+			clo, chi := splitRange(prm.n, luColBlocks, cb)
+			g.luForwardRows(0, prm.n, clo, chi, prm.omega)
+		}
+		for cb := luColBlocks - 1; cb >= 0; cb-- {
+			clo, chi := splitRange(prm.n, luColBlocks, cb)
+			g.luBackwardRows(0, prm.n, clo, chi, prm.omega)
+		}
+		resid = math.Sqrt(g.luResidualRows(0, prm.n))
+	}
+	return resid
+}
+
+// The serial sweeps above follow the same column-block schedule as the
+// pipelined version. Within one sweep, every cell reads its west and
+// north neighbors post-update and its east and south neighbors
+// pre-update under both schedules, so all variants compute bit-identical
+// results regardless of the number of slaves.
+
+// luMsg is the master broadcast.
+type luMsg struct {
+	Op string // "iter" or "stop"
+	G  *luGrid
+}
+
+// Run executes LU.
+func (p *LU) Run(class Class, variant Variant, slaves int) (*Result, error) {
+	prm := luSizes(class)
+	want := cachedSerial("LU/"+class.String(), func() float64 { return luSerial(prm) })
+	res := &Result{Program: p.Name(), Class: class, Variant: variant, Slaves: slaves}
+	if variant == Serial {
+		res.Checksum = want
+		res.Verified = true
+		return res, nil
+	}
+
+	g := newLUGrid(prm.n)
+	var resid float64
+	master := func(c Comm) error {
+		for it := 0; it < prm.iters; it++ {
+			for i := 0; i < slaves; i++ {
+				if err := c.SendToSlave(i, luMsg{Op: "iter", G: g}); err != nil {
+					return err
+				}
+			}
+			// Barrier: all sweeps complete before anyone reads
+			// neighbor rows for the residual.
+			for i := 0; i < slaves; i++ {
+				if _, err := c.RecvFromSlave(i); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < slaves; i++ {
+				if err := c.SendToSlave(i, luMsg{Op: "residual"}); err != nil {
+					return err
+				}
+			}
+			var sum float64
+			for i := 0; i < slaves; i++ {
+				v, err := c.RecvFromSlave(i)
+				if err != nil {
+					return err
+				}
+				sum += v.(float64)
+			}
+			resid = math.Sqrt(sum)
+		}
+		for i := 0; i < slaves; i++ {
+			if err := c.SendToSlave(i, luMsg{Op: "stop"}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	slave := func(c PipeComm, i int) error {
+		var gg *luGrid
+		for {
+			v, err := c.SlaveRecv(i)
+			if err != nil {
+				return err
+			}
+			msg := v.(luMsg)
+			switch msg.Op {
+			case "stop":
+				return nil
+			case "residual":
+				rlo, rhi := splitRange(gg.n, slaves, i)
+				if err := c.SlaveSend(i, gg.luResidualRows(rlo, rhi)); err != nil {
+					return err
+				}
+				continue
+			}
+			gg = msg.G
+			rlo, rhi := splitRange(gg.n, slaves, i)
+			// Forward sweep: wavefront over column blocks, tokens
+			// downstream.
+			for cb := 0; cb < luColBlocks; cb++ {
+				clo, chi := splitRange(gg.n, luColBlocks, cb)
+				if i > 0 {
+					if _, err := c.PipeRecv(i); err != nil {
+						return err
+					}
+				}
+				gg.luForwardRows(rlo, rhi, clo, chi, prm.omega)
+				if i < slaves-1 {
+					if err := c.PipeSend(i, cb); err != nil {
+						return err
+					}
+				}
+			}
+			// Backward sweep: reverse wavefront, tokens upstream.
+			for cb := luColBlocks - 1; cb >= 0; cb-- {
+				clo, chi := splitRange(gg.n, luColBlocks, cb)
+				if i < slaves-1 {
+					if _, err := c.PipeRecvUp(i); err != nil {
+						return err
+					}
+				}
+				gg.luBackwardRows(rlo, rhi, clo, chi, prm.omega)
+				if i > 0 {
+					if err := c.PipeSendUp(i, cb); err != nil {
+						return err
+					}
+				}
+			}
+			// Sweep-completion barrier; the residual follows in its
+			// own round once every slave has finished writing.
+			if err := c.SlaveSend(i, struct{}{}); err != nil {
+				return err
+			}
+		}
+	}
+	steps, err := runMasterSlaves(variant, slaves, true, DefaultReoOptions, master, slave)
+	if err != nil {
+		return nil, err
+	}
+	res.Steps = steps
+	res.Checksum = resid
+	res.Verified = closeEnough(resid, want)
+	if !res.Verified {
+		return res, fmt.Errorf("LU: residual %g, want %g", resid, want)
+	}
+	return res, nil
+}

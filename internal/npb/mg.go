@@ -1,0 +1,325 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+)
+
+// MG is the multigrid kernel: V-cycles of the NPB MG scheme (residual,
+// restriction, prolongation, point smoothing) on a 3D Poisson problem.
+// Slaves own z-slabs of every grid level; arrays are shared (as in the
+// Java-threads NPB) and every grid operation is one scatter/gather round:
+// the master broadcasts the operation, slaves apply it to their slab, and
+// the gather acts as the barrier between operations.
+type MG struct{}
+
+// NewMG returns the MG kernel.
+func NewMG() *MG { return &MG{} }
+
+// Name returns "MG".
+func (*MG) Name() string { return "MG" }
+
+type mgParams struct {
+	size  int // grid edge (power of 2)
+	iters int
+}
+
+func mgSizes(c Class) mgParams {
+	switch c {
+	case ClassS:
+		return mgParams{size: 16, iters: 2}
+	case ClassW:
+		return mgParams{size: 32, iters: 3}
+	case ClassA:
+		return mgParams{size: 64, iters: 4}
+	case ClassB:
+		return mgParams{size: 64, iters: 12}
+	default:
+		return mgParams{size: 128, iters: 6}
+	}
+}
+
+// grid3 is a dense 3D array with 1-cell borders handled by clamping.
+type grid3 struct {
+	n int
+	v []float64
+}
+
+func newGrid3(n int) *grid3 { return &grid3{n: n, v: make([]float64, n*n*n)} }
+
+func (g *grid3) at(x, y, z int) float64 {
+	if x < 0 || y < 0 || z < 0 || x >= g.n || y >= g.n || z >= g.n {
+		return 0 // homogeneous Dirichlet boundary
+	}
+	return g.v[(x*g.n+y)*g.n+z]
+}
+
+func (g *grid3) set(x, y, z int, val float64) { g.v[(x*g.n+y)*g.n+z] = val }
+
+// mgLevels is the grid hierarchy: level 0 is finest.
+type mgLevels struct {
+	u, r, tmp []*grid3
+	rhs       *grid3
+}
+
+func newMGLevels(n int) *mgLevels {
+	var l mgLevels
+	for s := n; s >= 4; s /= 2 {
+		l.u = append(l.u, newGrid3(s))
+		l.r = append(l.r, newGrid3(s))
+		l.tmp = append(l.tmp, newGrid3(s))
+	}
+	l.rhs = newGrid3(n)
+	return &l
+}
+
+// mgInitRHS places the NPB-style +1/-1 point charges deterministically.
+func mgInitRHS(rhs *grid3) {
+	r := NewRand(314159265)
+	n := rhs.n
+	for k := 0; k < 10; k++ {
+		x := int(r.Next() * float64(n))
+		y := int(r.Next() * float64(n))
+		z := int(r.Next() * float64(n))
+		val := 1.0
+		if k%2 == 1 {
+			val = -1
+		}
+		rhs.set(x, y, z, val)
+	}
+}
+
+// The four grid operations, each applied to an x-slab [lo,hi).
+
+// mgResidual: r = rhs - A·u with the 7-point Laplacian.
+func mgResidual(u, rhs, r *grid3, lo, hi int) {
+	n := u.n
+	for x := lo; x < hi; x++ {
+		for y := 0; y < n; y++ {
+			for z := 0; z < n; z++ {
+				au := 6*u.at(x, y, z) - u.at(x-1, y, z) - u.at(x+1, y, z) -
+					u.at(x, y-1, z) - u.at(x, y+1, z) - u.at(x, y, z-1) - u.at(x, y, z+1)
+				r.set(x, y, z, rhs.at(x, y, z)-au)
+			}
+		}
+	}
+}
+
+// mgRestrict: coarse = average of fine (full weighting simplified to
+// 2x2x2 box averaging).
+func mgRestrict(fine, coarse *grid3, lo, hi int) {
+	for x := lo; x < hi; x++ {
+		for y := 0; y < coarse.n; y++ {
+			for z := 0; z < coarse.n; z++ {
+				var s float64
+				for dx := 0; dx < 2; dx++ {
+					for dy := 0; dy < 2; dy++ {
+						for dz := 0; dz < 2; dz++ {
+							s += fine.at(2*x+dx, 2*y+dy, 2*z+dz)
+						}
+					}
+				}
+				coarse.set(x, y, z, s/8)
+			}
+		}
+	}
+}
+
+// mgProlongAdd: fine += piecewise-constant interpolation of coarse.
+func mgProlongAdd(coarse, fine *grid3, lo, hi int) {
+	for x := lo; x < hi; x++ {
+		for y := 0; y < fine.n; y++ {
+			for z := 0; z < fine.n; z++ {
+				fine.v[(x*fine.n+y)*fine.n+z] += coarse.at(x/2, y/2, z/2)
+			}
+		}
+	}
+}
+
+// mgSmooth: weighted-Jacobi step u' = u + w·(r - A·u)/6 written into out
+// (separate arrays keep slab writes race-free).
+func mgSmooth(u, r, out *grid3, lo, hi int) {
+	n := u.n
+	const w = 0.8
+	for x := lo; x < hi; x++ {
+		for y := 0; y < n; y++ {
+			for z := 0; z < n; z++ {
+				au := 6*u.at(x, y, z) - u.at(x-1, y, z) - u.at(x+1, y, z) -
+					u.at(x, y-1, z) - u.at(x, y+1, z) - u.at(x, y, z-1) - u.at(x, y, z+1)
+				out.set(x, y, z, u.at(x, y, z)+w*(r.at(x, y, z)-au)/6)
+			}
+		}
+	}
+}
+
+// mgOp is a broadcast grid operation.
+type mgOp struct {
+	Kind   string // residual | restrict | prolong | smooth | copy | zero | stop
+	Level  int
+	SrcIsR bool
+	L      *mgLevels
+}
+
+// mgApply runs one operation on an x-slab of the given level.
+func mgApply(op mgOp, slaves, slave int) {
+	l := op.L
+	lev := op.Level
+	switch op.Kind {
+	case "residual":
+		lo, hi := splitRange(l.u[lev].n, slaves, slave)
+		rhs := l.rhs
+		if lev > 0 {
+			rhs = l.r[lev] // on coarse levels the restricted residual is the rhs
+		}
+		// Write into tmp to keep rhs intact, then the caller copies.
+		mgResidual(l.u[lev], rhs, l.tmp[lev], lo, hi)
+	case "restrict":
+		lo, hi := splitRange(l.u[lev+1].n, slaves, slave)
+		mgRestrict(l.tmp[lev], l.r[lev+1], lo, hi)
+	case "prolong":
+		lo, hi := splitRange(l.u[lev].n, slaves, slave)
+		mgProlongAdd(l.u[lev+1], l.u[lev], lo, hi)
+	case "smooth":
+		lo, hi := splitRange(l.u[lev].n, slaves, slave)
+		rhs := l.rhs
+		if lev > 0 {
+			rhs = l.r[lev]
+		}
+		mgSmooth(l.u[lev], rhs, l.tmp[lev], lo, hi)
+	case "copy":
+		lo, hi := splitRange(l.u[lev].n, slaves, slave)
+		n := l.u[lev].n
+		copy(l.u[lev].v[lo*n*n:hi*n*n], l.tmp[lev].v[lo*n*n:hi*n*n])
+	case "zero":
+		lo, hi := splitRange(l.u[lev].n, slaves, slave)
+		n := l.u[lev].n
+		s := l.u[lev].v[lo*n*n : hi*n*n]
+		for i := range s {
+			s[i] = 0
+		}
+	}
+}
+
+// mgSequence yields the operation list of one V-cycle.
+func mgSequence(levels int) []mgOp {
+	var ops []mgOp
+	// Descend: smooth, residual, restrict.
+	for lev := 0; lev < levels-1; lev++ {
+		ops = append(ops,
+			mgOp{Kind: "smooth", Level: lev}, mgOp{Kind: "copy", Level: lev},
+			mgOp{Kind: "residual", Level: lev},
+			mgOp{Kind: "restrict", Level: lev},
+			mgOp{Kind: "zero", Level: lev + 1},
+		)
+	}
+	// Bottom: a few smoothings.
+	for k := 0; k < 4; k++ {
+		ops = append(ops,
+			mgOp{Kind: "smooth", Level: levels - 1}, mgOp{Kind: "copy", Level: levels - 1})
+	}
+	// Ascend: prolong, smooth.
+	for lev := levels - 2; lev >= 0; lev-- {
+		ops = append(ops,
+			mgOp{Kind: "prolong", Level: lev},
+			mgOp{Kind: "smooth", Level: lev}, mgOp{Kind: "copy", Level: lev},
+		)
+	}
+	return ops
+}
+
+// mgChecksum is the L2 norm of the final fine-grid residual.
+func mgChecksum(l *mgLevels) float64 {
+	mgResidual(l.u[0], l.rhs, l.tmp[0], 0, l.u[0].n)
+	var s float64
+	for _, v := range l.tmp[0].v {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func mgRun(prm mgParams, apply func(op mgOp) error) (*mgLevels, error) {
+	l := newMGLevels(prm.size)
+	mgInitRHS(l.rhs)
+	levels := len(l.u)
+	for it := 0; it < prm.iters; it++ {
+		for _, op := range mgSequence(levels) {
+			op.L = l
+			if err := apply(op); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return l, nil
+}
+
+// Run executes MG.
+func (m *MG) Run(class Class, variant Variant, slaves int) (*Result, error) {
+	prm := mgSizes(class)
+	want := cachedSerial("MG/"+class.String(), func() float64 {
+		serialLevels, _ := mgRun(prm, func(op mgOp) error {
+			mgApply(op, 1, 0)
+			return nil
+		})
+		return mgChecksum(serialLevels)
+	})
+	res := &Result{Program: m.Name(), Class: class, Variant: variant, Slaves: slaves}
+	if variant == Serial {
+		res.Checksum = want
+		res.Verified = true
+		return res, nil
+	}
+
+	var got float64
+	master := func(c Comm) error {
+		l, err := mgRun(prm, func(op mgOp) error {
+			for i := 0; i < slaves; i++ {
+				if err := c.SendToSlave(i, op); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < slaves; i++ {
+				if _, err := c.RecvFromSlave(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		got = mgChecksum(l)
+		for i := 0; i < slaves; i++ {
+			if err := c.SendToSlave(i, mgOp{Kind: "stop"}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	slave := func(c PipeComm, i int) error {
+		for {
+			v, err := c.SlaveRecv(i)
+			if err != nil {
+				return err
+			}
+			op := v.(mgOp)
+			if op.Kind == "stop" {
+				return nil
+			}
+			mgApply(op, slaves, i)
+			if err := c.SlaveSend(i, struct{}{}); err != nil {
+				return err
+			}
+		}
+	}
+	steps, err := runMasterSlaves(variant, slaves, false, DefaultReoOptions, master, slave)
+	if err != nil {
+		return nil, err
+	}
+	res.Steps = steps
+	res.Checksum = got
+	res.Verified = closeEnough(got, want)
+	if !res.Verified {
+		return res, fmt.Errorf("MG: residual %g, want %g", got, want)
+	}
+	return res, nil
+}

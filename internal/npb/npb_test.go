@@ -1,0 +1,170 @@
+package npb_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/npb"
+)
+
+func TestLCGMatchesIteration(t *testing.T) {
+	// Skip(n) must equal n sequential steps.
+	a := npb.NewRand(271828183)
+	for i := 0; i < 1000; i++ {
+		a.Next()
+	}
+	b := npb.NewRand(271828183)
+	b.Skip(1000)
+	if a.Raw() != b.Raw() {
+		t.Fatalf("skip mismatch: %d vs %d", a.Raw(), b.Raw())
+	}
+}
+
+func TestLCGRange(t *testing.T) {
+	r := npb.NewRand(314159265)
+	for i := 0; i < 10000; i++ {
+		v := r.Next()
+		if v <= 0 || v >= 1 {
+			t.Fatalf("LCG value %g out of (0,1)", v)
+		}
+	}
+}
+
+func TestLCGSkipZeroAndOne(t *testing.T) {
+	a := npb.NewRand(99)
+	b := npb.NewRand(99)
+	b.Skip(0)
+	if a.Raw() != b.Raw() {
+		t.Fatal("skip(0) changed state")
+	}
+	a.Next()
+	b.Skip(1)
+	if a.Raw() != b.Raw() {
+		t.Fatal("skip(1) != one step")
+	}
+}
+
+// TestAllProgramsAllVariants verifies every NPB program at class S, for
+// both coordination variants and several slave counts, against its serial
+// reference — the correctness backbone of experiment E2-E4.
+func TestAllProgramsAllVariants(t *testing.T) {
+	for _, prog := range npb.Programs() {
+		prog := prog
+		t.Run(prog.Name(), func(t *testing.T) {
+			t.Parallel()
+			serial, err := prog.Run(npb.ClassS, npb.Serial, 1)
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			if !serial.Verified {
+				t.Fatal("serial not verified")
+			}
+			for _, variant := range []npb.Variant{npb.Orig, npb.Reo} {
+				for _, n := range []int{1, 2, 4} {
+					res, err := prog.Run(npb.ClassS, variant, n)
+					if err != nil {
+						t.Fatalf("%v N=%d: %v", variant, n, err)
+					}
+					if !res.Verified {
+						t.Errorf("%v N=%d: not verified (checksum %g vs serial %g)",
+							variant, n, res.Checksum, serial.Checksum)
+					}
+					if variant == npb.Reo && res.Steps == 0 {
+						t.Errorf("%v N=%d: no connector steps recorded", variant, n)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestClassWOneProgramEach spot-checks a larger class on the two Fig. 13
+// programs.
+func TestClassWFig13Programs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class W in -short mode")
+	}
+	for _, name := range []string{"CG", "LU"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := npb.ProgramByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, variant := range []npb.Variant{npb.Orig, npb.Reo} {
+				res, err := prog.Run(npb.ClassW, variant, 4)
+				if err != nil {
+					t.Fatalf("%v: %v", variant, err)
+				}
+				if !res.Verified {
+					t.Errorf("%v: not verified", variant)
+				}
+			}
+		})
+	}
+}
+
+func TestProgramByName(t *testing.T) {
+	names := []string{"EP", "IS", "CG", "MG", "FT", "LU", "BT", "SP"}
+	for _, n := range names {
+		if _, err := npb.ProgramByName(n); err != nil {
+			t.Errorf("missing program %s", n)
+		}
+	}
+	if _, err := npb.ProgramByName("XX"); err == nil {
+		t.Error("unknown program accepted")
+	}
+	if len(npb.Programs()) != 8 {
+		t.Errorf("programs = %d, want 8 (7 NPB + both BT and SP substitutes)", len(npb.Programs()))
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	for _, s := range []string{"S", "W", "A", "B", "C"} {
+		c, err := npb.ParseClass(s)
+		if err != nil || c.String() != s {
+			t.Errorf("ParseClass(%q) = %v, %v", s, c, err)
+		}
+	}
+	for _, s := range []string{"", "X", "SS"} {
+		if _, err := npb.ParseClass(s); err == nil {
+			t.Errorf("ParseClass(%q) accepted", s)
+		}
+	}
+}
+
+// TestReoCommPipeline checks the bidirectional pipeline lanes directly.
+func TestReoCommPipeline(t *testing.T) {
+	const n = 3
+	comm, err := npb.NewComm(npb.Reo, n, true, npb.ReoCommOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comm.Close()
+	done := make(chan error, 4)
+	go func() { done <- comm.PipeSend(0, "fwd") }()
+	go func() {
+		v, err := comm.PipeRecv(1)
+		if err == nil && v != "fwd" {
+			err = fmt.Errorf("fwd got %v", v)
+		}
+		done <- err
+	}()
+	go func() { done <- comm.PipeSendUp(2, "bwd") }()
+	go func() {
+		v, err := comm.PipeRecvUp(1)
+		if err == nil && v != "bwd" {
+			err = fmt.Errorf("bwd got %v", v)
+		}
+		done <- err
+	}()
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if comm.Steps() == 0 {
+		t.Error("no steps counted on reo comm")
+	}
+}

@@ -1,0 +1,302 @@
+package npb
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// --- tridiagonal solvers ---------------------------------------------------
+
+// denseTriSolve solves the same constant-coefficient system by dense
+// Gaussian elimination, as an oracle.
+func denseTriSolve(d []float64, lambda float64) []float64 {
+	n := len(d)
+	A := make([][]float64, n)
+	for i := range A {
+		A[i] = make([]float64, n)
+		A[i][i] = 1 + 2*lambda
+		if i > 0 {
+			A[i][i-1] = -lambda
+		}
+		if i < n-1 {
+			A[i][i+1] = -lambda
+		}
+	}
+	b := append([]float64(nil), d...)
+	for i := 0; i < n; i++ {
+		p := A[i][i]
+		for j := i; j < n; j++ {
+			A[i][j] /= p
+		}
+		b[i] /= p
+		for k := i + 1; k < n; k++ {
+			f := A[k][i]
+			if f == 0 {
+				continue
+			}
+			for j := i; j < n; j++ {
+				A[k][j] -= f * A[i][j]
+			}
+			b[k] -= f * b[i]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		x[i] = b[i]
+		for j := i + 1; j < n; j++ {
+			x[i] -= A[i][j] * x[j]
+		}
+	}
+	return x
+}
+
+func TestTriSolveAgainstDense(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	prop := func(nRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		lambda := 0.3
+		d := make([]float64, n)
+		for i := range d {
+			d[i] = r.Float64()*2 - 1
+		}
+		want := denseTriSolve(d, lambda)
+		got := append([]float64(nil), d...)
+		cp := make([]float64, n)
+		triSolve(got, cp, lambda)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBlockTriSolveResidual: verify A·x = d for the 2x2 block system by
+// recomputing the matrix-vector product.
+func TestBlockTriSolveResidual(t *testing.T) {
+	const n = 12
+	const lambda = 0.25
+	r := rand.New(rand.NewSource(9))
+	d := make([]float64, 2*n)
+	for i := range d {
+		d[i] = r.Float64()*2 - 1
+	}
+	x := append([]float64(nil), d...)
+	cp := make([]float64, 4*n)
+	blockTriSolve(x, cp, lambda)
+
+	// Recompute A·x with D = [[1+2λ, λ/2], [-λ/2, 1+2λ]], off-diag -λI.
+	d11, d12 := 1+2*lambda, lambda/2
+	d21, d22 := -lambda/2, 1+2*lambda
+	for i := 0; i < n; i++ {
+		gx := d11*x[2*i] + d12*x[2*i+1]
+		gy := d21*x[2*i] + d22*x[2*i+1]
+		if i > 0 {
+			gx += -lambda * x[2*(i-1)]
+			gy += -lambda * x[2*(i-1)+1]
+		}
+		if i < n-1 {
+			gx += -lambda * x[2*(i+1)]
+			gy += -lambda * x[2*(i+1)+1]
+		}
+		if math.Abs(gx-d[2*i]) > 1e-9 || math.Abs(gy-d[2*i+1]) > 1e-9 {
+			t.Fatalf("residual at point %d: (%g, %g)", i, gx-d[2*i], gy-d[2*i+1])
+		}
+	}
+}
+
+// --- FFT -------------------------------------------------------------------
+
+func TestFFTInverseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, n := range []int{2, 8, 64, 256} {
+		a := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range a {
+			a[i] = complex(r.Float64()-0.5, r.Float64()-0.5)
+			orig[i] = a[i]
+		}
+		fft1(a, false)
+		fft1(a, true)
+		for i := range a {
+			if cmplx.Abs(a[i]/complex(float64(n), 0)-orig[i]) > 1e-9 {
+				t.Fatalf("n=%d: round trip failed at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	const n = 128
+	a := make([]complex128, n)
+	var timeEnergy float64
+	for i := range a {
+		a[i] = complex(r.Float64()-0.5, r.Float64()-0.5)
+		timeEnergy += real(a[i])*real(a[i]) + imag(a[i])*imag(a[i])
+	}
+	fft1(a, false)
+	var freqEnergy float64
+	for i := range a {
+		freqEnergy += real(a[i])*real(a[i]) + imag(a[i])*imag(a[i])
+	}
+	if math.Abs(freqEnergy/float64(n)-timeEnergy) > 1e-9 {
+		t.Fatalf("Parseval violated: %g vs %g", freqEnergy/float64(n), timeEnergy)
+	}
+}
+
+func TestFFTKnownImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	a := make([]complex128, 16)
+	a[0] = 1
+	fft1(a, false)
+	for i, v := range a {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse FFT at %d = %v", i, v)
+		}
+	}
+}
+
+// --- multigrid -------------------------------------------------------------
+
+// TestMGConverges: V-cycles must reduce the fine-grid residual.
+func TestMGConverges(t *testing.T) {
+	prm := mgParams{size: 16, iters: 1}
+	l1, err := mgRun(prm, func(op mgOp) error { mgApply(op, 1, 0); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := mgChecksum(l1)
+	prm.iters = 4
+	l4, err := mgRun(prm, func(op mgOp) error { mgApply(op, 1, 0); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4 := mgChecksum(l4)
+	if !(r4 < r1) {
+		t.Errorf("V-cycles do not converge: r1=%g r4=%g", r1, r4)
+	}
+}
+
+// TestMGSlabDecompositionExact: applying operations in slabs yields
+// bit-identical grids to the serial application.
+func TestMGSlabDecompositionExact(t *testing.T) {
+	prm := mgParams{size: 16, iters: 2}
+	serial, _ := mgRun(prm, func(op mgOp) error { mgApply(op, 1, 0); return nil })
+	slabbed, _ := mgRun(prm, func(op mgOp) error {
+		for s := 0; s < 4; s++ {
+			mgApply(op, 4, s)
+		}
+		return nil
+	})
+	for i := range serial.u[0].v {
+		if serial.u[0].v[i] != slabbed.u[0].v[i] {
+			t.Fatalf("slab decomposition diverges at %d", i)
+		}
+	}
+}
+
+// --- LU --------------------------------------------------------------------
+
+// TestLUConverges: SSOR residual decreases with iterations.
+func TestLUConverges(t *testing.T) {
+	p1 := luParams{n: 32, iters: 1, omega: 1.2}
+	p8 := luParams{n: 32, iters: 8, omega: 1.2}
+	if r1, r8 := luSerial(p1), luSerial(p8); !(r8 < r1) {
+		t.Errorf("SSOR not converging: %g -> %g", r1, r8)
+	}
+}
+
+// --- EP / IS ----------------------------------------------------------------
+
+// TestEPChunkAdditive: splitting the pair range must tally identically to
+// the whole range.
+func TestEPChunkAdditive(t *testing.T) {
+	const total = 1 << 12
+	whole := epChunk(0, total)
+	var sum epAccum
+	for i := 0; i < 8; i++ {
+		lo, hi := splitRange(total, 8, i)
+		sum.add(epChunk(lo, hi))
+	}
+	if whole.Pairs != sum.Pairs || whole.Q != sum.Q {
+		t.Fatalf("chunked tallies differ: %+v vs %+v", whole, sum)
+	}
+	if math.Abs(whole.Sx-sum.Sx) > 1e-9 || math.Abs(whole.Sy-sum.Sy) > 1e-9 {
+		t.Fatalf("chunked sums differ")
+	}
+}
+
+// TestISHistogramAdditive.
+func TestISHistogramAdditive(t *testing.T) {
+	const total = 1 << 12
+	whole := isHistogram(isGenChunk(0, total))
+	sum := make([]int64, isMaxKey)
+	for i := 0; i < 5; i++ {
+		lo, hi := splitRange(total, 5, i)
+		for k, c := range isHistogram(isGenChunk(lo, hi)) {
+			sum[k] += c
+		}
+	}
+	for k := range whole {
+		if whole[k] != sum[k] {
+			t.Fatalf("histogram differs at key %d", k)
+		}
+	}
+}
+
+// TestSplitRangeCovers: chunks tile [0,total) exactly.
+func TestSplitRangeCovers(t *testing.T) {
+	prop := func(totalRaw, nRaw uint8) bool {
+		total := int(totalRaw)
+		n := int(nRaw%16) + 1
+		prev := 0
+		for i := 0; i < n; i++ {
+			lo, hi := splitRange(total, n, i)
+			if lo != prev || hi < lo {
+				return false
+			}
+			prev = hi
+		}
+		return prev == total
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCGMatrixSymmetricSPD: the generated matrix is symmetric with a
+// dominant diagonal.
+func TestCGMatrixSymmetric(t *testing.T) {
+	a := cgMakeA(cgParams{n: 200, nzRow: 5, shift: 10})
+	get := func(i, j int) float64 {
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			if int(a.colIdx[k]) == j {
+				return a.val[k]
+			}
+		}
+		return 0
+	}
+	for i := 0; i < a.n; i++ {
+		var off float64
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			j := int(a.colIdx[k])
+			if j != i {
+				off += math.Abs(a.val[k])
+				if get(j, i) != a.val[k] {
+					t.Fatalf("asymmetry at (%d,%d)", i, j)
+				}
+			}
+		}
+		if get(i, i) <= off {
+			t.Fatalf("row %d not diagonally dominant", i)
+		}
+	}
+}

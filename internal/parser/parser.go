@@ -1,0 +1,703 @@
+// Package parser builds the AST of the textual connector language.
+//
+// Grammar (EBNF, '||'-style alternatives):
+//
+//	file     = { conndef | maindef } ;
+//	conndef  = IDENT "(" params ";" params ")" "=" expr ;
+//	param    = IDENT [ "[" "]" ] ;
+//	expr     = term { "mult" term } ;
+//	term     = invoke | prod | if | "(" expr ")" | "{" expr "}" ;
+//	invoke   = IDENT [ "." (IDENT | INT) ] "(" portargs ";" portargs ")" ;
+//	prod     = "prod" "(" IDENT ":" intexpr ".." intexpr ")" term ;
+//	if       = "if" "(" boolexpr ")" "{" expr "}"
+//	             [ "else" ( "{" expr "}" | if ) ] ;
+//	portarg  = IDENT { "[" intexpr [ ".." intexpr ] "]" } ;
+//	maindef  = "main" [ "(" [ IDENT { "," IDENT } ] ")" ] "="
+//	             invoke { "mult" invoke } "among" taskitem { "and" taskitem } ;
+//	taskitem = "forall" "(" IDENT ":" intexpr ".." intexpr ")"
+//	             ( taskitem | "{" taskitem { "and" taskitem } "}" )
+//	         | IDENT [ "." IDENT ] "(" [ portarg { "," portarg } ] ")" ;
+package parser
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/lexer"
+)
+
+// Error is a parse error with position.
+type Error struct {
+	Pos ast.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type parser struct {
+	toks []lexer.Token
+	i    int
+}
+
+// Parse parses a complete source file.
+func Parse(src string) (*ast.File, error) {
+	toks, err := lexer.All(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &ast.File{}
+	for p.peek().Kind != lexer.EOF {
+		if p.peek().Kind == lexer.KWMAIN {
+			m, err := p.mainDef()
+			if err != nil {
+				return nil, err
+			}
+			f.Mains = append(f.Mains, m)
+			continue
+		}
+		d, err := p.connDef()
+		if err != nil {
+			return nil, err
+		}
+		f.Defs = append(f.Defs, d)
+	}
+	return f, nil
+}
+
+// ParseExpr parses a standalone connector expression (used in tests).
+func ParseExpr(src string) (ast.Expr, error) {
+	toks, err := lexer.All(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != lexer.EOF {
+		return nil, p.errHere("trailing input after expression: %s", p.peek())
+	}
+	return e, nil
+}
+
+func (p *parser) peek() lexer.Token { return p.toks[p.i] }
+
+func (p *parser) at(k lexer.Kind) bool { return p.peek().Kind == k }
+
+func (p *parser) next() lexer.Token {
+	t := p.toks[p.i]
+	if t.Kind != lexer.EOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) accept(k lexer.Kind) (lexer.Token, bool) {
+	if p.at(k) {
+		return p.next(), true
+	}
+	return lexer.Token{}, false
+}
+
+func (p *parser) expect(k lexer.Kind) (lexer.Token, error) {
+	if t, ok := p.accept(k); ok {
+		return t, nil
+	}
+	return lexer.Token{}, p.errHere("expected %s, found %s", k, p.peek())
+}
+
+func (p *parser) errHere(format string, args ...any) error {
+	return &Error{Pos: p.peek().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) connDef() (*ast.ConnDef, error) {
+	name, err := p.expect(lexer.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.LPAREN); err != nil {
+		return nil, err
+	}
+	tails, err := p.params()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.SEMI); err != nil {
+		return nil, err
+	}
+	heads, err := p.params()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.RPAREN); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.ASSIGN); err != nil {
+		return nil, err
+	}
+	body, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.ConnDef{Name: name.Text, Tails: tails, Heads: heads, Body: body, Pos: name.Pos}, nil
+}
+
+func (p *parser) params() ([]ast.Param, error) {
+	var out []ast.Param
+	if p.at(lexer.SEMI) || p.at(lexer.RPAREN) {
+		return out, nil
+	}
+	for {
+		name, err := p.expect(lexer.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		param := ast.Param{Name: name.Text, Pos: name.Pos}
+		if _, ok := p.accept(lexer.LBRACK); ok {
+			if _, err := p.expect(lexer.RBRACK); err != nil {
+				return nil, err
+			}
+			param.IsArray = true
+		}
+		out = append(out, param)
+		if _, ok := p.accept(lexer.COMMA); !ok {
+			return out, nil
+		}
+	}
+}
+
+func (p *parser) expr() (ast.Expr, error) {
+	first, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	factors := []ast.Expr{first}
+	for {
+		if _, ok := p.accept(lexer.KWMULT); !ok {
+			break
+		}
+		f, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		factors = append(factors, f)
+	}
+	if len(factors) == 1 {
+		return factors[0], nil
+	}
+	return &ast.Mult{Factors: factors, Pos: factors[0].Position()}, nil
+}
+
+func (p *parser) term() (ast.Expr, error) {
+	switch p.peek().Kind {
+	case lexer.KWPROD:
+		return p.prodExpr()
+	case lexer.KWIF:
+		return p.ifExpr()
+	case lexer.LPAREN:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case lexer.LBRACE:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RBRACE); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case lexer.IDENT:
+		return p.invoke()
+	}
+	return nil, p.errHere("expected connector expression, found %s", p.peek())
+}
+
+func (p *parser) invoke() (*ast.Invoke, error) {
+	name, err := p.expect(lexer.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	inv := &ast.Invoke{Name: name.Text, Pos: name.Pos}
+	if _, ok := p.accept(lexer.DOT); ok {
+		switch p.peek().Kind {
+		case lexer.IDENT:
+			inv.Attr = p.next().Text
+		case lexer.INT:
+			inv.Attr = p.next().Text
+		default:
+			return nil, p.errHere("expected attribute after '.', found %s", p.peek())
+		}
+	}
+	if _, err := p.expect(lexer.LPAREN); err != nil {
+		return nil, err
+	}
+	inv.Tails, err = p.portArgs(lexer.SEMI)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.SEMI); err != nil {
+		return nil, err
+	}
+	inv.Heads, err = p.portArgs(lexer.RPAREN)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.RPAREN); err != nil {
+		return nil, err
+	}
+	return inv, nil
+}
+
+func (p *parser) portArgs(end lexer.Kind) ([]ast.PortArg, error) {
+	var out []ast.PortArg
+	if p.at(end) {
+		return out, nil
+	}
+	for {
+		a, err := p.portArg()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+		if _, ok := p.accept(lexer.COMMA); !ok {
+			return out, nil
+		}
+	}
+}
+
+func (p *parser) portArg() (ast.PortArg, error) {
+	name, err := p.expect(lexer.IDENT)
+	if err != nil {
+		return ast.PortArg{}, err
+	}
+	arg := ast.PortArg{Name: name.Text, Pos: name.Pos}
+	for p.at(lexer.LBRACK) {
+		p.next()
+		lo, err := p.intExpr()
+		if err != nil {
+			return ast.PortArg{}, err
+		}
+		if _, ok := p.accept(lexer.DOTDOT); ok {
+			if len(arg.Indices) > 0 {
+				return ast.PortArg{}, p.errHere("range index must be the only index")
+			}
+			hi, err := p.intExpr()
+			if err != nil {
+				return ast.PortArg{}, err
+			}
+			if _, err := p.expect(lexer.RBRACK); err != nil {
+				return ast.PortArg{}, err
+			}
+			if p.at(lexer.LBRACK) {
+				return ast.PortArg{}, p.errHere("no further indices allowed after a range")
+			}
+			arg.IsRange = true
+			arg.Lo, arg.Hi = lo, hi
+			return arg, nil
+		}
+		if _, err := p.expect(lexer.RBRACK); err != nil {
+			return ast.PortArg{}, err
+		}
+		arg.Indices = append(arg.Indices, lo)
+	}
+	return arg, nil
+}
+
+func (p *parser) prodExpr() (*ast.Prod, error) {
+	kw, _ := p.expect(lexer.KWPROD)
+	if _, err := p.expect(lexer.LPAREN); err != nil {
+		return nil, err
+	}
+	v, err := p.expect(lexer.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.COLON); err != nil {
+		return nil, err
+	}
+	lo, err := p.intExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.DOTDOT); err != nil {
+		return nil, err
+	}
+	hi, err := p.intExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Prod{Var: v.Text, Lo: lo, Hi: hi, Body: body, Pos: kw.Pos}, nil
+}
+
+func (p *parser) ifExpr() (*ast.If, error) {
+	kw, _ := p.expect(lexer.KWIF)
+	if _, err := p.expect(lexer.LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.boolExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.RPAREN); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.LBRACE); err != nil {
+		return nil, err
+	}
+	then, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.RBRACE); err != nil {
+		return nil, err
+	}
+	node := &ast.If{Cond: cond, Then: then, Pos: kw.Pos}
+	if _, ok := p.accept(lexer.KWELSE); ok {
+		if p.at(lexer.KWIF) {
+			node.Else, err = p.ifExpr()
+			if err != nil {
+				return nil, err
+			}
+			return node, nil
+		}
+		if _, err := p.expect(lexer.LBRACE); err != nil {
+			return nil, err
+		}
+		node.Else, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RBRACE); err != nil {
+			return nil, err
+		}
+	}
+	return node, nil
+}
+
+// Integer expressions: precedence climbing with two levels.
+
+func (p *parser) intExpr() (ast.IntExpr, error) {
+	l, err := p.intMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.peek().Kind {
+		case lexer.PLUS:
+			op = "+"
+		case lexer.MINUS:
+			op = "-"
+		default:
+			return l, nil
+		}
+		pos := p.next().Pos
+		r, err := p.intMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinInt{Op: op, L: l, R: r, Pos: pos}
+	}
+}
+
+func (p *parser) intMul() (ast.IntExpr, error) {
+	l, err := p.intUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.peek().Kind {
+		case lexer.STAR:
+			op = "*"
+		case lexer.SLASH:
+			op = "/"
+		case lexer.PERCENT:
+			op = "%"
+		default:
+			return l, nil
+		}
+		pos := p.next().Pos
+		r, err := p.intUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinInt{Op: op, L: l, R: r, Pos: pos}
+	}
+}
+
+func (p *parser) intUnary() (ast.IntExpr, error) {
+	switch p.peek().Kind {
+	case lexer.INT:
+		t := p.next()
+		return &ast.IntLit{Val: t.Int, Pos: t.Pos}, nil
+	case lexer.IDENT:
+		t := p.next()
+		return &ast.VarRef{Name: t.Text, Pos: t.Pos}, nil
+	case lexer.HASH:
+		pos := p.next().Pos
+		name, err := p.expect(lexer.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.LenOf{Name: name.Text, Pos: pos}, nil
+	case lexer.MINUS:
+		pos := p.next().Pos
+		x, err := p.intUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.BinInt{Op: "-", L: &ast.IntLit{Val: 0, Pos: pos}, R: x, Pos: pos}, nil
+	case lexer.LPAREN:
+		p.next()
+		e, err := p.intExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errHere("expected integer expression, found %s", p.peek())
+}
+
+// Conditions.
+
+func (p *parser) boolExpr() (ast.BoolExpr, error) {
+	l, err := p.boolAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := p.accept(lexer.OROR)
+		if !ok {
+			return l, nil
+		}
+		r, err := p.boolAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BoolBin{Op: "||", L: l, R: r, Pos: t.Pos}
+	}
+}
+
+func (p *parser) boolAnd() (ast.BoolExpr, error) {
+	l, err := p.boolAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := p.accept(lexer.ANDAND)
+		if !ok {
+			return l, nil
+		}
+		r, err := p.boolAtom()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BoolBin{Op: "&&", L: l, R: r, Pos: t.Pos}
+	}
+}
+
+func (p *parser) boolAtom() (ast.BoolExpr, error) {
+	if t, ok := p.accept(lexer.NOT); ok {
+		x, err := p.boolAtom()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Not{X: x, Pos: t.Pos}, nil
+	}
+	// '(' may open a parenthesized condition or an integer expression;
+	// try the condition first, backtracking on failure.
+	if p.at(lexer.LPAREN) {
+		mark := p.i
+		p.next()
+		if c, err := p.boolExpr(); err == nil {
+			if _, err := p.expect(lexer.RPAREN); err == nil {
+				return c, nil
+			}
+		}
+		p.i = mark
+	}
+	l, err := p.intExpr()
+	if err != nil {
+		return nil, err
+	}
+	var op string
+	switch p.peek().Kind {
+	case lexer.EQ:
+		op = "=="
+	case lexer.NEQ:
+		op = "!="
+	case lexer.LT:
+		op = "<"
+	case lexer.LE:
+		op = "<="
+	case lexer.GT:
+		op = ">"
+	case lexer.GE:
+		op = ">="
+	default:
+		return nil, p.errHere("expected comparison operator, found %s", p.peek())
+	}
+	t := p.next()
+	r, err := p.intExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Cmp{Op: op, L: l, R: r, Pos: t.Pos}, nil
+}
+
+// main definitions.
+
+func (p *parser) mainDef() (*ast.MainDef, error) {
+	kw, _ := p.expect(lexer.KWMAIN)
+	m := &ast.MainDef{Pos: kw.Pos}
+	if _, ok := p.accept(lexer.LPAREN); ok {
+		if !p.at(lexer.RPAREN) {
+			for {
+				t, err := p.expect(lexer.IDENT)
+				if err != nil {
+					return nil, err
+				}
+				m.Params = append(m.Params, t.Text)
+				if _, ok := p.accept(lexer.COMMA); !ok {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(lexer.RPAREN); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(lexer.ASSIGN); err != nil {
+		return nil, err
+	}
+	for {
+		inv, err := p.invoke()
+		if err != nil {
+			return nil, err
+		}
+		m.Conns = append(m.Conns, inv)
+		if _, ok := p.accept(lexer.KWMULT); !ok {
+			break
+		}
+	}
+	if _, err := p.expect(lexer.KWAMONG); err != nil {
+		return nil, err
+	}
+	for {
+		item, err := p.taskItem()
+		if err != nil {
+			return nil, err
+		}
+		m.Tasks = append(m.Tasks, item)
+		if _, ok := p.accept(lexer.KWAND); !ok {
+			break
+		}
+	}
+	return m, nil
+}
+
+func (p *parser) taskItem() (ast.TaskItem, error) {
+	if kw, ok := p.accept(lexer.KWFORALL); ok {
+		if _, err := p.expect(lexer.LPAREN); err != nil {
+			return nil, err
+		}
+		v, err := p.expect(lexer.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.COLON); err != nil {
+			return nil, err
+		}
+		lo, err := p.intExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.DOTDOT); err != nil {
+			return nil, err
+		}
+		hi, err := p.intExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RPAREN); err != nil {
+			return nil, err
+		}
+		fa := &ast.TaskForall{Var: v.Text, Lo: lo, Hi: hi, Pos: kw.Pos}
+		if _, ok := p.accept(lexer.LBRACE); ok {
+			for {
+				item, err := p.taskItem()
+				if err != nil {
+					return nil, err
+				}
+				fa.Body = append(fa.Body, item)
+				if _, ok := p.accept(lexer.KWAND); !ok {
+					break
+				}
+			}
+			if _, err := p.expect(lexer.RBRACE); err != nil {
+				return nil, err
+			}
+			return fa, nil
+		}
+		item, err := p.taskItem()
+		if err != nil {
+			return nil, err
+		}
+		fa.Body = []ast.TaskItem{item}
+		return fa, nil
+	}
+
+	name, err := p.expect(lexer.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	full := name.Text
+	if _, ok := p.accept(lexer.DOT); ok {
+		part, err := p.expect(lexer.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		full += "." + part.Text
+	}
+	if _, err := p.expect(lexer.LPAREN); err != nil {
+		return nil, err
+	}
+	inst := &ast.TaskInst{Name: full, Pos: name.Pos}
+	if !p.at(lexer.RPAREN) {
+		for {
+			a, err := p.portArg()
+			if err != nil {
+				return nil, err
+			}
+			inst.Args = append(inst.Args, a)
+			if _, ok := p.accept(lexer.COMMA); !ok {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(lexer.RPAREN); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}

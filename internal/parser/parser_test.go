@@ -1,0 +1,218 @@
+package parser_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+func parse(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	return f
+}
+
+func TestFig8(t *testing.T) {
+	f := parse(t, `
+ConnectorEx11a(tl1,tl2;hd1,hd2) =
+    Replicator(tl1;prev1,v1) mult Replicator(tl2;prev2,v2)
+    mult Fifo1(v1;w1) mult Fifo1(v2;w2)
+    mult Replicator(w1;next1,hd1) mult Replicator(w2;next2,hd2)
+    mult Seq(next1,prev2;) mult Seq(prev1,next2;)
+`)
+	if len(f.Defs) != 1 {
+		t.Fatalf("defs = %d", len(f.Defs))
+	}
+	d := f.Defs[0]
+	if d.Name != "ConnectorEx11a" || len(d.Tails) != 2 || len(d.Heads) != 2 {
+		t.Fatalf("signature: %+v", d)
+	}
+	m, ok := d.Body.(*ast.Mult)
+	if !ok || len(m.Factors) != 8 {
+		t.Fatalf("body: %T with %d factors", d.Body, len(m.Factors))
+	}
+}
+
+func TestFig9Parametrized(t *testing.T) {
+	f := parse(t, `
+ConnectorEx11N(tl[];hd[]) =
+    if (#tl == 1) {
+        Fifo1(tl[1];hd[1])
+    } else {
+        prod (i:1..#tl) X(tl[i];prev[i],next[i],hd[i])
+        mult prod (i:1..#tl-1) Seq(next[i],prev[i+1];)
+        mult Seq(prev[1],next[#tl];)
+    }
+`)
+	d := f.Defs[0]
+	if !d.Tails[0].IsArray || !d.Heads[0].IsArray {
+		t.Fatal("array params not recognized")
+	}
+	ifx, ok := d.Body.(*ast.If)
+	if !ok {
+		t.Fatalf("body is %T, want If", d.Body)
+	}
+	cmp, ok := ifx.Cond.(*ast.Cmp)
+	if !ok || cmp.Op != "==" {
+		t.Fatalf("cond: %v", ast.RenderBool(ifx.Cond))
+	}
+	if _, ok := cmp.L.(*ast.LenOf); !ok {
+		t.Fatal("cond lhs not #tl")
+	}
+	els, ok := ifx.Else.(*ast.Mult)
+	if !ok || len(els.Factors) != 3 {
+		t.Fatalf("else: %T", ifx.Else)
+	}
+	if _, ok := els.Factors[0].(*ast.Prod); !ok {
+		t.Fatal("first else factor not prod")
+	}
+}
+
+func TestMainDef(t *testing.T) {
+	f := parse(t, `
+A(a[];b[]) = prod (i:1..#a) Sync(a[i];b[i])
+main(N) = A(out[1..N];in[1..N]) among
+    forall (i:1..N) Tasks.pro(out[i]) and Tasks.con(in[1..N])
+`)
+	if len(f.Mains) != 1 {
+		t.Fatalf("mains = %d", len(f.Mains))
+	}
+	m := f.Mains[0]
+	if len(m.Params) != 1 || m.Params[0] != "N" {
+		t.Fatalf("params: %v", m.Params)
+	}
+	if len(m.Conns) != 1 || m.Conns[0].Name != "A" {
+		t.Fatalf("conns: %+v", m.Conns)
+	}
+	if len(m.Tasks) != 2 {
+		t.Fatalf("tasks: %d", len(m.Tasks))
+	}
+	fa, ok := m.Tasks[0].(*ast.TaskForall)
+	if !ok || fa.Var != "i" {
+		t.Fatalf("task 0: %+v", m.Tasks[0])
+	}
+	ti, ok := m.Tasks[1].(*ast.TaskInst)
+	if !ok || ti.Name != "Tasks.con" || !ti.Args[0].IsRange {
+		t.Fatalf("task 1: %+v", m.Tasks[1])
+	}
+}
+
+func TestAttrForms(t *testing.T) {
+	f := parse(t, `A(a;b) = Filter.even(a;m) mult Fifo.4(m;k) mult Transformer.dbl(k;b)`)
+	m := f.Defs[0].Body.(*ast.Mult)
+	wantAttrs := []string{"even", "4", "dbl"}
+	for i, w := range wantAttrs {
+		inv := m.Factors[i].(*ast.Invoke)
+		if inv.Attr != w {
+			t.Errorf("factor %d attr = %q, want %q", i, inv.Attr, w)
+		}
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	e, err := parser.ParseExpr(`Sync(a[1+2*3];b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := e.(*ast.Invoke).Tails[0].Indices[0]
+	if got := ast.Render(ix); got != "(1+(2*3))" {
+		t.Errorf("index = %s", got)
+	}
+}
+
+func TestBoolPrecedenceAndParens(t *testing.T) {
+	f := parse(t, `A(a[];b) = if (#a == 1 || #a > 2 && !(#a == 5)) { Sync(a[1];b) } else { Sync(a[2];b) }`)
+	ifx := f.Defs[0].Body.(*ast.If)
+	or, ok := ifx.Cond.(*ast.BoolBin)
+	if !ok || or.Op != "||" {
+		t.Fatalf("top op: %v", ast.RenderBool(ifx.Cond))
+	}
+	and, ok := or.R.(*ast.BoolBin)
+	if !ok || and.Op != "&&" {
+		t.Fatalf("rhs: %v", ast.RenderBool(or.R))
+	}
+	if _, ok := and.R.(*ast.Not); !ok {
+		t.Fatal("negation lost")
+	}
+}
+
+func TestElseIf(t *testing.T) {
+	f := parse(t, `
+A(a[];b) =
+    if (#a == 1) { Sync(a[1];b) }
+    else if (#a == 2) { Merger(a[1],a[2];b) }
+    else { Merger(a[1..#a];b) }
+`)
+	ifx := f.Defs[0].Body.(*ast.If)
+	nested, ok := ifx.Else.(*ast.If)
+	if !ok {
+		t.Fatalf("else-if is %T", ifx.Else)
+	}
+	if nested.Else == nil {
+		t.Fatal("final else missing")
+	}
+}
+
+func TestNegativeAndModulo(t *testing.T) {
+	e, err := parser.ParseExpr(`Sync(a[i%n+1];b[-1+2])`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := e.(*ast.Invoke)
+	if got := ast.Render(inv.Tails[0].Indices[0]); got != "((i%n)+1)" {
+		t.Errorf("tail index = %s", got)
+	}
+	if got := ast.Render(inv.Heads[0].Indices[0]); got != "((0-1)+2)" {
+		t.Errorf("head index = %s", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`A(a;b) =`,                        // missing body
+		`A(a;b) = Sync(a;b`,               // unclosed paren
+		`A(a;b) = Sync(a b)`,              // missing semi
+		`A(a;b) = prod (i:1..) Sync(a;b)`, // missing range end
+		`A(a;b) = if #a == 1 { }`,         // missing parens
+		`A(a[];b) = Sync(a[1..2][3];b)`,   // index after range
+		`main = among`,                    // empty main
+		`A(a;b) = Sync(a;b) mult`,         // dangling mult
+	}
+	for _, src := range cases {
+		if _, err := parser.Parse(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestErrorHasPosition(t *testing.T) {
+	_, err := parser.Parse("A(a;b) = \n  Sync(a;b")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error lacks line info: %v", err)
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	src := `Ordered(tl[];hd[]) =
+    if (#tl == 1) { Fifo1(tl[1];hd[1]) } else {
+        prod (i:1..#tl) Fifo1(tl[i];hd[i])
+        mult Seq(tl[1..#tl];)
+    }`
+	f := parse(t, src)
+	rendered := ast.RenderExpr(f.Defs[0].Body, "")
+	reparsed, err := parser.ParseExpr(rendered)
+	if err != nil {
+		t.Fatalf("re-parse of rendered output failed: %v\n%s", err, rendered)
+	}
+	if ast.RenderExpr(reparsed, "") != rendered {
+		t.Error("render not a fixed point")
+	}
+}

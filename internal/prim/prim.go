@@ -1,0 +1,189 @@
+// Package prim builds the constraint automata of Reo's primitive
+// connectors (§III-A, Fig. 6 of the paper, plus the further standard
+// primitives from the Reo literature used by the benchmark connectors).
+//
+// Constructors take the universe and the vertex IDs the primitive is
+// attached to, and return the automaton implementing its local semantics.
+// Direction bookkeeping (which vertices are boundary source/sink ports)
+// belongs to connector assembly, not to primitives.
+package prim
+
+import (
+	"fmt"
+
+	"repro/internal/ca"
+)
+
+// Token is the value produced by data-less emitters such as SyncSpout.
+type Token struct{}
+
+// Sync: in every step a message flows synchronously from a to b.
+func Sync(u *ca.Universe, a, b ca.PortID) *ca.Automaton {
+	return ca.NewBuilder(u, "Sync", 1, 0).
+		T(0, 0).Sync(a, b).Move(ca.PortLoc(b), ca.PortLoc(a)).Done().
+		Build()
+}
+
+// LossySync: either a message flows from a to b, or it flows past a and
+// is lost (when the b-side cannot accept).
+func LossySync(u *ca.Universe, a, b ca.PortID) *ca.Automaton {
+	return ca.NewBuilder(u, "LossySync", 1, 0).
+		T(0, 0).Sync(a, b).Move(ca.PortLoc(b), ca.PortLoc(a)).Done().
+		T(0, 0).Sync(a).Done().
+		Build()
+}
+
+// SyncDrain: both tails fire together; the data is lost.
+func SyncDrain(u *ca.Universe, a, b ca.PortID) *ca.Automaton {
+	return ca.NewBuilder(u, "SyncDrain", 1, 0).
+		T(0, 0).Sync(a, b).Done().
+		Build()
+}
+
+// AsyncDrain: either tail fires, never both together.
+func AsyncDrain(u *ca.Universe, a, b ca.PortID) *ca.Automaton {
+	return ca.NewBuilder(u, "AsyncDrain", 1, 0).
+		T(0, 0).Sync(a).Done().
+		T(0, 0).Sync(b).Done().
+		Build()
+}
+
+// SyncSpout: both heads fire together, each receiving a fresh token.
+func SyncSpout(u *ca.Universe, a, b ca.PortID) *ca.Automaton {
+	return ca.NewBuilder(u, "SyncSpout", 1, 0).
+		T(0, 0).Sync(a, b).
+		Move(ca.PortLoc(a), ca.ConstLoc(Token{})).
+		Move(ca.PortLoc(b), ca.ConstLoc(Token{})).Done().
+		Build()
+}
+
+// Fifo1: an asynchronous channel with a one-place buffer (Fig. 6b).
+func Fifo1(u *ca.Universe, a, b ca.PortID) *ca.Automaton {
+	c := u.NewCell()
+	return fifo1(u, "Fifo1", 0, a, b, c)
+}
+
+// Fifo1Full: a Fifo1 whose buffer initially holds v — the primitive that
+// seeds token rings (sequencers, locks).
+func Fifo1Full(u *ca.Universe, a, b ca.PortID, v any) *ca.Automaton {
+	c := u.NewCellInit(v)
+	return fifo1(u, "Fifo1Full", 1, a, b, c)
+}
+
+func fifo1(u *ca.Universe, name string, initial int32, a, b ca.PortID, c ca.CellID) *ca.Automaton {
+	return ca.NewBuilder(u, name, 2, initial).
+		T(0, 1).Sync(a).Move(ca.CellLoc(c), ca.PortLoc(a)).Done().
+		T(1, 0).Sync(b).Move(ca.PortLoc(b), ca.CellLoc(c)).Done().
+		Build()
+}
+
+// FifoK: a bounded FIFO with k buffer slots (fifon in Fig. 6b). Control
+// states encode (count, head); data lives in k memory cells used as a
+// ring.
+func FifoK(u *ca.Universe, a, b ca.PortID, k int) *ca.Automaton {
+	if k < 1 {
+		panic(fmt.Sprintf("prim: FifoK capacity %d < 1", k))
+	}
+	cells := make([]ca.CellID, k)
+	for i := range cells {
+		cells[i] = u.NewCell()
+	}
+	// state = count*k + head, count ∈ 0..k, head ∈ 0..k-1.
+	st := func(count, head int) int32 { return int32(count*k + head) }
+	bld := ca.NewBuilder(u, fmt.Sprintf("Fifo%d", k), (k+1)*k, st(0, 0))
+	for count := 0; count <= k; count++ {
+		for head := 0; head < k; head++ {
+			if count < k { // accept into slot (head+count) mod k
+				slot := cells[(head+count)%k]
+				bld.T(st(count, head), st(count+1, head)).
+					Sync(a).Move(ca.CellLoc(slot), ca.PortLoc(a)).Done()
+			}
+			if count > 0 { // emit from head slot
+				slot := cells[head]
+				bld.T(st(count, head), st(count-1, (head+1)%k)).
+					Sync(b).Move(ca.PortLoc(b), ca.CellLoc(slot)).Done()
+			}
+		}
+	}
+	return bld.Build()
+}
+
+// Filter: a message flows from a to b if pred holds of it; otherwise it
+// flows past a and is lost.
+func Filter(u *ca.Universe, a, b ca.PortID, name string, pred func(any) bool) *ca.Automaton {
+	not := func(v any) bool { return !pred(v) }
+	return ca.NewBuilder(u, "Filter<"+name+">", 1, 0).
+		T(0, 0).Sync(a, b).Guard(name, ca.PortLoc(a), pred).
+		Move(ca.PortLoc(b), ca.PortLoc(a)).Done().
+		T(0, 0).Sync(a).Guard("!"+name, ca.PortLoc(a), not).Done().
+		Build()
+}
+
+// Transformer: a message flows from a to b transformed by f.
+func Transformer(u *ca.Universe, a, b ca.PortID, name string, f func(any) any) *ca.Automaton {
+	return ca.NewBuilder(u, "Transformer<"+name+">", 1, 0).
+		T(0, 0).Sync(a, b).MoveX(ca.PortLoc(b), ca.PortLoc(a), f).Done().
+		Build()
+}
+
+// Merger: in every step a message flows from one nondeterministically
+// selected tail to the head (mergn, Fig. 6d).
+func Merger(u *ca.Universe, ins []ca.PortID, out ca.PortID) *ca.Automaton {
+	bld := ca.NewBuilder(u, fmt.Sprintf("Merger%d", len(ins)), 1, 0)
+	for _, in := range ins {
+		bld.T(0, 0).Sync(in, out).Move(ca.PortLoc(out), ca.PortLoc(in)).Done()
+	}
+	return bld.Build()
+}
+
+// Replicator: in every step a message flows from the tail to all heads
+// synchronously (repln, Fig. 6e).
+func Replicator(u *ca.Universe, in ca.PortID, outs []ca.PortID) *ca.Automaton {
+	tb := ca.NewBuilder(u, fmt.Sprintf("Repl%d", len(outs)), 1, 0).
+		T(0, 0).Sync(in).Sync(outs...)
+	for _, o := range outs {
+		tb.Move(ca.PortLoc(o), ca.PortLoc(in))
+	}
+	return tb.Done().Build()
+}
+
+// Router: in every step a message flows from the tail to exactly one
+// nondeterministically selected head (exclusive router).
+func Router(u *ca.Universe, in ca.PortID, outs []ca.PortID) *ca.Automaton {
+	bld := ca.NewBuilder(u, fmt.Sprintf("Router%d", len(outs)), 1, 0)
+	for _, o := range outs {
+		bld.T(0, 0).Sync(in, o).Move(ca.PortLoc(o), ca.PortLoc(in)).Done()
+	}
+	return bld.Build()
+}
+
+// Seq: the n tails fire one at a time, cyclically, starting with the
+// first; data is lost (seqn, Fig. 6c generalizes seq2).
+func Seq(u *ca.Universe, tails []ca.PortID) *ca.Automaton {
+	n := len(tails)
+	if n == 0 {
+		panic("prim: Seq needs at least one tail")
+	}
+	bld := ca.NewBuilder(u, fmt.Sprintf("Seq%d", n), n, 0)
+	for i, t := range tails {
+		bld.T(int32(i), int32((i+1)%n)).Sync(t).Done()
+	}
+	return bld.Build()
+}
+
+// Valve1: data flows from a to b while open; each message on ctl toggles
+// the valve. Initially open.
+func Valve1(u *ca.Universe, a, b, ctl ca.PortID) *ca.Automaton {
+	return ca.NewBuilder(u, "Valve1", 2, 0).
+		T(0, 0).Sync(a, b).Move(ca.PortLoc(b), ca.PortLoc(a)).Done().
+		T(0, 1).Sync(ctl).Done().
+		T(1, 0).Sync(ctl).Done().
+		Build()
+}
+
+// Spout1: emits fresh tokens on its single head whenever asked.
+func Spout1(u *ca.Universe, a ca.PortID) *ca.Automaton {
+	return ca.NewBuilder(u, "Spout1", 1, 0).
+		T(0, 0).Sync(a).Move(ca.PortLoc(a), ca.ConstLoc(Token{})).Done().
+		Build()
+}

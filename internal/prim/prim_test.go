@@ -1,0 +1,197 @@
+package prim_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ca"
+	"repro/internal/prim"
+)
+
+// shape asserts state and transition counts.
+func shape(t *testing.T, a *ca.Automaton, states, trans int) {
+	t.Helper()
+	if a.NumStates() != states {
+		t.Errorf("%s: states = %d, want %d", a.Name, a.NumStates(), states)
+	}
+	if a.NumTransitions() != trans {
+		t.Errorf("%s: transitions = %d, want %d", a.Name, a.NumTransitions(), trans)
+	}
+}
+
+func TestShapes(t *testing.T) {
+	u := ca.NewUniverse()
+	p := func() ca.PortID { return u.FreshPort("p") }
+	ps := func(n int) []ca.PortID {
+		out := make([]ca.PortID, n)
+		for i := range out {
+			out[i] = p()
+		}
+		return out
+	}
+	shape(t, prim.Sync(u, p(), p()), 1, 1)
+	shape(t, prim.LossySync(u, p(), p()), 1, 2)
+	shape(t, prim.SyncDrain(u, p(), p()), 1, 1)
+	shape(t, prim.AsyncDrain(u, p(), p()), 1, 2)
+	shape(t, prim.SyncSpout(u, p(), p()), 1, 1)
+	shape(t, prim.Spout1(u, p()), 1, 1)
+	shape(t, prim.Fifo1(u, p(), p()), 2, 2)
+	shape(t, prim.Fifo1Full(u, p(), p(), 1), 2, 2)
+	shape(t, prim.Filter(u, p(), p(), "f", func(any) bool { return true }), 1, 2)
+	shape(t, prim.Transformer(u, p(), p(), "t", func(v any) any { return v }), 1, 1)
+	shape(t, prim.Merger(u, ps(5), p()), 1, 5)
+	shape(t, prim.Replicator(u, p(), ps(5)), 1, 1)
+	shape(t, prim.Router(u, p(), ps(5)), 1, 5)
+	shape(t, prim.Seq(u, ps(4)), 4, 4)
+	shape(t, prim.Valve1(u, p(), p(), p()), 2, 3)
+}
+
+// TestFifoKProperty: for random capacities, FifoK accepts exactly k
+// values from the empty state before blocking, and emits them in order.
+func TestFifoKProperty(t *testing.T) {
+	prop := func(kRaw uint8) bool {
+		k := int(kRaw%6) + 1
+		u := ca.NewUniverse()
+		a, b := u.Port("a"), u.Port("b")
+		f := prim.FifoK(u, a, b, k)
+		st := f.Initial
+		// k accepts must be possible.
+		for i := 0; i < k; i++ {
+			next := int32(-1)
+			for _, tr := range f.Trans[st] {
+				if tr.Sync.Has(a) {
+					next = tr.Target
+				}
+			}
+			if next < 0 {
+				return false
+			}
+			st = next
+		}
+		// No further accept; an emit must exist.
+		emits := 0
+		for _, tr := range f.Trans[st] {
+			if tr.Sync.Has(a) {
+				return false
+			}
+			if tr.Sync.Has(b) {
+				emits++
+			}
+		}
+		return emits == 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFifoKOrder runs k values through a FifoK end to end via the data
+// actions and checks FIFO order.
+func TestFifoKOrder(t *testing.T) {
+	const k = 3
+	u := ca.NewUniverse()
+	a, b := u.Port("a"), u.Port("b")
+	u.SetDir(a, ca.DirSource)
+	u.SetDir(b, ca.DirSink)
+	f := prim.FifoK(u, a, b, k)
+	cells := u.InitialCells()
+	st := f.Initial
+	isSrc := func(p ca.PortID) bool { return p == a }
+	isSnk := func(p ca.PortID) bool { return p == b }
+
+	push := func(v any) {
+		t.Helper()
+		for i := range f.Trans[st] {
+			tr := &f.Trans[st][i]
+			if !tr.Sync.Has(a) {
+				continue
+			}
+			env := ca.NewEnv(tr, cells, isSrc, func(ca.PortID) any { return v })
+			res, err := env.Execute(isSnk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c, val := range res.CellWrites {
+				cells[c] = val
+			}
+			st = tr.Target
+			return
+		}
+		t.Fatal("no accept transition")
+	}
+	pop := func() any {
+		t.Helper()
+		for i := range f.Trans[st] {
+			tr := &f.Trans[st][i]
+			if !tr.Sync.Has(b) {
+				continue
+			}
+			env := ca.NewEnv(tr, cells, isSrc, nil)
+			res, err := env.Execute(isSnk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st = tr.Target
+			return res.Delivered[b]
+		}
+		t.Fatal("no emit transition")
+		return nil
+	}
+
+	// Interleave pushes and pops across the ring boundary.
+	push(1)
+	push(2)
+	if v := pop(); v != 1 {
+		t.Fatalf("pop = %v, want 1", v)
+	}
+	push(3)
+	push(4)
+	for want := 2; want <= 4; want++ {
+		if v := pop(); v != want {
+			t.Fatalf("pop = %v, want %d", v, want)
+		}
+	}
+}
+
+func TestMergerDistinctTransitions(t *testing.T) {
+	u := ca.NewUniverse()
+	ins := []ca.PortID{u.Port("i1"), u.Port("i2"), u.Port("i3")}
+	out := u.Port("o")
+	m := prim.Merger(u, ins, out)
+	seen := map[string]bool{}
+	for _, tr := range m.Trans[0] {
+		key := fmt.Sprint(u.PortSetNames(tr.Sync))
+		if seen[key] {
+			t.Errorf("duplicate transition %s", key)
+		}
+		seen[key] = true
+		if !tr.Sync.Has(out) || tr.Sync.Count() != 2 {
+			t.Errorf("merger transition %s should fire one input + output", key)
+		}
+	}
+}
+
+func TestReplicatorSingleStep(t *testing.T) {
+	u := ca.NewUniverse()
+	in := u.Port("in")
+	outs := []ca.PortID{u.Port("o1"), u.Port("o2")}
+	r := prim.Replicator(u, in, outs)
+	tr := r.Trans[0][0]
+	if tr.Sync.Count() != 3 {
+		t.Errorf("replicator fires %d ports, want 3", tr.Sync.Count())
+	}
+	if len(tr.Acts) != 2 {
+		t.Errorf("replicator has %d actions, want 2", len(tr.Acts))
+	}
+}
+
+func TestFifoKPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FifoK(0) did not panic")
+		}
+	}()
+	u := ca.NewUniverse()
+	prim.FifoK(u, u.Port("a"), u.Port("b"), 0)
+}

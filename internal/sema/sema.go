@@ -1,0 +1,564 @@
+// Package sema performs name resolution and static checking of parsed
+// connector programs: signature arity, array/scalar usage consistency,
+// iteration-variable scoping, #-length validity, and recursion detection
+// among composite definitions.
+package sema
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/ast"
+)
+
+// Error is a semantic error with position.
+type Error struct {
+	Pos ast.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos ast.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// AttrKind describes what a builtin's dotted attribute means.
+type AttrKind uint8
+
+const (
+	// AttrNone forbids an attribute.
+	AttrNone AttrKind = iota
+	// AttrInt requires an integer attribute (Fifo.4).
+	AttrInt
+	// AttrFunc requires the name of a registered data function
+	// (Filter.even, Transformer.double).
+	AttrFunc
+)
+
+// Builtin describes a primitive's signature. Arity bounds use -1 for
+// "unbounded".
+type Builtin struct {
+	Name     string
+	MinTails int
+	MaxTails int
+	MinHeads int
+	MaxHeads int
+	Attr     AttrKind
+}
+
+// Builtins is the table of primitive signatures available to programs.
+var Builtins = map[string]Builtin{
+	"Sync":        {Name: "Sync", MinTails: 1, MaxTails: 1, MinHeads: 1, MaxHeads: 1},
+	"LossySync":   {Name: "LossySync", MinTails: 1, MaxTails: 1, MinHeads: 1, MaxHeads: 1},
+	"SyncDrain":   {Name: "SyncDrain", MinTails: 2, MaxTails: 2},
+	"AsyncDrain":  {Name: "AsyncDrain", MinTails: 2, MaxTails: 2},
+	"SyncSpout":   {Name: "SyncSpout", MinHeads: 2, MaxHeads: 2},
+	"Spout1":      {Name: "Spout1", MinHeads: 1, MaxHeads: 1},
+	"Fifo1":       {Name: "Fifo1", MinTails: 1, MaxTails: 1, MinHeads: 1, MaxHeads: 1},
+	"Fifo1Full":   {Name: "Fifo1Full", MinTails: 1, MaxTails: 1, MinHeads: 1, MaxHeads: 1},
+	"Fifo":        {Name: "Fifo", MinTails: 1, MaxTails: 1, MinHeads: 1, MaxHeads: 1, Attr: AttrInt},
+	"Filter":      {Name: "Filter", MinTails: 1, MaxTails: 1, MinHeads: 1, MaxHeads: 1, Attr: AttrFunc},
+	"Transformer": {Name: "Transformer", MinTails: 1, MaxTails: 1, MinHeads: 1, MaxHeads: 1, Attr: AttrFunc},
+	"Merger":      {Name: "Merger", MinTails: 1, MaxTails: -1, MinHeads: 1, MaxHeads: 1},
+	"Replicator":  {Name: "Replicator", MinTails: 1, MaxTails: 1, MinHeads: 1, MaxHeads: -1},
+	"Router":      {Name: "Router", MinTails: 1, MaxTails: 1, MinHeads: 1, MaxHeads: -1},
+	"Seq":         {Name: "Seq", MinTails: 1, MaxTails: -1},
+	"Valve1":      {Name: "Valve1", MinTails: 2, MaxTails: 2, MinHeads: 1, MaxHeads: 1},
+}
+
+// SymKind classifies a name inside a definition.
+type SymKind uint8
+
+const (
+	SymParamScalar SymKind = iota
+	SymParamArray
+	SymLocalScalar
+	SymLocalArray
+)
+
+func (k SymKind) String() string {
+	switch k {
+	case SymParamScalar:
+		return "scalar parameter"
+	case SymParamArray:
+		return "array parameter"
+	case SymLocalScalar:
+		return "local vertex"
+	default:
+		return "local vertex array"
+	}
+}
+
+// DefInfo is the symbol table of one definition.
+type DefInfo struct {
+	Def     *ConnInfoDef
+	Symbols map[string]SymKind
+}
+
+// ConnInfoDef aliases ast.ConnDef for the public surface.
+type ConnInfoDef = ast.ConnDef
+
+// Info is the result of checking a file.
+type Info struct {
+	File *ast.File
+	Defs map[string]*DefInfo
+}
+
+// Check validates the file and returns symbol information.
+func Check(f *ast.File) (*Info, error) {
+	info := &Info{File: f, Defs: make(map[string]*DefInfo)}
+	for _, d := range f.Defs {
+		if _, ok := Builtins[d.Name]; ok {
+			return nil, errf(d.Pos, "definition %q shadows a primitive", d.Name)
+		}
+		if _, dup := info.Defs[d.Name]; dup {
+			return nil, errf(d.Pos, "duplicate definition %q", d.Name)
+		}
+		info.Defs[d.Name] = &DefInfo{Def: d, Symbols: make(map[string]SymKind)}
+	}
+	for _, d := range f.Defs {
+		if err := checkDef(info, d); err != nil {
+			return nil, err
+		}
+	}
+	if err := checkRecursion(info); err != nil {
+		return nil, err
+	}
+	for _, m := range f.Mains {
+		if err := checkMain(info, m); err != nil {
+			return nil, err
+		}
+	}
+	return info, nil
+}
+
+type defChecker struct {
+	info *Info
+	def  *ast.ConnDef
+	syms map[string]SymKind
+	// iters tracks iteration variables in scope.
+	iters map[string]bool
+}
+
+func checkDef(info *Info, d *ast.ConnDef) error {
+	c := &defChecker{
+		info:  info,
+		def:   d,
+		syms:  info.Defs[d.Name].Symbols,
+		iters: make(map[string]bool),
+	}
+	for _, p := range d.Params() {
+		if _, dup := c.syms[p.Name]; dup {
+			return errf(p.Pos, "duplicate parameter %q", p.Name)
+		}
+		if p.IsArray {
+			c.syms[p.Name] = SymParamArray
+		} else {
+			c.syms[p.Name] = SymParamScalar
+		}
+	}
+	return c.expr(d.Body)
+}
+
+func (c *defChecker) expr(e ast.Expr) error {
+	switch e := e.(type) {
+	case *ast.Mult:
+		for _, f := range e.Factors {
+			if err := c.expr(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ast.Invoke:
+		return c.invoke(e)
+	case *ast.Prod:
+		if c.iters[e.Var] {
+			return errf(e.Pos, "iteration variable %q shadows an enclosing one", e.Var)
+		}
+		if _, exists := c.syms[e.Var]; exists {
+			return errf(e.Pos, "iteration variable %q shadows a %s", e.Var, c.syms[e.Var])
+		}
+		if err := c.intExpr(e.Lo); err != nil {
+			return err
+		}
+		if err := c.intExpr(e.Hi); err != nil {
+			return err
+		}
+		c.iters[e.Var] = true
+		err := c.expr(e.Body)
+		delete(c.iters, e.Var)
+		return err
+	case *ast.If:
+		if err := c.boolExpr(e.Cond); err != nil {
+			return err
+		}
+		if err := c.expr(e.Then); err != nil {
+			return err
+		}
+		if e.Else != nil {
+			return c.expr(e.Else)
+		}
+		return nil
+	}
+	return errf(e.Position(), "internal: unknown expression node %T", e)
+}
+
+func (c *defChecker) invoke(inv *ast.Invoke) error {
+	for _, a := range inv.Tails {
+		if err := c.portArg(a); err != nil {
+			return err
+		}
+	}
+	for _, a := range inv.Heads {
+		if err := c.portArg(a); err != nil {
+			return err
+		}
+	}
+	if b, ok := Builtins[inv.Name]; ok {
+		return c.checkBuiltin(inv, b)
+	}
+	target, ok := c.info.Defs[inv.Name]
+	if !ok {
+		return errf(inv.Pos, "unknown connector %q", inv.Name)
+	}
+	if inv.Attr != "" {
+		return errf(inv.Pos, "connector %q takes no attribute", inv.Name)
+	}
+	return c.checkDefCall(inv, target.Def)
+}
+
+func (c *defChecker) checkBuiltin(inv *ast.Invoke, b Builtin) error {
+	switch b.Attr {
+	case AttrNone:
+		if inv.Attr != "" {
+			return errf(inv.Pos, "primitive %q takes no attribute", b.Name)
+		}
+	case AttrInt:
+		if inv.Attr == "" {
+			return errf(inv.Pos, "primitive %q requires an integer attribute (e.g. %s.4)", b.Name, b.Name)
+		}
+		if n, err := strconv.Atoi(inv.Attr); err != nil || n < 1 {
+			return errf(inv.Pos, "primitive %q: attribute %q is not a positive integer", b.Name, inv.Attr)
+		}
+	case AttrFunc:
+		if inv.Attr == "" {
+			return errf(inv.Pos, "primitive %q requires a function attribute (e.g. %s.even)", b.Name, b.Name)
+		}
+	}
+	check := func(args []ast.PortArg, min, max int, side string) error {
+		fixed := 0
+		ranges := 0
+		for _, a := range args {
+			if a.IsRange {
+				ranges++
+			} else {
+				fixed++
+			}
+		}
+		if ranges > 0 {
+			if max >= 0 && max == min && min == fixed+ranges {
+				// Ranges in a fixed slot: length must turn out to be 1;
+				// checked at instantiation.
+				return nil
+			}
+			if max >= 0 && fixed > max {
+				return errf(inv.Pos, "%s: too many %s arguments for %q", inv.Pos, side, b.Name)
+			}
+			return nil // final count checked at instantiation
+		}
+		if fixed < min {
+			return errf(inv.Pos, "primitive %q needs at least %d %s argument(s), got %d", b.Name, min, side, fixed)
+		}
+		if max >= 0 && fixed > max {
+			return errf(inv.Pos, "primitive %q takes at most %d %s argument(s), got %d", b.Name, max, side, fixed)
+		}
+		return nil
+	}
+	if err := check(inv.Tails, b.MinTails, b.MaxTails, "tail"); err != nil {
+		return err
+	}
+	return check(inv.Heads, b.MinHeads, b.MaxHeads, "head")
+}
+
+func (c *defChecker) checkDefCall(inv *ast.Invoke, target *ast.ConnDef) error {
+	match := func(args []ast.PortArg, params []ast.Param, side string) error {
+		if len(args) != len(params) {
+			return errf(inv.Pos, "connector %q expects %d %s argument(s), got %d",
+				target.Name, len(params), side, len(args))
+		}
+		for i, a := range args {
+			p := params[i]
+			if p.IsArray {
+				if a.IsRange {
+					continue
+				}
+				// A bare name may denote a whole array.
+				if len(a.Indices) == 0 {
+					if k, ok := c.syms[a.Name]; ok && k == SymParamArray {
+						continue
+					}
+					return errf(a.Pos, "argument %q for array parameter %q of %q must be a range (x[lo..hi]) or an array parameter",
+						a.Name, p.Name, target.Name)
+				}
+				return errf(a.Pos, "argument for array parameter %q of %q must be a range or whole array", p.Name, target.Name)
+			}
+			if a.IsRange {
+				return errf(a.Pos, "range argument for scalar parameter %q of %q", p.Name, target.Name)
+			}
+			if len(a.Indices) == 0 {
+				if k, ok := c.syms[a.Name]; ok && k == SymParamArray {
+					return errf(a.Pos, "array %q passed to scalar parameter %q of %q", a.Name, p.Name, target.Name)
+				}
+			}
+		}
+		return nil
+	}
+	if err := match(inv.Tails, target.Tails, "tail"); err != nil {
+		return err
+	}
+	return match(inv.Heads, target.Heads, "head")
+}
+
+func (c *defChecker) portArg(a ast.PortArg) error {
+	if c.iters[a.Name] {
+		return errf(a.Pos, "iteration variable %q used as a vertex", a.Name)
+	}
+	indexed := len(a.Indices) > 0 || a.IsRange
+	if k, ok := c.syms[a.Name]; ok {
+		switch k {
+		case SymParamScalar, SymLocalScalar:
+			if indexed {
+				return errf(a.Pos, "%s %q used with an index", k, a.Name)
+			}
+		case SymParamArray:
+			// Bare use of an array parameter is only valid as a whole-array
+			// argument; invoke checking handles that context.
+		case SymLocalArray:
+			if !indexed {
+				return errf(a.Pos, "local vertex array %q used without an index", a.Name)
+			}
+		}
+	} else {
+		// First sighting of a local. Ranges over locals are allowed:
+		// the bounds are explicit.
+		if indexed {
+			c.syms[a.Name] = SymLocalArray
+		} else {
+			c.syms[a.Name] = SymLocalScalar
+		}
+	}
+	for _, ix := range a.Indices {
+		if err := c.intExpr(ix); err != nil {
+			return err
+		}
+	}
+	if a.IsRange {
+		if err := c.intExpr(a.Lo); err != nil {
+			return err
+		}
+		if err := c.intExpr(a.Hi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *defChecker) intExpr(e ast.IntExpr) error {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return nil
+	case *ast.VarRef:
+		if !c.iters[e.Name] {
+			return errf(e.Pos, "unknown variable %q (not an iteration variable in scope)", e.Name)
+		}
+		return nil
+	case *ast.LenOf:
+		k, ok := c.syms[e.Name]
+		if !ok || k != SymParamArray {
+			return errf(e.Pos, "#%s: %q is not an array parameter", e.Name, e.Name)
+		}
+		return nil
+	case *ast.BinInt:
+		if err := c.intExpr(e.L); err != nil {
+			return err
+		}
+		return c.intExpr(e.R)
+	}
+	return errf(e.Position(), "internal: unknown integer expression %T", e)
+}
+
+func (c *defChecker) boolExpr(e ast.BoolExpr) error {
+	switch e := e.(type) {
+	case *ast.Cmp:
+		if err := c.intExpr(e.L); err != nil {
+			return err
+		}
+		return c.intExpr(e.R)
+	case *ast.BoolBin:
+		if err := c.boolExpr(e.L); err != nil {
+			return err
+		}
+		return c.boolExpr(e.R)
+	case *ast.Not:
+		return c.boolExpr(e.X)
+	}
+	return errf(e.Position(), "internal: unknown condition %T", e)
+}
+
+// checkRecursion rejects cyclic composite definitions (flattening must
+// terminate).
+func checkRecursion(info *Info) error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var visit func(name string) error
+	visit = func(name string) error {
+		switch color[name] {
+		case gray:
+			return errf(info.Defs[name].Def.Pos, "recursive connector definition %q", name)
+		case black:
+			return nil
+		}
+		color[name] = gray
+		var walk func(e ast.Expr) error
+		walk = func(e ast.Expr) error {
+			switch e := e.(type) {
+			case *ast.Mult:
+				for _, f := range e.Factors {
+					if err := walk(f); err != nil {
+						return err
+					}
+				}
+			case *ast.Invoke:
+				if _, isDef := info.Defs[e.Name]; isDef {
+					return visit(e.Name)
+				}
+			case *ast.Prod:
+				return walk(e.Body)
+			case *ast.If:
+				if err := walk(e.Then); err != nil {
+					return err
+				}
+				if e.Else != nil {
+					return walk(e.Else)
+				}
+			}
+			return nil
+		}
+		if err := walk(info.Defs[name].Def.Body); err != nil {
+			return err
+		}
+		color[name] = black
+		return nil
+	}
+	for name := range info.Defs {
+		if err := visit(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkMain validates a main definition: connector invocations resolve,
+// integer expressions reference main parameters or forall variables.
+func checkMain(info *Info, m *ast.MainDef) error {
+	vars := make(map[string]bool)
+	for _, p := range m.Params {
+		if vars[p] {
+			return errf(m.Pos, "duplicate main parameter %q", p)
+		}
+		vars[p] = true
+	}
+	var checkInt func(e ast.IntExpr) error
+	checkInt = func(e ast.IntExpr) error {
+		switch e := e.(type) {
+		case *ast.IntLit:
+			return nil
+		case *ast.VarRef:
+			if !vars[e.Name] {
+				return errf(e.Pos, "unknown variable %q in main", e.Name)
+			}
+			return nil
+		case *ast.LenOf:
+			return errf(e.Pos, "#%s not allowed in main (lengths are explicit)", e.Name)
+		case *ast.BinInt:
+			if err := checkInt(e.L); err != nil {
+				return err
+			}
+			return checkInt(e.R)
+		}
+		return nil
+	}
+	checkArg := func(a ast.PortArg) error {
+		for _, ix := range a.Indices {
+			if err := checkInt(ix); err != nil {
+				return err
+			}
+		}
+		if a.IsRange {
+			if err := checkInt(a.Lo); err != nil {
+				return err
+			}
+			return checkInt(a.Hi)
+		}
+		return nil
+	}
+	for _, inv := range m.Conns {
+		_, isDef := info.Defs[inv.Name]
+		_, isBuiltin := Builtins[inv.Name]
+		if !isDef && !isBuiltin {
+			return errf(inv.Pos, "unknown connector %q in main", inv.Name)
+		}
+		for _, a := range inv.Tails {
+			if err := checkArg(a); err != nil {
+				return err
+			}
+		}
+		for _, a := range inv.Heads {
+			if err := checkArg(a); err != nil {
+				return err
+			}
+		}
+	}
+	var checkTask func(item ast.TaskItem) error
+	checkTask = func(item ast.TaskItem) error {
+		switch item := item.(type) {
+		case *ast.TaskInst:
+			for _, a := range item.Args {
+				if err := checkArg(a); err != nil {
+					return err
+				}
+			}
+			return nil
+		case *ast.TaskForall:
+			if vars[item.Var] {
+				return errf(item.Pos, "forall variable %q shadows another", item.Var)
+			}
+			if err := checkInt(item.Lo); err != nil {
+				return err
+			}
+			if err := checkInt(item.Hi); err != nil {
+				return err
+			}
+			vars[item.Var] = true
+			for _, b := range item.Body {
+				if err := checkTask(b); err != nil {
+					return err
+				}
+			}
+			delete(vars, item.Var)
+			return nil
+		}
+		return nil
+	}
+	for _, t := range m.Tasks {
+		if err := checkTask(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

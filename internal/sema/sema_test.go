@@ -1,0 +1,150 @@
+package sema_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/sema"
+)
+
+func check(t *testing.T, src string) (*sema.Info, error) {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return sema.Check(f)
+}
+
+func mustCheck(t *testing.T, src string) *sema.Info {
+	t.Helper()
+	info, err := check(t, src)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return info
+}
+
+func mustFail(t *testing.T, src, fragment string) {
+	t.Helper()
+	_, err := check(t, src)
+	if err == nil {
+		t.Fatalf("no error for:\n%s", src)
+	}
+	if fragment != "" && !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("error %q does not mention %q", err, fragment)
+	}
+}
+
+func TestSymbolClassification(t *testing.T) {
+	info := mustCheck(t, `
+A(a[];b) = prod (i:1..#a) Sync(a[i];m) mult Fifo1(m;b) mult Sync(b2[1];k)
+`)
+	syms := info.Defs["A"].Symbols
+	cases := map[string]sema.SymKind{
+		"a":  sema.SymParamArray,
+		"b":  sema.SymParamScalar,
+		"m":  sema.SymLocalScalar,
+		"b2": sema.SymLocalArray,
+		"k":  sema.SymLocalScalar,
+	}
+	for name, want := range cases {
+		if got, ok := syms[name]; !ok || got != want {
+			t.Errorf("%s: got %v (present %v), want %v", name, got, ok, want)
+		}
+	}
+}
+
+func TestValidPrograms(t *testing.T) {
+	srcs := []string{
+		`A(a;b) = Sync(a;b)`,
+		`A(a,b;) = SyncDrain(a,b;)`,
+		`A(;a,b) = SyncSpout(;a,b)`,
+		`A(a[];b) = Merger(a[1..#a];b)`,
+		`A(a;b[]) = Router(a;b[1..#b])`,
+		`A(a[];) = Seq(a[1..#a];)`,
+		`A(a[];b[]) = prod (i:1..#a) prod (j:1..2) Sync(a[i];b[i])`,
+		`B(x;y) = Sync(x;y)  A(a;b) = B(a;b)`,
+		`A(a[];b[]) = B(a[1..#a];b[1..#b])  B(x[];y[]) = prod (i:1..#x) Sync(x[i];y[i])`,
+		`A(a[];b[]) = B(a;b)  B(x[];y[]) = prod (i:1..#x) Sync(x[i];y[i])`,
+		`A(a;b) = if (1 == 1) { Sync(a;b) }`,
+	}
+	for _, src := range srcs {
+		if _, err := check(t, src); err != nil {
+			t.Errorf("valid program rejected: %v\n%s", err, src)
+		}
+	}
+}
+
+func TestInvalidPrograms(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{`A(a;b) = Nope(a;b)`, "unknown connector"},
+		{`A(a;a) = Sync(a;a)`, "duplicate parameter"},
+		{`A(a;b) = Sync(a,b;b)`, "at most"},
+		{`A(a;b) = Sync(;b)`, "at least"},
+		{`A(a;b) = Fifo1.3(a;b)`, "no attribute"},
+		{`A(a;b) = Fifo(a;b)`, "integer attribute"},
+		{`A(a;b) = Fifo.zero(a;b)`, "positive integer"},
+		{`A(a;b) = Filter(a;b)`, "function attribute"},
+		{`A(a[];b) = prod (i:1..#a) Sync(a[j];b)`, "unknown variable"},
+		{`A(a;b) = Sync(a;b) mult prod (i:1..#a) Sync(a;b)`, "not an array"},
+		{`A(a[];b) = prod (i:1..#a) prod (i:1..2) Sync(a[i];b)`, "shadows"},
+		{`A(a[];b) = prod (a:1..2) Sync(b;b)`, "shadows"},
+		{`A(a[];b) = Sync(a[1];m) mult Sync(m[2];b)`, "used with an index"},
+		{`A(a[];b) = Sync(m[1];b) mult Sync(m;b)`, "without an index"},
+		{`A(a;b) = A(a;b)`, "recursive"},
+		{`A(a;b) = B(a;b)  B(x;y) = A(x;y)`, "recursive"},
+		{`Sync(a;b) = Fifo1(a;b)`, "shadows a primitive"},
+		{`A(a;b) = Sync(a;b)  A(x;y) = Sync(x;y)`, "duplicate definition"},
+		{`A(a[];b) = B(a[1];b)  B(x[];y) = Sync(x[1];y)`, "must be a range"},
+		{`A(a;b) = B(a;b)  B(x[];y) = Sync(x[1];y)`, "must be a range"},
+		{`A(a[];c[]) = B(a[1..#a];c[1..2])  B(x[];y) = Sync(x[1];y)`, "range argument for scalar"},
+		{`A(a[];b) = prod (i:1..#a) Sync(i;b)`, "used as a vertex"},
+	}
+	for _, tc := range cases {
+		mustFail(t, tc.src, tc.frag)
+	}
+}
+
+func TestMainChecks(t *testing.T) {
+	mustCheck(t, `
+A(a[];b[]) = prod (i:1..#a) Sync(a[i];b[i])
+main(N) = A(x[1..N];y[1..N]) among
+    forall (i:1..N) T.p(x[i]) and T.c(y[1..N])
+`)
+	mustFail(t, `
+A(a;b) = Sync(a;b)
+main = Nope(x;y) among T.p(x)
+`, "unknown connector")
+	mustFail(t, `
+A(a;b) = Sync(a;b)
+main = A(x;y) among T.p(x[k])
+`, "unknown variable")
+	mustFail(t, `
+A(a;b) = Sync(a;b)
+main(N,N) = A(x;y) among T.p(x)
+`, "duplicate main parameter")
+	mustFail(t, `
+A(a;b) = Sync(a;b)
+main(N) = A(x;y) among forall (N:1..2) T.p(x)
+`, "shadows")
+}
+
+func TestBuiltinTable(t *testing.T) {
+	// Every builtin must be well-formed: bounds consistent.
+	for name, b := range sema.Builtins {
+		if b.Name != name {
+			t.Errorf("%s: name mismatch %q", name, b.Name)
+		}
+		if b.MaxTails >= 0 && b.MaxTails < b.MinTails {
+			t.Errorf("%s: tail bounds inverted", name)
+		}
+		if b.MaxHeads >= 0 && b.MaxHeads < b.MinHeads {
+			t.Errorf("%s: head bounds inverted", name)
+		}
+	}
+	if len(sema.Builtins) < 15 {
+		t.Errorf("builtin table has %d entries; primitives missing?", len(sema.Builtins))
+	}
+}

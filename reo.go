@@ -1,0 +1,442 @@
+// Package reo is a Go implementation of the parametrized Reo coordination
+// language of van Veen & Jongmans, "Modular Programming of Synchronization
+// and Communication among Tasks in Parallel Programs" (IPDPSW 2018).
+//
+// Protocols among tasks are written as connector definitions in a textual
+// DSL — compositions of Reo primitives, parametric in the number of tasks
+// via port arrays, conditionals, and iterated composition:
+//
+//	OrderedN(tl[];hd[]) =
+//	    if (#tl == 1) {
+//	        Fifo1(tl[1];hd[1])
+//	    } else {
+//	        prod (i:1..#tl) X(tl[i];prev[i],next[i],hd[i])
+//	        mult prod (i:1..#tl-1) Seq(next[i],prev[i+1];)
+//	        mult Seq(prev[1],next[#tl];)
+//	    }
+//
+//	X(tl;prev,next,hd) =
+//	    Replicator(tl;prev,v) mult Fifo1(v;w) mult Replicator(w;next,hd)
+//
+// Compile parses and checks a program; Program.Connector compiles one
+// definition into a parametrized template (the compile-time share of the
+// work); Connector.Connect instantiates it for concrete array lengths (the
+// run-time share), returning Outports and Inports for tasks to use, in the
+// generalized Foster-Chandy model: both send and receive block until the
+// connector fires a transition involving the port.
+package reo
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/ca"
+	"repro/internal/compile"
+	"repro/internal/engine"
+	"repro/internal/parser"
+	"repro/internal/sema"
+)
+
+// Outport is a task's sending end of a connector boundary vertex.
+type Outport interface {
+	// Send offers v to the connector and blocks until some transition
+	// accepts it (or the connector closes).
+	Send(v any) error
+	// Name returns the vertex name the port is linked to.
+	Name() string
+}
+
+// Inport is a task's receiving end of a connector boundary vertex.
+type Inport interface {
+	// Recv blocks until the connector delivers a value.
+	Recv() (any, error)
+	Name() string
+}
+
+// Mode selects the compilation/execution approach for a connector
+// instance.
+type Mode uint8
+
+const (
+	// JIT is the paper's new approach with just-in-time composition:
+	// medium automata are instantiated at connect time and composite
+	// states are expanded only when reached (§IV-D).
+	JIT Mode = iota
+	// AOT is the new approach with ahead-of-time composition: the full
+	// reachable composite space is expanded at connect time.
+	AOT
+	// Static emulates the existing (pre-parametrization) compiler: the
+	// whole "large automaton" is materialized for one concrete N before
+	// execution, with hiding and transition-label simplification
+	// applied. Connect fails with ErrTooLarge when the automaton
+	// exceeds size limits — as the existing compiler does (§V-B).
+	Static
+)
+
+func (m Mode) String() string {
+	switch m {
+	case JIT:
+		return "jit"
+	case AOT:
+		return "aot"
+	default:
+		return "static"
+	}
+}
+
+// ErrTooLarge reports that composition exceeded configured size limits.
+var ErrTooLarge = ca.ErrTooLarge
+
+// Funcs registers the data functions available to Filter.* and
+// Transformer.* primitives.
+type Funcs = compile.Funcs
+
+// CompileOption configures Compile.
+type CompileOption func(*Program)
+
+// WithFuncs registers data functions.
+func WithFuncs(f Funcs) CompileOption {
+	return func(p *Program) { p.funcs = f }
+}
+
+// WithMediumSimplify toggles transition-label simplification of
+// compile-time medium automata (default on).
+func WithMediumSimplify(on bool) CompileOption {
+	return func(p *Program) { p.copts.Simplify = on }
+}
+
+// Program is a compiled protocol program: a set of connector definitions
+// and optional main definitions.
+// Program is safe for concurrent use once compiled.
+type Program struct {
+	file  *ast.File
+	info  *sema.Info
+	funcs Funcs
+	copts compile.Options
+
+	mu        sync.Mutex
+	templates map[string]*compile.Template
+}
+
+// Compile parses and checks a program in the textual syntax.
+func Compile(src string, opts ...CompileOption) (*Program, error) {
+	f, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{
+		file:      f,
+		info:      info,
+		copts:     compile.Options{Simplify: true},
+		templates: make(map[string]*compile.Template),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p, nil
+}
+
+// MustCompile is Compile, panicking on error. For tests and package-level
+// connector constants.
+func MustCompile(src string, opts ...CompileOption) *Program {
+	p, err := Compile(src, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Definitions lists the connector definitions in the program.
+func (p *Program) Definitions() []string {
+	out := make([]string, 0, len(p.file.Defs))
+	for _, d := range p.file.Defs {
+		out = append(out, d.Name)
+	}
+	return out
+}
+
+// Connector compiles the named definition into a parametrized template.
+// Templates are cached per program.
+func (p *Program) Connector(name string) (*Connector, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if t, ok := p.templates[name]; ok {
+		return &Connector{prog: p, tmpl: t}, nil
+	}
+	t, err := compile.Build(p.info, name, p.funcs, p.copts)
+	if err != nil {
+		return nil, err
+	}
+	p.templates[name] = t
+	return &Connector{prog: p, tmpl: t}, nil
+}
+
+// MustConnector is Connector, panicking on error.
+func (p *Program) MustConnector(name string) *Connector {
+	c, err := p.Connector(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Connector is a compiled, parametrized connector template.
+type Connector struct {
+	prog *Program
+	tmpl *compile.Template
+}
+
+// Name returns the definition name.
+func (c *Connector) Name() string { return c.tmpl.Name }
+
+// Template exposes the compiled template (for cmd/reoc inspection).
+func (c *Connector) Template() *compile.Template { return c.tmpl }
+
+// connectCfg holds instance options.
+type connectCfg struct {
+	mode        Mode
+	partition   bool
+	expand      ca.ExpandMode
+	cacheSize   int
+	policy      engine.EvictionPolicy
+	seed        int64
+	maxStates   int
+	simplify    bool
+	simplifySet bool
+}
+
+// ConnectOption configures a connector instance.
+type ConnectOption func(*connectCfg)
+
+// WithMode selects JIT (default), AOT, or Static execution.
+func WithMode(m Mode) ConnectOption { return func(c *connectCfg) { c.mode = m } }
+
+// WithPartitioning splits the constituents into independent components,
+// each with its own engine (§V-C(3) optimization). Not applicable to
+// Static mode (the product is already global).
+func WithPartitioning(on bool) ConnectOption { return func(c *connectCfg) { c.partition = on } }
+
+// WithFullExpansion enables the textbook joint-step enumeration, which
+// combines independent local steps into single global steps. Exponentially
+// many transitions per composite state are possible — the blow-up the
+// paper observes for NPB at N >= 16.
+func WithFullExpansion(on bool) ConnectOption {
+	return func(c *connectCfg) {
+		if on {
+			c.expand = ca.ExpandFull
+		} else {
+			c.expand = ca.ExpandConnected
+		}
+	}
+}
+
+// WithStateCache bounds the JIT composite-state cache and sets the
+// eviction policy (the §V-B future-work extension). size 0 = unbounded.
+func WithStateCache(size int, policy CachePolicy) ConnectOption {
+	return func(c *connectCfg) {
+		c.cacheSize = size
+		c.policy = engine.EvictionPolicy(policy)
+	}
+}
+
+// CachePolicy selects the state-cache eviction policy.
+type CachePolicy uint8
+
+// Cache eviction policies.
+const (
+	LRU    CachePolicy = CachePolicy(engine.LRU)
+	FIFO   CachePolicy = CachePolicy(engine.FIFO)
+	Random CachePolicy = CachePolicy(engine.RandomEvict)
+)
+
+// WithSeed fixes the nondeterministic-choice seed for reproducible runs.
+func WithSeed(s int64) ConnectOption { return func(c *connectCfg) { c.seed = s } }
+
+// WithMaxStates bounds composition (AOT expansion; Static product).
+func WithMaxStates(n int) ConnectOption { return func(c *connectCfg) { c.maxStates = n } }
+
+// WithStaticSimplify toggles transition-label simplification of the
+// Static mode's large automaton (default on; the E7 ablation).
+func WithStaticSimplify(on bool) ConnectOption {
+	return func(c *connectCfg) { c.simplify = on; c.simplifySet = true }
+}
+
+// Instance is a live connector coordinating tasks through its ports.
+type Instance struct {
+	coord engine.Coordinator
+	asm   *compile.Assembly
+
+	outs map[string][]*engine.Outport
+	ins  map[string][]*engine.Inport
+}
+
+// Connect instantiates the connector for the given array lengths (one
+// entry per array parameter; scalar parameters need none). The returned
+// instance owns fresh ports for every boundary vertex.
+func (c *Connector) Connect(lengths map[string]int, opts ...ConnectOption) (*Instance, error) {
+	cfg := &connectCfg{simplify: true}
+	for _, o := range opts {
+		o(cfg)
+	}
+	asm, err := c.tmpl.Instantiate(lengths)
+	if err != nil {
+		return nil, err
+	}
+	coord, err := buildCoordinator(asm, cfg)
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{
+		coord: coord,
+		asm:   asm,
+		outs:  make(map[string][]*engine.Outport),
+		ins:   make(map[string][]*engine.Inport),
+	}
+	for name, ports := range asm.Tails {
+		for _, p := range ports {
+			inst.outs[name] = append(inst.outs[name], engine.NewOutport(coord, p, asm.U.Name(p)))
+		}
+	}
+	for name, ports := range asm.Heads {
+		for _, p := range ports {
+			inst.ins[name] = append(inst.ins[name], engine.NewInport(coord, p, asm.U.Name(p)))
+		}
+	}
+	return inst, nil
+}
+
+func buildCoordinator(asm *compile.Assembly, cfg *connectCfg) (engine.Coordinator, error) {
+	eopts := engine.Options{
+		Expand:    cfg.expand,
+		CacheSize: cfg.cacheSize,
+		Policy:    cfg.policy,
+		Seed:      cfg.seed,
+		MaxStates: cfg.maxStates,
+	}
+	switch cfg.mode {
+	case Static:
+		lim := ca.ProductLimits{MaxStates: cfg.maxStates}
+		large, err := ca.ProductAll(asm.Auts, cfg.expand, lim)
+		if err != nil {
+			return nil, fmt.Errorf("reo: static compilation failed: %w", err)
+		}
+		hidden := asm.U.NewSet()
+		large.Ports.ForEach(func(p ca.PortID) {
+			if asm.U.DirOf(p) == ca.DirNone {
+				hidden.Set(p)
+			}
+		})
+		large = ca.Hide(large, hidden)
+		if cfg.simplify {
+			vis := func(p ca.PortID) bool { return asm.U.DirOf(p) != ca.DirNone }
+			simplified, err := ca.Simplify(large, vis)
+			if err != nil {
+				return nil, fmt.Errorf("reo: static simplification failed: %w", err)
+			}
+			large = simplified
+		}
+		return engine.New(asm.U, []*ca.Automaton{large}, eopts)
+	case AOT:
+		eopts.Composition = engine.AOT
+	default:
+		eopts.Composition = engine.JIT
+	}
+	if cfg.partition {
+		return engine.NewMulti(asm.U, asm.Auts, eopts)
+	}
+	return engine.New(asm.U, asm.Auts, eopts)
+}
+
+// Outports returns the task-side sending ports bound to a tail parameter,
+// in array order.
+func (i *Instance) Outports(param string) []Outport {
+	ps := i.outs[param]
+	out := make([]Outport, len(ps))
+	for k, p := range ps {
+		out[k] = p
+	}
+	return out
+}
+
+// Outport returns the single port of a scalar tail parameter (or the
+// first element of an array).
+func (i *Instance) Outport(param string) Outport {
+	ps := i.outs[param]
+	if len(ps) == 0 {
+		return nil
+	}
+	return ps[0]
+}
+
+// Inports returns the task-side receiving ports bound to a head
+// parameter, in array order.
+func (i *Instance) Inports(param string) []Inport {
+	ps := i.ins[param]
+	out := make([]Inport, len(ps))
+	for k, p := range ps {
+		out[k] = p
+	}
+	return out
+}
+
+// Inport returns the single port of a scalar head parameter.
+func (i *Instance) Inport(param string) Inport {
+	ps := i.ins[param]
+	if len(ps) == 0 {
+		return nil
+	}
+	return ps[0]
+}
+
+// Close shuts the connector down; all pending and future operations fail.
+func (i *Instance) Close() error { return i.coord.Close() }
+
+// Steps returns the number of global execution steps fired — the metric
+// of the paper's connector benchmarks.
+func (i *Instance) Steps() int64 { return i.coord.Steps() }
+
+// Expansions returns the number of composite states expanded at run time
+// (composition work deferred to run time).
+func (i *Instance) Expansions() int64 { return i.coord.Expansions() }
+
+// Constituents returns the number of constituent automata of the
+// instance (1 in Static mode).
+func (i *Instance) Constituents() int { return len(i.asm.Auts) }
+
+// Partitions returns the number of independent engines (1 unless
+// partitioning is enabled).
+func (i *Instance) Partitions() int {
+	if m, ok := i.coord.(*engine.Multi); ok {
+		return m.Partitions()
+	}
+	return 1
+}
+
+// SetTracer installs a hook receiving a rendered description of every
+// global execution step the connector fires ("step 3: {a->5, b<-5}"),
+// for debugging protocols. Pass nil to clear. The hook runs inside the
+// engine's critical section: keep it fast and do not perform port
+// operations from it.
+func (i *Instance) SetTracer(fn func(string)) {
+	type traceable interface{ SetTracer(engine.Tracer) }
+	tr, ok := i.coord.(traceable)
+	if !ok {
+		return
+	}
+	if fn == nil {
+		tr.SetTracer(nil)
+		return
+	}
+	tr.SetTracer(func(e engine.TraceEvent) { fn(e.String()) })
+}
+
+// Universe exposes the instance universe (diagnostics, cmd/reoc).
+func (i *Instance) Universe() *ca.Universe { return i.asm.U }
+
+// Automata exposes the instance's constituent automata (diagnostics).
+func (i *Instance) Automata() []*ca.Automaton { return i.asm.Auts }

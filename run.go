@@ -1,0 +1,313 @@
+package reo
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/sema"
+)
+
+// TaskPorts carries the ports handed to one task instance, in the order
+// of the task's arguments in the main definition. Each argument yields an
+// Outport (if the vertex is a connector tail) or an Inport (if it is a
+// head); range arguments contribute one port per element.
+type TaskPorts struct {
+	Outs []Outport
+	Ins  []Inport
+}
+
+// TaskFunc is the body of a task. The run ends when every task returns;
+// a non-nil error aborts the run.
+type TaskFunc func(tp TaskPorts) error
+
+// Tasks maps task names (as written in main, e.g. "Tasks.pro") to bodies.
+type Tasks map[string]TaskFunc
+
+// RunResult reports statistics of a completed main run.
+type RunResult struct {
+	// Steps is the total number of global execution steps across all
+	// connector instances.
+	Steps int64
+	// TaskCount is the number of task instances spawned.
+	TaskCount int
+}
+
+// Run executes the program's first main definition: it instantiates the
+// main's connectors for the given parameter values, spawns one goroutine
+// per task instance, waits for all tasks to return, and closes the
+// connectors.
+func (p *Program) Run(args map[string]int, tasks Tasks, opts ...ConnectOption) (*RunResult, error) {
+	if len(p.file.Mains) == 0 {
+		return nil, fmt.Errorf("reo: program has no main definition")
+	}
+	return p.runMain(p.file.Mains[0], args, tasks, opts...)
+}
+
+func (p *Program) runMain(m *ast.MainDef, args map[string]int, tasks Tasks, opts ...ConnectOption) (*RunResult, error) {
+	env := make(map[string]int)
+	for _, prm := range m.Params {
+		v, ok := args[prm]
+		if !ok {
+			return nil, fmt.Errorf("reo: main parameter %q not supplied", prm)
+		}
+		env[prm] = v
+	}
+
+	// vertexPort resolves a main-level vertex name to a connector port.
+	type portRef struct {
+		out Outport
+		in  Inport
+	}
+	vertices := make(map[string]portRef)
+	var instances []*Instance
+	closeAll := func() {
+		for _, inst := range instances {
+			inst.Close()
+		}
+	}
+
+	evalArgPorts := func(a ast.PortArg) ([]string, error) {
+		ev := func(e ast.IntExpr) (int, error) { return evalMainInt(e, env) }
+		if a.IsRange {
+			lo, err := ev(a.Lo)
+			if err != nil {
+				return nil, err
+			}
+			hi, err := ev(a.Hi)
+			if err != nil {
+				return nil, err
+			}
+			if hi < lo {
+				return nil, fmt.Errorf("%s: empty range %d..%d", a.Pos, lo, hi)
+			}
+			var names []string
+			for i := lo; i <= hi; i++ {
+				names = append(names, fmt.Sprintf("%s[%d]", a.Name, i))
+			}
+			return names, nil
+		}
+		name := a.Name
+		for _, ix := range a.Indices {
+			v, err := ev(ix)
+			if err != nil {
+				return nil, err
+			}
+			name += fmt.Sprintf("[%d]", v)
+		}
+		return []string{name}, nil
+	}
+
+	// Instantiate each connector of the main definition.
+	for _, inv := range m.Conns {
+		if _, isBuiltin := sema.Builtins[inv.Name]; isBuiltin {
+			return nil, fmt.Errorf("%s: main must instantiate defined connectors, not primitive %q", inv.Pos, inv.Name)
+		}
+		conn, err := p.Connector(inv.Name)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		// Map positional arguments to parameters, computing lengths.
+		tmpl := conn.tmpl
+		lengths := make(map[string]int)
+		type binding struct {
+			param  string
+			names  []string
+			isTail bool
+		}
+		var binds []binding
+		bindSide := func(params []ast.Param, argsSide []ast.PortArg, isTail bool) error {
+			if len(params) != len(argsSide) {
+				return fmt.Errorf("%s: %q expects %d arguments, got %d", inv.Pos, inv.Name, len(params), len(argsSide))
+			}
+			for i, prm := range params {
+				names, err := evalArgPorts(argsSide[i])
+				if err != nil {
+					return err
+				}
+				if prm.IsArray {
+					lengths[prm.Name] = len(names)
+				} else if len(names) != 1 {
+					return fmt.Errorf("%s: scalar parameter %q needs one vertex, got %d", inv.Pos, prm.Name, len(names))
+				}
+				binds = append(binds, binding{param: prm.Name, names: names, isTail: isTail})
+			}
+			return nil
+		}
+		if err := bindSide(tmpl.Tails, inv.Tails, true); err != nil {
+			closeAll()
+			return nil, err
+		}
+		if err := bindSide(tmpl.Heads, inv.Heads, false); err != nil {
+			closeAll()
+			return nil, err
+		}
+		inst, err := conn.Connect(lengths, opts...)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		instances = append(instances, inst)
+		for _, b := range binds {
+			if b.isTail {
+				ports := inst.Outports(b.param)
+				for i, name := range b.names {
+					if _, dup := vertices[name]; dup {
+						closeAll()
+						return nil, fmt.Errorf("%s: vertex %q bound to two connector ports", inv.Pos, name)
+					}
+					vertices[name] = portRef{out: ports[i]}
+				}
+			} else {
+				ports := inst.Inports(b.param)
+				for i, name := range b.names {
+					if _, dup := vertices[name]; dup {
+						closeAll()
+						return nil, fmt.Errorf("%s: vertex %q bound to two connector ports", inv.Pos, name)
+					}
+					vertices[name] = portRef{in: ports[i]}
+				}
+			}
+		}
+	}
+
+	// Expand task items into concrete task instances.
+	type taskRun struct {
+		name  string
+		ports TaskPorts
+	}
+	var runs []taskRun
+	var expand func(item ast.TaskItem) error
+	expand = func(item ast.TaskItem) error {
+		switch item := item.(type) {
+		case *ast.TaskInst:
+			fn, ok := tasks[item.Name]
+			if !ok {
+				return fmt.Errorf("%s: no registered task %q", item.Pos, item.Name)
+			}
+			_ = fn
+			var tp TaskPorts
+			for _, a := range item.Args {
+				names, err := evalArgPorts(a)
+				if err != nil {
+					return err
+				}
+				for _, name := range names {
+					ref, ok := vertices[name]
+					if !ok {
+						return fmt.Errorf("%s: vertex %q is not bound to any connector port", item.Pos, name)
+					}
+					if ref.out != nil {
+						tp.Outs = append(tp.Outs, ref.out)
+					} else {
+						tp.Ins = append(tp.Ins, ref.in)
+					}
+				}
+			}
+			runs = append(runs, taskRun{name: item.Name, ports: tp})
+			return nil
+		case *ast.TaskForall:
+			lo, err := evalMainInt(item.Lo, env)
+			if err != nil {
+				return err
+			}
+			hi, err := evalMainInt(item.Hi, env)
+			if err != nil {
+				return err
+			}
+			saved, had := env[item.Var]
+			for i := lo; i <= hi; i++ {
+				env[item.Var] = i
+				for _, b := range item.Body {
+					if err := expand(b); err != nil {
+						return err
+					}
+				}
+			}
+			if had {
+				env[item.Var] = saved
+			} else {
+				delete(env, item.Var)
+			}
+			return nil
+		}
+		return fmt.Errorf("reo: unknown task item %T", item)
+	}
+	for _, item := range m.Tasks {
+		if err := expand(item); err != nil {
+			closeAll()
+			return nil, err
+		}
+	}
+
+	// Tasks as goroutines (Fig. 2's threads). The first task error closes
+	// the connectors so that peers blocked on port operations unblock.
+	var wg sync.WaitGroup
+	var closeOnce sync.Once
+	errc := make(chan error, len(runs))
+	for _, r := range runs {
+		wg.Add(1)
+		go func(r taskRun) {
+			defer wg.Done()
+			if err := tasks[r.name](r.ports); err != nil {
+				errc <- fmt.Errorf("task %s: %w", r.name, err)
+				closeOnce.Do(closeAll)
+			}
+		}(r)
+	}
+	wg.Wait()
+	closeOnce.Do(closeAll)
+	close(errc)
+	for err := range errc {
+		return nil, err
+	}
+	res := &RunResult{TaskCount: len(runs)}
+	for _, inst := range instances {
+		res.Steps += inst.Steps()
+	}
+	return res, nil
+}
+
+func evalMainInt(e ast.IntExpr, env map[string]int) (int, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Val, nil
+	case *ast.VarRef:
+		v, ok := env[e.Name]
+		if !ok {
+			return 0, fmt.Errorf("%s: unbound variable %q", e.Pos, e.Name)
+		}
+		return v, nil
+	case *ast.LenOf:
+		return 0, fmt.Errorf("%s: #%s not allowed in main", e.Pos, e.Name)
+	case *ast.BinInt:
+		l, err := evalMainInt(e.L, env)
+		if err != nil {
+			return 0, err
+		}
+		r, err := evalMainInt(e.R, env)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case "+":
+			return l + r, nil
+		case "-":
+			return l - r, nil
+		case "*":
+			return l * r, nil
+		case "/":
+			if r == 0 {
+				return 0, fmt.Errorf("%s: division by zero", e.Pos)
+			}
+			return l / r, nil
+		case "%":
+			if r == 0 {
+				return 0, fmt.Errorf("%s: modulo by zero", e.Pos)
+			}
+			return l % r, nil
+		}
+	}
+	return 0, fmt.Errorf("invalid main expression %T", e)
+}

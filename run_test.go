@@ -1,0 +1,119 @@
+package reo_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	reo "repro"
+)
+
+// srcMain mirrors Fig. 9's main: N producers, one consumer, ordered
+// delivery through ConnectorEx11N.
+const srcMain = srcEx11N + `
+main(N) = ConnectorEx11N(out[1..N];in[1..N]) among
+    forall (i:1..N) Tasks.pro(out[i]) and Tasks.con(in[1..N])
+`
+
+func TestRunMainExample8(t *testing.T) {
+	prog := reo.MustCompile(srcMain)
+	const n = 4
+	const rounds = 3
+
+	var mu sync.Mutex
+	var received []string
+
+	res, err := prog.Run(map[string]int{"N": n}, reo.Tasks{
+		"Tasks.pro": func(tp reo.TaskPorts) error {
+			if len(tp.Outs) != 1 {
+				return fmt.Errorf("producer wants 1 outport, got %d", len(tp.Outs))
+			}
+			for r := 0; r < rounds; r++ {
+				if err := tp.Outs[0].Send(fmt.Sprintf("%s/%d", tp.Outs[0].Name(), r)); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		"Tasks.con": func(tp reo.TaskPorts) error {
+			if len(tp.Ins) != n {
+				return fmt.Errorf("consumer wants %d inports, got %d", n, len(tp.Ins))
+			}
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < n; i++ {
+					v, err := tp.Ins[i].Recv()
+					if err != nil {
+						return err
+					}
+					mu.Lock()
+					received = append(received, v.(string))
+					mu.Unlock()
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TaskCount != n+1 {
+		t.Errorf("task count = %d, want %d", res.TaskCount, n+1)
+	}
+	if res.Steps == 0 {
+		t.Error("no global steps recorded")
+	}
+	if len(received) != n*rounds {
+		t.Fatalf("received %d messages, want %d", len(received), n*rounds)
+	}
+	// Ordered protocol: within each round, producer order 1..N. Port
+	// names are the connector-side vertex names (tl[i]).
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < n; i++ {
+			want := fmt.Sprintf("tl[%d]/%d", i+1, r)
+			if received[r*n+i] != want {
+				t.Errorf("position %d = %q, want %q", r*n+i, received[r*n+i], want)
+			}
+		}
+	}
+}
+
+func TestRunMainErrors(t *testing.T) {
+	prog := reo.MustCompile(srcMain)
+	if _, err := prog.Run(nil, reo.Tasks{}); err == nil {
+		t.Error("missing main parameter accepted")
+	}
+	if _, err := prog.Run(map[string]int{"N": 2}, reo.Tasks{}); err == nil {
+		t.Error("missing task registration accepted")
+	}
+	noMain := reo.MustCompile(`A(a;b) = Sync(a;b)`)
+	if _, err := noMain.Run(nil, reo.Tasks{}); err == nil {
+		t.Error("run without main accepted")
+	}
+}
+
+func TestRunTaskErrorPropagates(t *testing.T) {
+	prog := reo.MustCompile(`
+P(a;b) = Fifo1(a;b)
+main() = P(x;y) among Tasks.bad(x) and Tasks.ok(y)
+`)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := prog.Run(nil, reo.Tasks{
+			"Tasks.bad": func(tp reo.TaskPorts) error { return fmt.Errorf("boom") },
+			"Tasks.ok": func(tp reo.TaskPorts) error {
+				tp.Ins[0].Recv() // fails when the run closes the connector
+				return nil
+			},
+		})
+		if err == nil {
+			t.Error("task error not propagated")
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not terminate after task error")
+	}
+}
