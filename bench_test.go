@@ -226,6 +226,42 @@ func BenchmarkLabelSimplify(b *testing.B) {
 	}
 }
 
+// BenchmarkFireSteady measures the steady-state firing path through the
+// public API: a warmed JIT connector (every composite state expanded and
+// every transition plan compiled) moving one value end to end. The engine
+// fires through compiled transition plans with pooled operations, so this
+// must report 0 allocs/op.
+func BenchmarkFireSteady(b *testing.B) {
+	prog := reo.MustCompile(`Lane(a;b) = Fifo1(a;b)`)
+	conn := prog.MustConnector("Lane")
+	inst, err := conn.Connect(nil, reo.WithMode(reo.JIT))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer inst.Close()
+	out := inst.Outport("a")
+	in := inst.Inport("b")
+	// Warm: visit both composite states.
+	if err := out.Send(0); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := in.Recv(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := out.Send(i); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := in.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(inst.GuardEvals())/float64(inst.Steps()), "guardevals/step")
+}
+
 // BenchmarkCompileOnce quantifies the headline workflow difference: the
 // existing approach compiles once per N, the new approach once in total
 // (Table/§V-B setup: "with the existing compiler, we needed to compile

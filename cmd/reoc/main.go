@@ -8,6 +8,7 @@
 //	reoc check file.reo
 //	reoc flatten file.reo Connector
 //	reoc automata file.reo Connector [-n N]
+//	reoc plan file.reo Connector [-n N]
 //	reoc verify file.reo Connector [-n N]
 package main
 
@@ -18,6 +19,7 @@ import (
 
 	reo "repro"
 	"repro/internal/ast"
+	"repro/internal/ca"
 	"repro/internal/check"
 	"repro/internal/compile"
 	"repro/internal/flatten"
@@ -80,6 +82,26 @@ func main() {
 		fmt.Printf("# %s instantiated with N=%d: %d constituent automata\n\n", name, n, inst.Constituents())
 		for _, a := range inst.Automata() {
 			fmt.Println(a)
+		}
+	case "plan":
+		// Dump the compiled transition plans of the initial composite
+		// state: what the engine actually executes per fired step after
+		// just-in-time expansion.
+		name, n := parseRest(rest)
+		inst := connectInstance(string(src), name, n)
+		defer inst.Close()
+		auts := inst.Automata()
+		u := inst.Universe()
+		states := make([]int32, len(auts))
+		for i, a := range auts {
+			states[i] = a.Initial
+		}
+		joints := ca.ExpandJoint(auts, states, ca.ExpandConnected)
+		fmt.Printf("# %s (N=%d): %d joint transitions from the initial composite state\n", name, n, len(joints))
+		for _, j := range joints {
+			t := &ca.Transition{Sync: j.Sync, Guards: j.Guards, Acts: j.Acts}
+			pl := ca.CompilePlan(t, u.DirOf)
+			fmt.Printf("  %s\n", pl.Dump(u))
 		}
 	case "verify":
 		name, n := parseRest(rest)
@@ -152,6 +174,7 @@ func usage() {
   reoc check    file.reo
   reoc flatten  file.reo Connector
   reoc automata file.reo Connector [-n N]
+  reoc plan     file.reo Connector [-n N]
   reoc verify   file.reo Connector [-n N]`)
 	os.Exit(2)
 }

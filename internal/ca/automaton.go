@@ -120,6 +120,12 @@ func (a *Automaton) NumTransitions() int {
 //   - Boundary source ports resolve to pending send values.
 //   - Hidden ports resolve through the transition's own action chain.
 //   - Cells resolve to the instance cell store.
+//
+// Env is the reference interpreter for transition semantics: it resolves
+// data-flow chains lazily, allocating memo maps per fire. The engine's hot
+// path uses compiled Plans instead (see plan.go), which must agree with
+// Env observably; Env remains for simplification, tests, and as the
+// executable specification the plan compiler is checked against.
 type Env struct {
 	t *Transition
 	// PortVal returns the pending value on a boundary source port.

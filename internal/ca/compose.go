@@ -244,6 +244,89 @@ func buildJoint(u *Universe, auts []*Automaton, states []int32, chosen, targets 
 	return j
 }
 
+// StateKey is a packed composite-state identifier: a fixed-size,
+// comparable key for maps over composite states, replacing per-lookup
+// string conversion on hot paths.
+type StateKey [4]uint64
+
+// StatePacker packs composite state tuples into StateKeys. Each
+// constituent gets a fixed bit field sized by its state count; fields
+// never straddle word boundaries. When the total exceeds 256 bits (dozens
+// of constituents with large local spaces), the packer falls back to
+// interning tuples: lookups of already-seen tuples remain allocation-free
+// (map[string] lookup with an in-place byte-slice conversion), and only
+// the first visit of a state allocates. The intern table is append-only —
+// IDs must stay stable for keys already handed out — so in the fallback
+// regime memory grows with the distinct states visited even when the
+// caller bounds its own cache; a deliberate tradeoff, far smaller per
+// state than the expansions such a cache evicts.
+type StatePacker struct {
+	word  []int
+	shift []uint
+	// fallback interning (packable == false)
+	packable bool
+	intern   map[string]uint64
+	buf      []byte
+}
+
+// NewStatePacker sizes a packer for the given constituents' state spaces.
+func NewStatePacker(auts []*Automaton) *StatePacker {
+	k := &StatePacker{
+		word:     make([]int, len(auts)),
+		shift:    make([]uint, len(auts)),
+		packable: true,
+	}
+	word, used := 0, uint(0)
+	for i, a := range auts {
+		n := a.NumStates()
+		width := uint(1)
+		for 1<<width < n {
+			width++
+		}
+		if used+width > 64 {
+			word++
+			used = 0
+		}
+		if word >= len(StateKey{}) {
+			k.packable = false
+			break
+		}
+		k.word[i] = word
+		k.shift[i] = used
+		used += width
+	}
+	if !k.packable {
+		k.intern = make(map[string]uint64)
+		k.buf = make([]byte, 4*len(auts))
+	}
+	return k
+}
+
+// Key packs a state tuple. For packable spaces this never allocates; the
+// interning fallback allocates only on the first visit of a tuple.
+func (k *StatePacker) Key(state []int32) StateKey {
+	if k.packable {
+		var sk StateKey
+		for i, s := range state {
+			sk[k.word[i]] |= uint64(uint32(s)) << k.shift[i]
+		}
+		return sk
+	}
+	b := k.buf
+	for i, v := range state {
+		b[4*i] = byte(v)
+		b[4*i+1] = byte(v >> 8)
+		b[4*i+2] = byte(v >> 16)
+		b[4*i+3] = byte(v >> 24)
+	}
+	id, ok := k.intern[string(b)]
+	if !ok {
+		id = uint64(len(k.intern))
+		k.intern[string(b)] = id
+	}
+	return StateKey{id, ^uint64(0), ^uint64(0), ^uint64(0)}
+}
+
 // ErrTooLarge is returned when materializing a product exceeds limits —
 // the analogue of the existing compiler failing to compile a connector
 // whose large automaton is too big (paper §V-B).
@@ -285,24 +368,15 @@ func ProductAll(auts []*Automaton, mode ExpandMode, lim ProductLimits) (*Automat
 		a.PadToUniverse()
 	}
 	k := len(auts)
-	type stateKey string
-	keyOf := func(s []int32) stateKey {
-		b := make([]byte, 4*k)
-		for i, v := range s {
-			b[4*i] = byte(v)
-			b[4*i+1] = byte(v >> 8)
-			b[4*i+2] = byte(v >> 16)
-			b[4*i+3] = byte(v >> 24)
-		}
-		return stateKey(b)
-	}
+	packer := NewStatePacker(auts)
+	keyOf := packer.Key
 
 	init := make([]int32, k)
 	for i, a := range auts {
 		init[i] = a.Initial
 	}
 
-	index := map[stateKey]int32{keyOf(init): 0}
+	index := map[StateKey]int32{keyOf(init): 0}
 	tuples := [][]int32{init}
 	out := &Automaton{
 		Name:    "product",

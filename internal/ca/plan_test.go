@@ -1,0 +1,389 @@
+package ca_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ca"
+)
+
+// planHost is a test PlanHost over plain maps.
+type planHost struct {
+	vals      map[ca.PortID]any
+	delivered map[ca.PortID]any
+}
+
+func newPlanHost() *planHost {
+	return &planHost{vals: map[ca.PortID]any{}, delivered: map[ca.PortID]any{}}
+}
+
+func (h *planHost) PlanPortVal(p ca.PortID) any    { return h.vals[p] }
+func (h *planHost) PlanDeliver(p ca.PortID, v any) { h.delivered[p] = v }
+
+// fireBoth runs t through the Env interpreter and through a compiled Plan
+// under identical inputs and checks that guard outcomes, deliveries, and
+// cell effects agree. It returns the (shared) outcome.
+func fireBoth(t *testing.T, tr *ca.Transition, dirs map[ca.PortID]ca.Dir, cells []any, pending map[ca.PortID]any) (bool, map[ca.PortID]any, []any) {
+	t.Helper()
+	dirOf := func(p ca.PortID) ca.Dir { return dirs[p] }
+	isSource := func(p ca.PortID) bool { return dirs[p] == ca.DirSource }
+	isSink := func(p ca.PortID) bool { return dirs[p] == ca.DirSink }
+	portVal := func(p ca.PortID) any { return pending[p] }
+
+	// Interpreter.
+	envCells := append([]any(nil), cells...)
+	env := ca.NewEnv(tr, envCells, isSource, portVal)
+	envOK, envGuardErr := env.CheckGuards()
+	var envRes ca.FireResult
+	var envExecErr error
+	if envOK {
+		envRes, envExecErr = env.Execute(isSink)
+		if envExecErr == nil {
+			for c, v := range envRes.CellWrites {
+				envCells[c] = v
+			}
+		}
+	}
+
+	// Compiled plan.
+	planCells := append([]any(nil), cells...)
+	host := newPlanHost()
+	host.vals = pending
+	pl := ca.CompilePlan(tr, dirOf)
+	planOK, planGuardErr := pl.CheckGuards(planCells, host)
+	var planExecErr error
+	if planOK {
+		planExecErr = pl.Execute(planCells, host)
+	}
+
+	if envOK != planOK {
+		t.Fatalf("guard outcome: env=%v plan=%v", envOK, planOK)
+	}
+	if fmt.Sprint(envGuardErr) != fmt.Sprint(planGuardErr) {
+		t.Fatalf("guard error: env=%v plan=%v", envGuardErr, planGuardErr)
+	}
+	if fmt.Sprint(envExecErr) != fmt.Sprint(planExecErr) {
+		t.Fatalf("exec error: env=%v plan=%v", envExecErr, planExecErr)
+	}
+	if !envOK || envExecErr != nil {
+		return false, nil, nil
+	}
+	if len(envRes.Delivered) != len(host.delivered) {
+		t.Fatalf("deliveries: env=%v plan=%v", envRes.Delivered, host.delivered)
+	}
+	for p, v := range envRes.Delivered {
+		if host.delivered[p] != v {
+			t.Fatalf("delivery on port %d: env=%v plan=%v", p, v, host.delivered[p])
+		}
+	}
+	for i := range envCells {
+		if envCells[i] != planCells[i] {
+			t.Fatalf("cell %d: env=%v plan=%v", i, envCells[i], planCells[i])
+		}
+	}
+	return true, host.delivered, planCells
+}
+
+// TestPlanChainParity: a data-flow chain through hidden ports with
+// transformations, a guard on the chain, a sink delivery, a cell write,
+// and a cell read that must see the pre-step cell value.
+func TestPlanChainParity(t *testing.T) {
+	u := ca.NewUniverse()
+	a, h1, h2, b, c := u.Port("a"), u.Port("h1"), u.Port("h2"), u.Port("b"), u.Port("c")
+	cell := u.NewCell()
+	dirs := map[ca.PortID]ca.Dir{a: ca.DirSource, b: ca.DirSink, c: ca.DirSink}
+
+	inc := func(v any) any { return v.(int) + 1 }
+	dbl := func(v any) any { return v.(int) * 2 }
+	tr := &ca.Transition{
+		Sync: u.SetOf(a, b, c),
+		Guards: []ca.Guard{
+			{In: ca.PortLoc(h2), Pred: func(v any) bool { return v.(int) > 0 }, Name: "pos"},
+		},
+		Acts: []ca.Action{
+			{Dst: ca.PortLoc(h1), Src: ca.PortLoc(a), Xform: inc},
+			{Dst: ca.PortLoc(h2), Src: ca.PortLoc(h1), Xform: dbl},
+			{Dst: ca.PortLoc(b), Src: ca.PortLoc(h2)},
+			{Dst: ca.CellLoc(cell), Src: ca.PortLoc(h2)},
+			{Dst: ca.PortLoc(c), Src: ca.CellLoc(cell)},
+		},
+	}
+	cells := []any{100}
+	ok, delivered, outCells := fireBoth(t, tr, dirs, cells, map[ca.PortID]any{a: 5})
+	if !ok {
+		t.Fatal("transition did not fire")
+	}
+	// a=5 → h1=6 → h2=12; b gets 12; the cell becomes 12; c reads the
+	// pre-step cell content 100 (simultaneous read+write semantics).
+	if delivered[b] != 12 {
+		t.Errorf("b = %v, want 12", delivered[b])
+	}
+	if delivered[c] != 100 {
+		t.Errorf("c = %v, want 100 (pre-step cell value)", delivered[c])
+	}
+	if outCells[cell] != 12 {
+		t.Errorf("cell = %v, want 12", outCells[cell])
+	}
+}
+
+// TestPlanGuardFalseParity: a failing guard disables the transition in
+// both implementations without error.
+func TestPlanGuardFalseParity(t *testing.T) {
+	u := ca.NewUniverse()
+	a, b := u.Port("a"), u.Port("b")
+	dirs := map[ca.PortID]ca.Dir{a: ca.DirSource, b: ca.DirSink}
+	tr := &ca.Transition{
+		Sync: u.SetOf(a, b),
+		Guards: []ca.Guard{
+			{In: ca.PortLoc(a), Pred: func(v any) bool { return v.(int)%2 == 0 }, Name: "even"},
+		},
+		Acts: []ca.Action{{Dst: ca.PortLoc(b), Src: ca.PortLoc(a)}},
+	}
+	ok, _, _ := fireBoth(t, tr, dirs, nil, map[ca.PortID]any{a: 3})
+	if ok {
+		t.Fatal("odd value passed an even guard")
+	}
+}
+
+// TestPlanCycleErrorParity: a causal cycle in the action chain surfaces
+// the interpreter's error, from the same port, in both implementations.
+func TestPlanCycleErrorParity(t *testing.T) {
+	u := ca.NewUniverse()
+	h1, h2, b := u.Port("h1"), u.Port("h2"), u.Port("b")
+	dirs := map[ca.PortID]ca.Dir{b: ca.DirSink}
+	tr := &ca.Transition{
+		Sync: u.SetOf(b),
+		Guards: []ca.Guard{
+			{In: ca.PortLoc(h1), Pred: func(any) bool { return true }, Name: "true"},
+		},
+		Acts: []ca.Action{
+			{Dst: ca.PortLoc(h1), Src: ca.PortLoc(h2)},
+			{Dst: ca.PortLoc(h2), Src: ca.PortLoc(h1)},
+		},
+	}
+	fireBoth(t, tr, dirs, nil, nil) // fails if error strings diverge
+}
+
+// TestPlanUndefinedPortParity: reading a port no action defines errors
+// identically in both implementations.
+func TestPlanUndefinedPortParity(t *testing.T) {
+	u := ca.NewUniverse()
+	x, b := u.Port("x"), u.Port("b")
+	dirs := map[ca.PortID]ca.Dir{b: ca.DirSink}
+	tr := &ca.Transition{
+		Sync: u.SetOf(b),
+		Acts: []ca.Action{{Dst: ca.PortLoc(b), Src: ca.PortLoc(x)}},
+	}
+	fireBoth(t, tr, dirs, nil, nil)
+}
+
+// TestPlanConstDestParity: a constant as action destination is rejected at
+// fire time with the interpreter's error.
+func TestPlanConstDestParity(t *testing.T) {
+	u := ca.NewUniverse()
+	a, b := u.Port("a"), u.Port("b")
+	dirs := map[ca.PortID]ca.Dir{a: ca.DirSource, b: ca.DirSink}
+	tr := &ca.Transition{
+		Sync: u.SetOf(a, b),
+		Acts: []ca.Action{
+			{Dst: ca.PortLoc(b), Src: ca.PortLoc(a)},
+			{Dst: ca.ConstLoc(1), Src: ca.PortLoc(a)},
+		},
+	}
+	fireBoth(t, tr, dirs, nil, map[ca.PortID]any{a: 1})
+}
+
+// TestPlanUnusedCycleIgnored: a cyclic chain nothing reads must not
+// produce errors — lazily, it is never resolved.
+func TestPlanUnusedCycleIgnored(t *testing.T) {
+	u := ca.NewUniverse()
+	a, h1, h2, b := u.Port("a"), u.Port("h1"), u.Port("h2"), u.Port("b")
+	dirs := map[ca.PortID]ca.Dir{a: ca.DirSource, b: ca.DirSink}
+	tr := &ca.Transition{
+		Sync: u.SetOf(a, b),
+		Acts: []ca.Action{
+			{Dst: ca.PortLoc(h1), Src: ca.PortLoc(h2)},
+			{Dst: ca.PortLoc(h2), Src: ca.PortLoc(h1)},
+			{Dst: ca.PortLoc(b), Src: ca.PortLoc(a)},
+		},
+	}
+	ok, delivered, _ := fireBoth(t, tr, dirs, nil, map[ca.PortID]any{a: 9})
+	if !ok || delivered[b] != 9 {
+		t.Fatalf("fired=%v delivered=%v, want b=9", ok, delivered)
+	}
+}
+
+// TestPlanScratchReuse: repeated firing of the same compiled plan with
+// different pending values must not leak state between fires.
+func TestPlanScratchReuse(t *testing.T) {
+	u := ca.NewUniverse()
+	a, h, b := u.Port("a"), u.Port("h"), u.Port("b")
+	dirs := map[ca.PortID]ca.Dir{a: ca.DirSource, b: ca.DirSink}
+	dirOf := func(p ca.PortID) ca.Dir { return dirs[p] }
+	tr := &ca.Transition{
+		Sync: u.SetOf(a, b),
+		Guards: []ca.Guard{
+			{In: ca.PortLoc(h), Pred: func(v any) bool { return v.(int) < 100 }, Name: "small"},
+		},
+		Acts: []ca.Action{
+			{Dst: ca.PortLoc(h), Src: ca.PortLoc(a), Xform: func(v any) any { return v.(int) * 10 }},
+			{Dst: ca.PortLoc(b), Src: ca.PortLoc(h)},
+		},
+	}
+	pl := ca.CompilePlan(tr, dirOf)
+	host := newPlanHost()
+	for i := 1; i <= 5; i++ {
+		host.vals[a] = i
+		ok, err := pl.CheckGuards(nil, host)
+		if err != nil || !ok {
+			t.Fatalf("round %d: guards = %v, %v", i, ok, err)
+		}
+		if err := pl.Execute(nil, host); err != nil {
+			t.Fatalf("round %d: execute: %v", i, err)
+		}
+		if host.delivered[b] != i*10 {
+			t.Fatalf("round %d: b = %v, want %d", i, host.delivered[b], i*10)
+		}
+	}
+	// A too-large value must now fail the guard on the same plan.
+	host.vals[a] = 50
+	if ok, _ := pl.CheckGuards(nil, host); ok {
+		t.Fatal("guard passed for 500")
+	}
+}
+
+// TestPlanXformRunsOncePerFire: a chain transformation feeding both a
+// guard and a delivery must run exactly once per fire — the
+// interpreter's memoization semantics (guard-phase slots are reused by
+// Execute, not recomputed).
+func TestPlanXformRunsOncePerFire(t *testing.T) {
+	u := ca.NewUniverse()
+	a, h, b := u.Port("a"), u.Port("h"), u.Port("b")
+	dirs := map[ca.PortID]ca.Dir{a: ca.DirSource, b: ca.DirSink}
+	calls := 0
+	tr := &ca.Transition{
+		Sync: u.SetOf(a, b),
+		Guards: []ca.Guard{
+			{In: ca.PortLoc(h), Pred: func(any) bool { return true }, Name: "true"},
+		},
+		Acts: []ca.Action{
+			{Dst: ca.PortLoc(h), Src: ca.PortLoc(a), Xform: func(v any) any { calls++; return v }},
+			{Dst: ca.PortLoc(b), Src: ca.PortLoc(h)},
+		},
+	}
+	pl := ca.CompilePlan(tr, func(p ca.PortID) ca.Dir { return dirs[p] })
+	host := newPlanHost()
+	host.vals[a] = 1
+	for round := 1; round <= 3; round++ {
+		ok, err := pl.CheckGuards(nil, host)
+		if err != nil || !ok {
+			t.Fatalf("round %d: guards = %v, %v", round, ok, err)
+		}
+		if err := pl.Execute(nil, host); err != nil {
+			t.Fatalf("round %d: execute: %v", round, err)
+		}
+		pl.Reset()
+		if calls != round {
+			t.Fatalf("round %d: xform ran %d times, want %d (once per fire)", round, calls, round)
+		}
+	}
+}
+
+// TestPlanResetReleasesValues: Reset must drop data references so cached
+// plans do not pin payloads between fires.
+func TestPlanResetReleasesValues(t *testing.T) {
+	u := ca.NewUniverse()
+	a, h, b := u.Port("a"), u.Port("h"), u.Port("b")
+	dirs := map[ca.PortID]ca.Dir{a: ca.DirSource, b: ca.DirSink}
+	tr := &ca.Transition{
+		Sync: u.SetOf(a, b),
+		Guards: []ca.Guard{
+			{In: ca.PortLoc(h), Pred: func(any) bool { return true }, Name: "true"},
+		},
+		Acts: []ca.Action{
+			{Dst: ca.PortLoc(h), Src: ca.PortLoc(a)},
+			{Dst: ca.PortLoc(b), Src: ca.PortLoc(h)},
+		},
+	}
+	pl := ca.CompilePlan(tr, func(p ca.PortID) ca.Dir { return dirs[p] })
+	host := newPlanHost()
+	host.vals[a] = "payload"
+	if ok, err := pl.CheckGuards(nil, host); err != nil || !ok {
+		t.Fatalf("guards = %v, %v", ok, err)
+	}
+	if err := pl.Execute(nil, host); err != nil {
+		t.Fatal(err)
+	}
+	if pl.Slots() != 1 {
+		t.Fatalf("slots = %d, want 1", pl.Slots())
+	}
+	pl.Reset()
+	// After Reset, a fresh fire must recompute from the new pending value
+	// rather than reuse stale scratch.
+	host.vals[a] = "fresh"
+	if ok, err := pl.CheckGuards(nil, host); err != nil || !ok {
+		t.Fatalf("guards = %v, %v", ok, err)
+	}
+	if err := pl.Execute(nil, host); err != nil {
+		t.Fatal(err)
+	}
+	if host.delivered[b] != "fresh" {
+		t.Fatalf("b = %v, want fresh", host.delivered[b])
+	}
+}
+
+// TestStatePackerPacksAndFallsBack covers both key regimes.
+func TestStatePackerPacksAndFallsBack(t *testing.T) {
+	mk := func(n, states int) []*ca.Automaton {
+		u := ca.NewUniverse()
+		auts := make([]*ca.Automaton, n)
+		for i := range auts {
+			a := &ca.Automaton{Name: fmt.Sprintf("a%d", i), U: u, Ports: u.NewSet(), Trans: make([][]ca.Transition, states)}
+			auts[i] = a
+		}
+		return auts
+	}
+	// Small: packable, distinct tuples get distinct keys.
+	auts := mk(8, 5)
+	p := ca.NewStatePacker(auts)
+	seen := map[ca.StateKey][]int32{}
+	state := make([]int32, 8)
+	var walk func(i int)
+	var dup bool
+	walk = func(i int) {
+		if dup {
+			return
+		}
+		if i == 8 {
+			k := p.Key(state)
+			if prev, ok := seen[k]; ok {
+				t.Errorf("collision: %v and %v", prev, state)
+				dup = true
+				return
+			}
+			seen[k] = append([]int32(nil), state...)
+			return
+		}
+		for s := int32(0); s < 5; s++ {
+			state[i] = s
+			walk(i + 1)
+		}
+	}
+	walk(0)
+
+	// Huge: 80 constituents with 1<<20 states each cannot pack into 256
+	// bits; the interning fallback must still produce distinct keys.
+	big := mk(80, 1<<20)
+	bp := ca.NewStatePacker(big)
+	bigState := make([]int32, 80)
+	k1 := bp.Key(bigState)
+	bigState[79] = 913
+	k2 := bp.Key(bigState)
+	if k1 == k2 {
+		t.Error("fallback keys collide for distinct tuples")
+	}
+	bigState[79] = 0
+	if k3 := bp.Key(bigState); k3 != k1 {
+		t.Error("fallback keys differ for identical tuples")
+	}
+}

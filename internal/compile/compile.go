@@ -27,6 +27,13 @@ import (
 
 // Funcs supplies the data functions referenced by Filter.* and
 // Transformer.* primitives.
+//
+// Both kinds must be pure: deterministic in their argument and free of
+// observable side effects. The engine relies on this — guards are
+// evaluated once per dispatch opportunity (not re-polled while nothing
+// changes), transformations exactly once per fired step — so an impure
+// function can make enablement decisions stale or observe surprising
+// call counts.
 type Funcs struct {
 	Filters      map[string]func(any) bool
 	Transformers map[string]func(any) any

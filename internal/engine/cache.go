@@ -1,6 +1,10 @@
 package engine
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"repro/internal/ca"
+)
 
 // EvictionPolicy selects which expanded composite state to discard when a
 // bounded state cache is full (the §V-B future-work extension).
@@ -27,18 +31,19 @@ func (p EvictionPolicy) String() string {
 }
 
 type centry struct {
-	key        string
+	key        ca.StateKey
 	ex         *expanded
 	prev, next *centry
-	idx        int // position in keys slice (RandomEvict)
+	idx        int // position in entries slice (RandomEvict)
 }
 
-// jointCache memoizes composite-state expansions. cap == 0 means
+// jointCache memoizes composite-state expansions, keyed by packed
+// StateKeys so steady-state lookups never allocate. cap == 0 means
 // unbounded. Not safe for concurrent use; the engine serializes access.
 type jointCache struct {
 	cap       int
 	policy    EvictionPolicy
-	m         map[string]*centry
+	m         map[ca.StateKey]*centry
 	head      *centry // most recent (LRU) / newest (FIFO)
 	tail      *centry // eviction candidate
 	entries   []*centry
@@ -47,12 +52,12 @@ type jointCache struct {
 }
 
 func newJointCache(capacity int, policy EvictionPolicy, rng *rand.Rand) *jointCache {
-	return &jointCache{cap: capacity, policy: policy, m: make(map[string]*centry), rng: rng}
+	return &jointCache{cap: capacity, policy: policy, m: make(map[ca.StateKey]*centry), rng: rng}
 }
 
 func (c *jointCache) len() int { return len(c.m) }
 
-func (c *jointCache) get(key string) (*expanded, bool) {
+func (c *jointCache) get(key ca.StateKey) (*expanded, bool) {
 	e, ok := c.m[key]
 	if !ok {
 		return nil, false
@@ -64,7 +69,7 @@ func (c *jointCache) get(key string) (*expanded, bool) {
 	return e.ex, true
 }
 
-func (c *jointCache) put(key string, ex *expanded) {
+func (c *jointCache) put(key ca.StateKey, ex *expanded) {
 	if _, ok := c.m[key]; ok {
 		return
 	}

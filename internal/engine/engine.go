@@ -13,11 +13,18 @@
 // full reachable space at construction; just-in-time composition expands a
 // composite state the first time it is visited. The cache may be bounded,
 // with an eviction policy, implementing the future-work extension of §V-B.
+//
+// Expansion compiles every joint transition into a ca.Plan (pre-resolved
+// guard/action steps with preallocated scratch) and builds a port index
+// over the expanded state, so the steady-state firing path is
+// allocation-free and proportional to the transitions a newly pended port
+// can actually enable — not to the state's out-degree.
 package engine
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -69,6 +76,9 @@ type op struct {
 	val  any
 	out  any
 	err  error
+	// done carries the single completion signal. It is buffered so the
+	// engine never blocks signaling it, and reusable so completed ops can
+	// return to the pool instead of being reallocated per operation.
 	done chan struct{}
 }
 
@@ -90,14 +100,18 @@ type Engine struct {
 	boundary ca.BitSet
 	dirs     []ca.Dir
 	cache    *jointCache
+	packer   *ca.StatePacker
 	rng      *rand.Rand
 	closed   bool
 	broken   error
 	tracer   Tracer
+	// enabledBuf is the reusable candidate buffer of fireLoop.
+	enabledBuf []int32
+	opPool     sync.Pool
 
 	steps      atomic.Int64
 	expansions atomic.Int64
-	keyBuf     []byte
+	guardEvals atomic.Int64
 }
 
 // New builds an engine over the constituent automata, which must all
@@ -131,8 +145,8 @@ func New(u *ca.Universe, auts []*ca.Automaton, opts Options) (*Engine, error) {
 		pendMask: u.NewSet(),
 		boundary: u.NewSet(),
 		dirs:     make([]ca.Dir, u.NumPorts()),
+		packer:   ca.NewStatePacker(auts),
 		rng:      rand.New(rand.NewSource(opts.Seed)),
-		keyBuf:   make([]byte, 4*len(auts)),
 	}
 	for p := range e.dirs {
 		e.dirs[p] = u.DirOf(ca.PortID(p))
@@ -156,38 +170,56 @@ func New(u *ca.Universe, auts []*ca.Automaton, opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// expanded is the memoized expansion of one composite state.
+// expanded is the memoized expansion of one composite state: every joint
+// transition compiled to a plan, plus dispatch indexes over them.
 type expanded struct {
-	trans   []ca.Transition
+	plans   []*ca.Plan
 	targets [][]int32
+	// byPort[p] lists (ascending) the plans whose sync set contains
+	// boundary port p: the only transitions a fresh operation on p can
+	// newly enable. A map keyed by the ports that actually occur keeps
+	// per-state memory proportional to the state's transitions, not to
+	// the universe size.
+	byPort map[ca.PortID][]int32
+	// taus lists plans with no boundary port in their sync set; they need
+	// no pending operation and are always dispatch candidates.
+	taus []int32
 }
 
-func (e *Engine) key(state []int32) string {
-	b := e.keyBuf
-	for i, v := range state {
-		b[4*i] = byte(v)
-		b[4*i+1] = byte(v >> 8)
-		b[4*i+2] = byte(v >> 16)
-		b[4*i+3] = byte(v >> 24)
+func (e *Engine) dirOf(p ca.PortID) ca.Dir {
+	if int(p) >= len(e.dirs) {
+		return ca.DirNone
 	}
-	return string(b)
+	return e.dirs[p]
 }
 
 // expandState returns the expansion of the given composite state, using
 // the cache. Must be called with mu held.
 func (e *Engine) expandState(state []int32) *expanded {
-	k := e.key(state)
+	k := e.packer.Key(state)
 	if ex, ok := e.cache.get(k); ok {
 		return ex
 	}
 	joints := ca.ExpandJoint(e.auts, state, e.opts.Expand)
 	ex := &expanded{
-		trans:   make([]ca.Transition, len(joints)),
+		plans:   make([]*ca.Plan, len(joints)),
 		targets: make([][]int32, len(joints)),
+		byPort:  make(map[ca.PortID][]int32),
 	}
 	for i, j := range joints {
-		ex.trans[i] = ca.Transition{Sync: j.Sync, Guards: j.Guards, Acts: j.Acts}
+		t := &ca.Transition{Sync: j.Sync, Guards: j.Guards, Acts: j.Acts}
+		ex.plans[i] = ca.CompilePlan(t, e.dirOf)
 		ex.targets[i] = j.Targets
+		hasBoundary := false
+		j.Sync.ForEach(func(p ca.PortID) {
+			if e.boundary.Has(p) {
+				ex.byPort[p] = append(ex.byPort[p], int32(i))
+				hasBoundary = true
+			}
+		})
+		if !hasBoundary {
+			ex.taus = append(ex.taus, int32(i))
+		}
 	}
 	e.expansions.Add(1)
 	e.cache.put(k, ex)
@@ -196,15 +228,14 @@ func (e *Engine) expandState(state []int32) *expanded {
 
 // expandAll performs AOT composition: BFS over reachable composite states.
 func (e *Engine) expandAll() error {
-	seen := map[string]bool{}
+	seen := map[ca.StateKey]bool{e.packer.Key(e.state): true}
 	queue := [][]int32{append([]int32(nil), e.state...)}
-	seen[e.key(e.state)] = true
 	for len(queue) > 0 {
 		st := queue[0]
 		queue = queue[1:]
 		ex := e.expandState(st)
 		for _, tgt := range ex.targets {
-			k := e.key(tgt)
+			k := e.packer.Key(tgt)
 			if !seen[k] {
 				seen[k] = true
 				if len(seen) > e.opts.MaxStates {
@@ -217,14 +248,20 @@ func (e *Engine) expandAll() error {
 	return nil
 }
 
-func (e *Engine) isSource(p ca.PortID) bool { return e.dirs[p] == ca.DirSource }
-func (e *Engine) isSink(p ca.PortID) bool   { return e.dirs[p] == ca.DirSink }
-
-func (e *Engine) portVal(p ca.PortID) any {
+// PlanPortVal implements ca.PlanHost: pending send value on a source port.
+func (e *Engine) PlanPortVal(p ca.PortID) any {
 	if o := e.pend[p]; o != nil {
 		return o.val
 	}
 	return nil
+}
+
+// PlanDeliver implements ca.PlanHost: hand a fired value to the pending
+// receive on a sink port.
+func (e *Engine) PlanDeliver(p ca.PortID, v any) {
+	if o := e.pend[p]; o != nil && !o.send {
+		o.out = v
+	}
 }
 
 // Send registers a send operation on port p and blocks until a transition
@@ -235,7 +272,9 @@ func (e *Engine) Send(p ca.PortID, v any) error {
 		return err
 	}
 	<-o.done
-	return o.err
+	err = o.err
+	e.putOp(o)
+	return err
 }
 
 // Recv registers a receive operation on port p and blocks until a value is
@@ -246,7 +285,25 @@ func (e *Engine) Recv(p ca.PortID) (any, error) {
 		return nil, err
 	}
 	<-o.done
-	return o.out, o.err
+	out, err := o.out, o.err
+	e.putOp(o)
+	return out, err
+}
+
+func (e *Engine) getOp(send bool, v any) *op {
+	if x := e.opPool.Get(); x != nil {
+		o := x.(*op)
+		o.send, o.val, o.out, o.err = send, v, nil, nil
+		return o
+	}
+	return &op{send: send, val: v, done: make(chan struct{}, 1)}
+}
+
+// putOp recycles a completed op. Only the goroutine that registered the op
+// may call it, after receiving the completion signal.
+func (e *Engine) putOp(o *op) {
+	o.val, o.out, o.err = nil, nil, nil
+	e.opPool.Put(o)
 }
 
 func (e *Engine) register(p ca.PortID, send bool, v any) (*op, error) {
@@ -270,81 +327,138 @@ func (e *Engine) register(p ca.PortID, send bool, v any) (*op, error) {
 	if e.pend[p] != nil {
 		return nil, ErrPortBusy
 	}
-	o := &op{send: send, val: v, done: make(chan struct{})}
+	o := e.getOp(send, v)
 	e.pend[p] = o
 	e.pendMask.Set(p)
-	e.fireLoop()
+	e.fireLoop(p)
 	return o, nil
 }
 
-// fireLoop fires enabled transitions until quiescence. Called with mu held.
-func (e *Engine) fireLoop() {
+// tryEnable appends plan i to the candidate buffer if its sync set is
+// covered by pending operations and its guards hold. Returns false on a
+// guard evaluation error (the engine is broken). Must be called with mu
+// held.
+func (e *Engine) tryEnable(ex *expanded, i int32) bool {
+	pl := ex.plans[i]
+	// Enabled iff every *boundary* port in the sync set has a pending
+	// operation; internal vertices need none.
+	if !pl.Sync.MaskedSubsetOf(e.boundary, e.pendMask) {
+		return true
+	}
+	e.guardEvals.Add(1)
+	ok, err := pl.CheckGuards(e.cells, e)
+	if err != nil {
+		e.resetEnabled(ex)
+		e.break_(err)
+		return false
+	}
+	if ok {
+		e.enabledBuf = append(e.enabledBuf, i)
+	}
+	return true
+}
+
+// resetEnabled releases the guard-phase scratch of every candidate that
+// passed CheckGuards this round, so plans cached with their expansion do
+// not pin user payloads (CheckGuards resets failing candidates itself).
+func (e *Engine) resetEnabled(ex *expanded) {
+	for _, ei := range e.enabledBuf {
+		ex.plans[ei].Reset()
+	}
+}
+
+// fireLoop fires enabled transitions until quiescence. Called with mu held
+// from register, with the port whose fresh operation woke the engine.
+//
+// The first iteration dispatches through the expanded state's port index:
+// when the loop last reached quiescence nothing was enabled, and a new
+// operation on p can only enable transitions whose sync set contains p
+// (cells and other pending operations are unchanged, and guards are pure —
+// the documented contract of compile.Funcs) — plus τ transitions, which
+// are included for robustness. After a fire the composite state
+// and cells have changed, so subsequent iterations scan the full state.
+func (e *Engine) fireLoop(trigger ca.PortID) {
 	if e.broken != nil {
 		return
 	}
+	indexed := true
 	tau := 0
 	for {
 		ex := e.expandState(e.state)
-		var enabled []int
-		var envs []*ca.Env
-		for i := range ex.trans {
-			t := &ex.trans[i]
-			// Enabled iff every *boundary* port in the sync set has a
-			// pending operation; internal vertices need none.
-			if !t.Sync.MaskedSubsetOf(e.boundary, e.pendMask) {
-				continue
+		e.enabledBuf = e.enabledBuf[:0]
+		if indexed {
+			indexed = false
+			// Merge the trigger's plan list with the τ list in ascending
+			// plan order, so the RNG sees candidates exactly as a full
+			// scan would.
+			byp := ex.byPort[trigger]
+			taus := ex.taus
+			i, j := 0, 0
+			for i < len(byp) || j < len(taus) {
+				var next int32
+				switch {
+				case j >= len(taus) || (i < len(byp) && byp[i] < taus[j]):
+					next = byp[i]
+					i++
+				default:
+					next = taus[j]
+					j++
+				}
+				if !e.tryEnable(ex, next) {
+					return
+				}
 			}
-			env := ca.NewEnv(t, e.cells, e.isSource, e.portVal)
-			ok, err := env.CheckGuards()
-			if err != nil {
-				e.break_(err)
-				return
-			}
-			if ok {
-				enabled = append(enabled, i)
-				envs = append(envs, env)
+		} else {
+			for i := range ex.plans {
+				if !e.tryEnable(ex, int32(i)) {
+					return
+				}
 			}
 		}
-		if len(enabled) == 0 {
+		if len(e.enabledBuf) == 0 {
 			return
 		}
 		pick := 0
-		if len(enabled) > 1 {
-			pick = e.rng.Intn(len(enabled))
+		if len(e.enabledBuf) > 1 {
+			pick = e.rng.Intn(len(e.enabledBuf))
 		}
-		ti := enabled[pick]
-		t := &ex.trans[ti]
-		res, err := envs[pick].Execute(e.isSink)
-		if err != nil {
+		ti := e.enabledBuf[pick]
+		pl := ex.plans[ti]
+		if err := pl.Execute(e.cells, e); err != nil {
+			e.resetEnabled(ex)
 			e.break_(err)
 			return
 		}
-		for c, v := range res.CellWrites {
-			e.cells[c] = v
-		}
 		completedAny := false
 		var traced []TracePort
-		t.Sync.ForEach(func(p ca.PortID) {
-			o := e.pend[p]
-			if o == nil {
-				return // internal vertex; no operation to complete
-			}
-			if !o.send {
-				o.out = res.Delivered[p]
-			}
-			if e.tracer != nil {
-				val := o.val
-				if !o.send {
-					val = o.out
+		// Complete every pending operation in the sync set. Sink values
+		// were delivered by the plan via PlanDeliver.
+		for wi, w := range pl.Sync {
+			for w != 0 {
+				p := ca.PortID(wi*64 + bits.TrailingZeros64(w))
+				w &= w - 1
+				o := e.pend[p]
+				if o == nil {
+					continue // internal vertex; no operation to complete
 				}
-				traced = append(traced, TracePort{Name: e.u.Name(p), Dir: e.dirs[p], Val: val})
+				if e.tracer != nil {
+					val := o.val
+					if !o.send {
+						val = o.out
+					}
+					traced = append(traced, TracePort{Name: e.u.Name(p), Dir: e.dirs[p], Val: val})
+				}
+				e.pend[p] = nil
+				e.pendMask.Clear(p)
+				o.done <- struct{}{}
+				completedAny = true
 			}
-			e.pend[p] = nil
-			e.pendMask.Clear(p)
-			close(o.done)
-			completedAny = true
-		})
+		}
 		copy(e.state, ex.targets[ti])
+		// Release the data values the enabled candidates computed during
+		// guard evaluation (and the fired plan's outputs): cached plans
+		// must not pin user payloads between fires.
+		e.resetEnabled(ex)
 		step := e.steps.Add(1)
 		if e.tracer != nil {
 			e.tracer(TraceEvent{Step: step, Ports: traced, Internal: !completedAny})
@@ -372,7 +486,7 @@ func (e *Engine) break_(err error) {
 		o.err = err
 		e.pend[p] = nil
 		e.pendMask.Clear(ca.PortID(p))
-		close(o.done)
+		o.done <- struct{}{}
 	}
 }
 
@@ -392,7 +506,7 @@ func (e *Engine) Close() error {
 		o.err = ErrClosed
 		e.pend[p] = nil
 		e.pendMask.Clear(ca.PortID(p))
-		close(o.done)
+		o.done <- struct{}{}
 	}
 	return nil
 }
@@ -404,6 +518,11 @@ func (e *Engine) Steps() int64 { return e.steps.Load() }
 // Expansions returns how many composite states have been expanded
 // (cache misses), a measure of composition work done at run time.
 func (e *Engine) Expansions() int64 { return e.expansions.Load() }
+
+// GuardEvals returns how many candidate transitions had their guards
+// evaluated — the dispatch work of the engine. With port-indexed dispatch
+// this is proportional to affected transitions, not state out-degree.
+func (e *Engine) GuardEvals() int64 { return e.guardEvals.Load() }
 
 // CachedStates returns the number of composite states currently retained.
 func (e *Engine) CachedStates() int {

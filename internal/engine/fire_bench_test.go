@@ -1,0 +1,112 @@
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ca"
+	"repro/internal/engine"
+	"repro/internal/prim"
+)
+
+// lanes builds n independent Fifo1 lanes in one universe. The composite
+// state has out-degree n (every lane contributes one enabled-able
+// transition), which makes it a worst case for dispatch that rescans all
+// transitions of the current state on every operation.
+func lanes(n int) (*ca.Universe, []*ca.Automaton, []ca.PortID, []ca.PortID) {
+	u := ca.NewUniverse()
+	var auts []*ca.Automaton
+	var as, bs []ca.PortID
+	for i := 0; i < n; i++ {
+		a := u.Port(fmt.Sprintf("a%d", i))
+		b := u.Port(fmt.Sprintf("b%d", i))
+		u.SetDir(a, ca.DirSource)
+		u.SetDir(b, ca.DirSink)
+		as = append(as, a)
+		bs = append(bs, b)
+		auts = append(auts, prim.Fifo1(u, a, b))
+	}
+	return u, auts, as, bs
+}
+
+// BenchmarkFireStep measures one fired global step (a completed boundary
+// operation) on a warmed JIT engine, across composite out-degrees. The
+// steady state must be allocation-free: every visited composite state is
+// already expanded, so each op is pure dispatch + data movement.
+func BenchmarkFireStep(b *testing.B) {
+	for _, n := range []int{1, 8, 32, 128} {
+		b.Run(fmt.Sprintf("fanout=%d", n), func(b *testing.B) {
+			u, auts, as, bs := lanes(n)
+			e, err := engine.New(u, auts, engine.Options{Composition: engine.JIT})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			// Warm the cache: visit every composite state the loop uses.
+			for i := 0; i < n; i++ {
+				if err := e.Send(as[i], i); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.Recv(bs[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lane := i % n
+				if err := e.Send(as[lane], i); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.Recv(bs[lane]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			steps := float64(e.Steps())
+			b.ReportMetric(steps/b.Elapsed().Seconds(), "steps/s")
+		})
+	}
+}
+
+// BenchmarkFireStepGuarded adds data guards to every lane (filters that
+// always pass), so dispatch cost includes guard evaluation of candidate
+// transitions, not just sync-set mask checks.
+func BenchmarkFireStepGuarded(b *testing.B) {
+	pass := func(any) bool { return true }
+	for _, n := range []int{8, 32} {
+		b.Run(fmt.Sprintf("fanout=%d", n), func(b *testing.B) {
+			u := ca.NewUniverse()
+			var auts []*ca.Automaton
+			var as, bs []ca.PortID
+			for i := 0; i < n; i++ {
+				a := u.Port(fmt.Sprintf("a%d", i))
+				c := u.Port(fmt.Sprintf("b%d", i))
+				u.SetDir(a, ca.DirSource)
+				u.SetDir(c, ca.DirSink)
+				as = append(as, a)
+				bs = append(bs, c)
+				auts = append(auts, prim.Filter(u, a, c, "pass", pass))
+			}
+			e, err := engine.New(u, auts, engine.Options{Composition: engine.JIT})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lane := i % n
+				done := make(chan struct{})
+				go func() {
+					_, _ = e.Recv(bs[lane])
+					close(done)
+				}()
+				if err := e.Send(as[lane], i); err != nil {
+					b.Fatal(err)
+				}
+				<-done
+			}
+		})
+	}
+}

@@ -7,21 +7,6 @@ import (
 	"repro/internal/ca"
 )
 
-// Coordinator is the operational interface of a connector instance: what
-// ports talk to. Both Engine and Multi implement it.
-type Coordinator interface {
-	Send(p ca.PortID, v any) error
-	Recv(p ca.PortID) (any, error)
-	Close() error
-	Steps() int64
-	Expansions() int64
-}
-
-var (
-	_ Coordinator = (*Engine)(nil)
-	_ Coordinator = (*Multi)(nil)
-)
-
 // Multi is a partitioned coordinator (the optimization of §V-C(3), after
 // Jongmans, Santini & Arbab, "Partially distributed coordination with Reo
 // and constraint automata"): the constituent automata are partitioned into
@@ -149,6 +134,15 @@ func (m *Multi) Expansions() int64 {
 	var n int64
 	for _, e := range m.engines {
 		n += e.Expansions()
+	}
+	return n
+}
+
+// GuardEvals sums guard-evaluation counts across partitions.
+func (m *Multi) GuardEvals() int64 {
+	var n int64
+	for _, e := range m.engines {
+		n += e.GuardEvals()
 	}
 	return n
 }

@@ -2,6 +2,24 @@ package engine
 
 import "repro/internal/ca"
 
+// Coordinator is the operational interface of a connector instance: what
+// ports talk to. Both Engine and Multi implement it.
+type Coordinator interface {
+	Send(p ca.PortID, v any) error
+	Recv(p ca.PortID) (any, error)
+	Close() error
+	Steps() int64
+	Expansions() int64
+	// GuardEvals reports how many candidate transitions had their guards
+	// evaluated while dispatching — the engine's per-step matching work.
+	GuardEvals() int64
+}
+
+var (
+	_ Coordinator = (*Engine)(nil)
+	_ Coordinator = (*Multi)(nil)
+)
+
 // Outport is a task's sending end of a connector boundary vertex
 // (the generalized Foster-Chandy model, Fig. 3 of the paper). Send blocks
 // until the connector fires a transition accepting the value.

@@ -89,7 +89,10 @@ func (m Mode) String() string {
 var ErrTooLarge = ca.ErrTooLarge
 
 // Funcs registers the data functions available to Filter.* and
-// Transformer.* primitives.
+// Transformer.* primitives. Filters and transformers must be pure
+// (deterministic, side-effect free): the engine evaluates guards only
+// when an operation or a fired step can have changed their inputs, and
+// runs transformations exactly once per fired step.
 type Funcs = compile.Funcs
 
 // CompileOption configures Compile.
@@ -403,6 +406,12 @@ func (i *Instance) Steps() int64 { return i.coord.Steps() }
 // Expansions returns the number of composite states expanded at run time
 // (composition work deferred to run time).
 func (i *Instance) Expansions() int64 { return i.coord.Expansions() }
+
+// GuardEvals returns the number of candidate transitions whose guards the
+// engine evaluated while dispatching. Together with Steps it measures the
+// per-step matching work: GuardEvals()/Steps() is the average number of
+// transitions considered per fired global step.
+func (i *Instance) GuardEvals() int64 { return i.coord.GuardEvals() }
 
 // Constituents returns the number of constituent automata of the
 // instance (1 in Static mode).

@@ -2,6 +2,8 @@ package reo
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/ast"
@@ -52,6 +54,13 @@ func (p *Program) runMain(m *ast.MainDef, args map[string]int, tasks Tasks, opts
 			return nil, fmt.Errorf("reo: main parameter %q not supplied", prm)
 		}
 		env[prm] = v
+	}
+
+	// Validate every task name statically, before instantiating any
+	// connector or spawning any goroutine: a typo in the last task item
+	// must not leave half a run behind.
+	if err := validateTaskNames(m.Tasks, tasks); err != nil {
+		return nil, err
 	}
 
 	// vertexPort resolves a main-level vertex name to a connector port.
@@ -182,11 +191,6 @@ func (p *Program) runMain(m *ast.MainDef, args map[string]int, tasks Tasks, opts
 	expand = func(item ast.TaskItem) error {
 		switch item := item.(type) {
 		case *ast.TaskInst:
-			fn, ok := tasks[item.Name]
-			if !ok {
-				return fmt.Errorf("%s: no registered task %q", item.Pos, item.Name)
-			}
-			_ = fn
 			var tp TaskPorts
 			for _, a := range item.Args {
 				names, err := evalArgPorts(a)
@@ -267,6 +271,36 @@ func (p *Program) runMain(m *ast.MainDef, args map[string]int, tasks Tasks, opts
 		res.Steps += inst.Steps()
 	}
 	return res, nil
+}
+
+// validateTaskNames walks the main's task tree (without evaluating range
+// bounds) and rejects the first task name missing from the registry,
+// listing the registered names.
+func validateTaskNames(items []ast.TaskItem, tasks Tasks) error {
+	for _, item := range items {
+		switch item := item.(type) {
+		case *ast.TaskInst:
+			if _, ok := tasks[item.Name]; !ok {
+				names := make([]string, 0, len(tasks))
+				for name := range tasks {
+					names = append(names, name)
+				}
+				sort.Strings(names)
+				registered := "none"
+				if len(names) > 0 {
+					registered = strings.Join(names, ", ")
+				}
+				return fmt.Errorf("%s: no registered task %q (registered: %s)", item.Pos, item.Name, registered)
+			}
+		case *ast.TaskForall:
+			if err := validateTaskNames(item.Body, tasks); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("reo: unknown task item %T", item)
+		}
+	}
+	return nil
 }
 
 func evalMainInt(e ast.IntExpr, env map[string]int) (int, error) {

@@ -2,6 +2,7 @@ package reo_test
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -89,6 +90,36 @@ func TestRunMainErrors(t *testing.T) {
 	noMain := reo.MustCompile(`A(a;b) = Sync(a;b)`)
 	if _, err := noMain.Run(nil, reo.Tasks{}); err == nil {
 		t.Error("run without main accepted")
+	}
+}
+
+// TestRunValidatesTaskNamesUpfront: a typo in any task name — even one
+// nested in a forall — must fail before anything runs, with an error
+// naming the registered tasks.
+func TestRunValidatesTaskNamesUpfront(t *testing.T) {
+	prog := reo.MustCompile(srcMain)
+	started := false
+	_, err := prog.Run(map[string]int{"N": 2}, reo.Tasks{
+		"Tasks.pro": func(tp reo.TaskPorts) error { started = true; return nil },
+		"Tasks.wrong": func(tp reo.TaskPorts) error {
+			started = true
+			return nil
+		},
+	})
+	if err == nil {
+		t.Fatal("unregistered task name accepted")
+	}
+	if started {
+		t.Error("tasks were spawned despite an invalid task name")
+	}
+	for _, want := range []string{`"Tasks.con"`, "Tasks.pro", "Tasks.wrong"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %s", err, want)
+		}
+	}
+	if _, err := prog.Run(map[string]int{"N": 2}, reo.Tasks{}); err == nil ||
+		!strings.Contains(err.Error(), "registered: none") {
+		t.Errorf("empty registry error = %v, want mention of no registered tasks", err)
 	}
 }
 
