@@ -18,11 +18,12 @@ import (
 
 func main() {
 	var (
-		budget  = flag.Duration("budget", 500*time.Millisecond, "measurement budget per (connector, N, approach)")
-		ns      = flag.String("N", "2,4,8,16,32,64", "comma-separated task counts")
-		conns   = flag.String("connectors", "", "comma-separated connector names (default: all eighteen)")
-		maxSt   = flag.Int("max-static-states", 1<<16, "existing compiler's automaton capacity")
-		verbose = flag.Bool("v", false, "progress output")
+		budget   = flag.Duration("budget", 500*time.Millisecond, "measurement budget per (connector, N, approach)")
+		ns       = flag.String("N", "2,4,8,16,32,64", "comma-separated task counts")
+		conns    = flag.String("connectors", "", "comma-separated connector names (default: all eighteen)")
+		maxSt    = flag.Int("max-static-states", 1<<16, "existing compiler's automaton capacity")
+		verbose  = flag.Bool("v", false, "progress output")
+		jsonPath = flag.String("json", "", "also write machine-readable results (BENCH_fig12.json schema) to this file")
 	)
 	flag.Parse()
 
@@ -53,4 +54,10 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(bench.FormatFig12(rows))
+	if *jsonPath != "" {
+		if err := bench.WriteFig12JSON(*jsonPath, rows, *budget); err != nil {
+			fmt.Fprintln(os.Stderr, "fig12:", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -21,14 +21,21 @@ func main() {
 		classes   = flag.String("class", "S,W", "comma-separated classes (S,W,A,B,C)")
 		ns        = flag.String("N", "2,4,8", "comma-separated slave counts")
 		reps      = flag.Int("reps", 1, "repetitions per configuration (best time reported)")
-		partition = flag.Bool("partition", false, "partition the Reo connectors into independent engines (§V-C(3) fix)")
+		partition = flag.String("partition", "off", "partition the Reo connectors: off, components (§V-C(3) fix), or regions (buffer-boundary cut)")
 		fullExp   = flag.Bool("full-expansion", false, "textbook joint enumeration (reproduces the §V-C(3) blow-up)")
 	)
 	flag.Parse()
 
 	var opts []reo.ConnectOption
-	if *partition {
-		opts = append(opts, reo.WithPartitioning(true))
+	switch *partition {
+	case "off", "false":
+	case "components", "true":
+		opts = append(opts, reo.WithPartitioning(reo.PartitionComponents))
+	case "regions":
+		opts = append(opts, reo.WithPartitioning(reo.PartitionRegions))
+	default:
+		fmt.Fprintf(os.Stderr, "fig13: bad -partition %q (off|components|regions)\n", *partition)
+		os.Exit(2)
 	}
 	if *fullExp {
 		opts = append(opts, reo.WithFullExpansion(true))

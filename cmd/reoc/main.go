@@ -9,6 +9,7 @@
 //	reoc flatten file.reo Connector
 //	reoc automata file.reo Connector [-n N]
 //	reoc plan file.reo Connector [-n N]
+//	reoc regions file.reo Connector [-n N]
 //	reoc verify file.reo Connector [-n N]
 package main
 
@@ -103,6 +104,15 @@ func main() {
 			pl := ca.CompilePlan(t, u.DirOf)
 			fmt.Printf("  %s\n", pl.Dump(u))
 		}
+	case "regions":
+		// Dump the asynchronous-region partition: which constituents are
+		// buffer shapes cut into links, and which synchronous regions
+		// remain — what WithPartitioning(PartitionRegions) executes.
+		name, n := parseRest(rest)
+		inst := connectInstance(string(src), name, n)
+		defer inst.Close()
+		plan := ca.PlanRegions(inst.Universe(), inst.Automata())
+		fmt.Printf("# %s (N=%d): %s", name, n, plan.Dump(inst.Universe(), inst.Automata()))
 	case "verify":
 		name, n := parseRest(rest)
 		inst := connectInstance(string(src), name, n)
@@ -175,6 +185,7 @@ func usage() {
   reoc flatten  file.reo Connector
   reoc automata file.reo Connector [-n N]
   reoc plan     file.reo Connector [-n N]
+  reoc regions  file.reo Connector [-n N]
   reoc verify   file.reo Connector [-n N]`)
 	os.Exit(2)
 }

@@ -7,6 +7,11 @@
 // monitor, and the connector — not the tasks — guarantees the monitor
 // sees reports in stage order for every item.
 //
+// The run executes once in the default single-engine mode and once under
+// WithPartitioning(PartitionRegions): the lanes protocol splits at its
+// buffers into concurrently firing regions (one per stage boundary), and
+// Instance.Regions() exposes the per-region execution counters.
+//
 //	go run ./examples/pipeline -n 4 -items 5
 package main
 
@@ -43,11 +48,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Println("== single engine (PartitionOff) ==")
+	run(prog, *n, *items, reo.PartitionOff)
+	fmt.Println("\n== asynchronous regions (PartitionRegions) ==")
+	run(prog, *n, *items, reo.PartitionRegions)
+}
+
+func run(prog *reo.Program, n, items int, mode reo.PartitionMode) {
 	lanes, err := prog.Connector("Lanes")
 	if err != nil {
 		log.Fatal(err)
 	}
-	lanesInst, err := lanes.Connect(map[string]int{"out": *n, "in": *n})
+	lanesInst, err := lanes.Connect(map[string]int{"out": n, "in": n},
+		reo.WithPartitioning(mode))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +69,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	repInst, err := reports.Connect(map[string]int{"rep": *n})
+	repInst, err := reports.Connect(map[string]int{"rep": n},
+		reo.WithPartitioning(mode))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +79,7 @@ func main() {
 	done := make(chan struct{})
 
 	// Stages: pure computation plus port operations.
-	for i := 0; i < *n; i++ {
+	for i := 0; i < n; i++ {
 		go func(i int) {
 			in := lanesInst.Inports("in")[i]
 			out := lanesInst.Outports("out")[i]
@@ -100,7 +114,7 @@ func main() {
 	// Source and sink.
 	go func() {
 		src := lanesInst.Outport("src")
-		for k := 1; k <= *items; k++ {
+		for k := 1; k <= items; k++ {
 			if err := src.Send(k); err != nil {
 				return
 			}
@@ -108,7 +122,7 @@ func main() {
 	}()
 	go func() {
 		snk := lanesInst.Inport("snk")
-		for k := 0; k < *items; k++ {
+		for k := 0; k < items; k++ {
 			v, err := snk.Recv()
 			if err != nil {
 				return
@@ -119,5 +133,16 @@ func main() {
 	}()
 
 	<-done
-	fmt.Printf("lanes: %d steps; reports: %d steps\n", lanesInst.Steps(), repInst.Steps())
+	fmt.Printf("lanes: %d steps over %d partition(s); reports: %d steps over %d partition(s)\n",
+		lanesInst.Steps(), lanesInst.Partitions(), repInst.Steps(), repInst.Partitions())
+	if mode == reo.PartitionRegions {
+		for ri, info := range lanesInst.Regions() {
+			fmt.Printf("  lanes region %d: %d constituents, %d link endpoint(s), %d steps\n",
+				ri, info.Constituents, info.Links, info.Steps)
+		}
+		for ri, info := range repInst.Regions() {
+			fmt.Printf("  reports region %d: %d constituents, %d link endpoint(s), %d steps\n",
+				ri, info.Constituents, info.Links, info.Steps)
+		}
+	}
 }

@@ -5,8 +5,10 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -86,12 +88,16 @@ type Fig12Config struct {
 	MaxStaticStates int
 }
 
+// defaultFig12Budget is the measurement window used when a config (or a
+// JSON export) does not specify one.
+const defaultFig12Budget = 200 * time.Millisecond
+
 func (c *Fig12Config) defaults() {
 	if len(c.Ns) == 0 {
 		c.Ns = []int{2, 4, 8, 16, 32, 64}
 	}
 	if c.Budget <= 0 {
-		c.Budget = 200 * time.Millisecond
+		c.Budget = defaultFig12Budget
 	}
 	if c.MaxStaticStates <= 0 {
 		c.MaxStaticStates = 1 << 16
@@ -184,6 +190,52 @@ func FormatFig12(rows []Fig12Row) string {
 			ns[n]["old-wins-≤10x"], ns[n]["old-wins-≤100x"])
 	}
 	return sb.String()
+}
+
+// Fig12JSON is one machine-readable result row (the BENCH_fig12.json
+// schema): one approach × connector × N cell with its measured step
+// rate, so the performance trajectory is trackable across revisions.
+type Fig12JSON struct {
+	Approach    string  `json:"approach"`
+	Connector   string  `json:"connector"`
+	N           int     `json:"n"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+	// Failed marks approaches that could not compile/connect the cell
+	// (the "existing approach fails" outcome); StepsPerSec is 0 then.
+	Failed bool `json:"failed,omitempty"`
+}
+
+// Fig12JSONRows flattens comparison rows into per-approach JSON rows.
+// budget is the measurement window each row's steps were counted in; a
+// non-positive budget falls back to the RunFig12 default (matching what
+// the sweep actually used).
+func Fig12JSONRows(rows []Fig12Row, budget time.Duration) []Fig12JSON {
+	if budget <= 0 {
+		budget = defaultFig12Budget
+	}
+	secs := budget.Seconds()
+	out := make([]Fig12JSON, 0, 2*len(rows))
+	for _, r := range rows {
+		out = append(out, Fig12JSON{
+			Approach: "new", Connector: r.Connector, N: r.N,
+			StepsPerSec: float64(r.StepsNew) / secs,
+		})
+		old := Fig12JSON{Approach: "existing", Connector: r.Connector, N: r.N, Failed: r.OldFailed}
+		if !r.OldFailed {
+			old.StepsPerSec = float64(r.StepsOld) / secs
+		}
+		out = append(out, old)
+	}
+	return out
+}
+
+// WriteFig12JSON writes the rows to path in the BENCH_fig12.json schema.
+func WriteFig12JSON(path string, rows []Fig12Row, budget time.Duration) error {
+	data, err := json.MarshalIndent(Fig12JSONRows(rows, budget), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // Fig13Row is one NPB measurement.

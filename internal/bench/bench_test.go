@@ -1,6 +1,8 @@
 package bench_test
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -73,6 +75,42 @@ func TestRunFig12Small(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("formatted output lacks %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestFig12JSONRows(t *testing.T) {
+	rows := []bench.Fig12Row{
+		{Connector: "Merger", N: 4, StepsNew: 1000, StepsOld: 500},
+		{Connector: "Big", N: 64, StepsNew: 2000, OldFailed: true},
+	}
+	js := bench.Fig12JSONRows(rows, time.Second)
+	if len(js) != 4 {
+		t.Fatalf("json rows = %d, want 4 (one per approach per cell)", len(js))
+	}
+	if js[0].Approach != "new" || js[0].Connector != "Merger" || js[0].N != 4 || js[0].StepsPerSec != 1000 {
+		t.Errorf("row 0 = %+v", js[0])
+	}
+	if js[1].Approach != "existing" || js[1].StepsPerSec != 500 || js[1].Failed {
+		t.Errorf("row 1 = %+v", js[1])
+	}
+	if !js[3].Failed || js[3].StepsPerSec != 0 {
+		t.Errorf("failed row = %+v", js[3])
+	}
+
+	path := t.TempDir() + "/BENCH_fig12.json"
+	if err := bench.WriteFig12JSON(path, rows, 500*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []bench.Fig12JSON
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round-trip: %v\n%s", err, data)
+	}
+	if len(back) != 4 || back[0].StepsPerSec != 2000 {
+		t.Errorf("round-trip rows = %+v", back)
 	}
 }
 

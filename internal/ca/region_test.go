@@ -1,0 +1,185 @@
+package ca_test
+
+import (
+	"testing"
+
+	"repro/internal/ca"
+	"repro/internal/prim"
+)
+
+func TestDetectBufferShapes(t *testing.T) {
+	u := ca.NewUniverse()
+	a, b, c := u.Port("a"), u.Port("b"), u.Port("c")
+
+	if sh, ok := ca.DetectBuffer(prim.Fifo1(u, a, b)); !ok || sh.In != a || sh.Out != b || sh.Full {
+		t.Errorf("Fifo1: got %+v ok=%v, want In=a Out=b empty", sh, ok)
+	}
+	if sh, ok := ca.DetectBuffer(prim.Fifo1Full(u, a, b, 42)); !ok || sh.In != a || sh.Out != b || !sh.Full {
+		t.Errorf("Fifo1Full: got %+v ok=%v, want In=a Out=b full", sh, ok)
+	} else if u.CellInitial(sh.Cell) != 42 {
+		t.Errorf("Fifo1Full initial content = %v, want 42", u.CellInitial(sh.Cell))
+	}
+	// FifoK(1) has the same structure as Fifo1 — detection is structural,
+	// not by primitive name.
+	if _, ok := ca.DetectBuffer(prim.FifoK(u, a, b, 1)); !ok {
+		t.Error("FifoK(1) should be detected as a buffer shape")
+	}
+
+	negatives := map[string]*ca.Automaton{
+		"Sync":      prim.Sync(u, a, b),
+		"LossySync": prim.LossySync(u, a, b),
+		"SyncDrain": prim.SyncDrain(u, a, b),
+		"Seq":       prim.Seq(u, []ca.PortID{a, b}),
+		"FifoK(2)":  prim.FifoK(u, a, b, 2),
+		"Valve1":    prim.Valve1(u, a, b, c),
+		"Merger":    prim.Merger(u, []ca.PortID{a, b}, c),
+	}
+	for name, aut := range negatives {
+		if _, ok := ca.DetectBuffer(aut); ok {
+			t.Errorf("%s wrongly detected as buffer", name)
+		}
+	}
+}
+
+// TestPlanRegionsChain cuts a drain-coupled token chain: Sync(a;x),
+// Fifo1(x;y), Sync(y;b) must become two regions joined by one link.
+func TestPlanRegionsChain(t *testing.T) {
+	u := ca.NewUniverse()
+	a, x, y, b := u.Port("a"), u.Port("x"), u.Port("y"), u.Port("b")
+	u.SetDir(a, ca.DirSource)
+	u.SetDir(b, ca.DirSink)
+	auts := []*ca.Automaton{prim.Sync(u, a, x), prim.Fifo1(u, x, y), prim.Sync(u, y, b)}
+	plan := ca.PlanRegions(u, auts)
+	if len(plan.Regions) != 2 || len(plan.Links) != 1 {
+		t.Fatalf("got %d regions, %d links, want 2/1:\n%s",
+			len(plan.Regions), len(plan.Links), plan.Dump(u, auts))
+	}
+	lk := plan.Links[0]
+	if lk.SrcPort != x || lk.DstPort != y || lk.Full || lk.Capacity != 1 {
+		t.Errorf("link = %+v, want x->y cap 1 empty", lk)
+	}
+	if lk.From == lk.To {
+		t.Error("link must join two distinct regions")
+	}
+}
+
+// TestPlanRegionsKeepsCoupledBuffer: a buffer whose two ports attach to
+// the same region (here through a SyncDrain spanning it) must not be cut.
+func TestPlanRegionsKeepsCoupledBuffer(t *testing.T) {
+	u := ca.NewUniverse()
+	x, y := u.Port("x"), u.Port("y")
+	u.SetDir(x, ca.DirSource)
+	u.SetDir(y, ca.DirSink)
+	auts := []*ca.Automaton{prim.Fifo1(u, x, y), prim.SyncDrain(u, x, y)}
+	plan := ca.PlanRegions(u, auts)
+	if len(plan.Regions) != 1 || len(plan.Links) != 0 {
+		t.Fatalf("got %d regions, %d links, want 1/0 (buffer spanned by drain):\n%s",
+			len(plan.Regions), len(plan.Links), plan.Dump(u, auts))
+	}
+}
+
+// TestPlanRegionsKeepFixpoint: keeping one buffer can glue the sides of
+// another; the fixpoint must propagate. Fifo1(x;y) is spanned by a drain;
+// Fifo1(y;z) then also has both sides on the same region via the kept
+// first buffer and a Sync(z;x) back-edge.
+func TestPlanRegionsKeepFixpoint(t *testing.T) {
+	u := ca.NewUniverse()
+	x, y, z := u.Port("x"), u.Port("y"), u.Port("z")
+	auts := []*ca.Automaton{
+		prim.Fifo1(u, x, y),
+		prim.SyncDrain(u, x, y),
+		prim.Fifo1(u, y, z),
+		prim.SyncDrain(u, y, z),
+	}
+	plan := ca.PlanRegions(u, auts)
+	if len(plan.Regions) != 1 || len(plan.Links) != 0 {
+		t.Fatalf("got %d regions, %d links, want 1/0:\n%s",
+			len(plan.Regions), len(plan.Links), plan.Dump(u, auts))
+	}
+}
+
+// TestPlanRegionsNodeRegions: a pure buffer pipeline (task - Fifo1 -
+// relay node - Fifo1 - task) has no solid constituents at all; every
+// endpoint port gets a synthesized node region.
+func TestPlanRegionsNodeRegions(t *testing.T) {
+	u := ca.NewUniverse()
+	a, m, b := u.Port("a"), u.Port("m"), u.Port("b")
+	u.SetDir(a, ca.DirSource)
+	u.SetDir(b, ca.DirSink)
+	auts := []*ca.Automaton{prim.Fifo1(u, a, m), prim.Fifo1(u, m, b)}
+	plan := ca.PlanRegions(u, auts)
+	if len(plan.Regions) != 3 || len(plan.Links) != 2 {
+		t.Fatalf("got %d regions, %d links, want 3/2:\n%s",
+			len(plan.Regions), len(plan.Links), plan.Dump(u, auts))
+	}
+	nodes := 0
+	for _, r := range plan.Regions {
+		if len(r.Auts) != 0 {
+			t.Errorf("unexpected solid constituents in region: %+v", r)
+		}
+		nodes += len(r.Nodes)
+	}
+	if nodes != 3 {
+		t.Errorf("synthesized %d node ports, want 3 (a, m, b)", nodes)
+	}
+	// The relay node m must be the target of link 0 and the source of
+	// link 1 — the same region on both.
+	if plan.Links[0].To != plan.Links[1].From {
+		t.Errorf("relay node split across regions: %+v", plan.Links)
+	}
+}
+
+// TestPlanRegionsSharedOutKept: two buffers emitting through one port
+// would need a link-level merge; both must stay ordinary constituents.
+func TestPlanRegionsSharedOutKept(t *testing.T) {
+	u := ca.NewUniverse()
+	a, b, m := u.Port("a"), u.Port("b"), u.Port("m")
+	c := u.Port("c")
+	auts := []*ca.Automaton{
+		prim.Fifo1(u, a, m),
+		prim.Fifo1(u, b, m),
+		prim.Sync(u, m, c),
+	}
+	plan := ca.PlanRegions(u, auts)
+	if len(plan.Links) != 0 {
+		t.Fatalf("shared-out buffers must not be cut:\n%s", plan.Dump(u, auts))
+	}
+}
+
+// TestPlanRegionsReplication: several buffers accepting from one port
+// (a replicated node) each become a link from the same source region.
+func TestPlanRegionsReplication(t *testing.T) {
+	u := ca.NewUniverse()
+	in := u.Port("in")
+	u.SetDir(in, ca.DirSource)
+	var auts []*ca.Automaton
+	outs := make([]ca.PortID, 3)
+	for i := range outs {
+		outs[i] = u.Port("out" + string(rune('0'+i)))
+		u.SetDir(outs[i], ca.DirSink)
+		auts = append(auts, prim.Fifo1(u, in, outs[i]))
+	}
+	plan := ca.PlanRegions(u, auts)
+	if len(plan.Links) != 3 {
+		t.Fatalf("want 3 links:\n%s", plan.Dump(u, auts))
+	}
+	src := plan.Links[0].From
+	for _, lk := range plan.Links {
+		if lk.From != src {
+			t.Errorf("replicated accepts must share one source region: %+v", plan.Links)
+		}
+	}
+	// 1 shared source node region + 3 sink node regions.
+	if len(plan.Regions) != 4 {
+		t.Errorf("got %d regions, want 4:\n%s", len(plan.Regions), plan.Dump(u, auts))
+	}
+}
+
+func TestNodeAutomaton(t *testing.T) {
+	u := ca.NewUniverse()
+	p := u.Port("p")
+	a := ca.NodeAutomaton(u, p)
+	if a.NumStates() != 1 || a.NumTransitions() != 1 || !a.Ports.Has(p) {
+		t.Fatalf("bad node automaton: %v", a)
+	}
+}

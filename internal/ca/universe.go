@@ -130,6 +130,15 @@ func (u *Universe) NewCellInit(v any) CellID {
 // NumCells returns the number of allocated cells.
 func (u *Universe) NumCells() int { return len(u.cells) }
 
+// CellInitial returns the initial value of cell c (nil if it starts
+// empty).
+func (u *Universe) CellInitial(c CellID) any {
+	if int(c) < 0 || int(c) >= len(u.cells) {
+		return nil
+	}
+	return u.cells[c]
+}
+
 // InitialCells returns a fresh cell store with initial values applied.
 func (u *Universe) InitialCells() []any {
 	out := make([]any, len(u.cells))

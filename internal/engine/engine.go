@@ -109,6 +109,26 @@ type Engine struct {
 	enabledBuf []int32
 	opPool     sync.Pool
 
+	// Region-link support (see region.go). All nil/empty unless the
+	// engine is one region of a NewMultiRegions coordinator.
+	//
+	// emitAt maps a port to the inbound link offering values at it;
+	// acceptAt maps a port to the outbound links consuming from it.
+	// linkGate marks ports with any endpoint; linkOK the subset whose
+	// queue conditions (non-empty to emit, non-full to accept) currently
+	// hold. pushVal buffers plan-computed values for accepting ports
+	// within one fire. outNudges collects the neighbor regions whose
+	// gates this engine's fires changed; the goroutine that fired drains
+	// it after releasing the lock (see processNudges).
+	emitAt    map[ca.PortID]*link
+	acceptAt  map[ca.PortID][]*link
+	gatePorts []ca.PortID
+	linkGate  ca.BitSet
+	linkOK    ca.BitSet
+	pushVal   map[ca.PortID]any
+	outNudges []*Engine
+	group     *regionGroup
+
 	steps      atomic.Int64
 	expansions atomic.Int64
 	guardEvals atomic.Int64
@@ -120,6 +140,20 @@ type Engine struct {
 // is returned if it exceeds Options.MaxStates — the run-time analogue of
 // the existing compiler failing on connectors with huge automata.
 func New(u *ca.Universe, auts []*ca.Automaton, opts Options) (*Engine, error) {
+	e, err := newEngine(u, auts, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.finish(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// newEngine builds the engine without expanding any state, so region
+// construction can attach link endpoints first (compiled plans depend on
+// which ports are link endpoints). finish completes construction.
+func newEngine(u *ca.Universe, auts []*ca.Automaton, opts Options) (*Engine, error) {
 	if len(auts) == 0 {
 		return nil, errors.New("engine: no constituent automata")
 	}
@@ -162,12 +196,16 @@ func New(u *ca.Universe, auts []*ca.Automaton, opts Options) (*Engine, error) {
 		cacheSize = 0 // AOT requires the full space retained
 	}
 	e.cache = newJointCache(cacheSize, opts.Policy, e.rng)
-	if opts.Composition == AOT {
-		if err := e.expandAll(); err != nil {
-			return nil, err
-		}
-	}
 	return e, nil
+}
+
+// finish completes construction after any link endpoints are attached:
+// for AOT composition the reachable composite space is expanded now.
+func (e *Engine) finish() error {
+	if e.opts.Composition == AOT {
+		return e.expandAll()
+	}
+	return nil
 }
 
 // expanded is the memoized expansion of one composite state: every joint
@@ -193,6 +231,34 @@ func (e *Engine) dirOf(p ca.PortID) ca.Dir {
 	return e.dirs[p]
 }
 
+// planDir classifies ports for plan compilation. It agrees with the
+// universe's boundary directions except at link endpoints: an emitting
+// endpoint behaves as a source (the plan reads its value from the queue
+// head via PlanPortVal), and an accepting endpoint with no other value
+// origin behaves as a sink (the plan computes and delivers the value the
+// region must push).
+func (e *Engine) planDir(p ca.PortID) ca.Dir {
+	if e.emitAt != nil {
+		if _, ok := e.emitAt[p]; ok {
+			return ca.DirSource
+		}
+	}
+	d := e.dirOf(p)
+	if d == ca.DirNone && e.acceptAt != nil {
+		if _, ok := e.acceptAt[p]; ok {
+			return ca.DirSink
+		}
+	}
+	return d
+}
+
+// gated reports whether port p participates in dispatch indexing: either
+// a task boundary port (needs a pending operation) or a link endpoint
+// (needs its queue condition).
+func (e *Engine) gated(p ca.PortID) bool {
+	return e.boundary.Has(p) || (e.linkGate != nil && e.linkGate.Has(p))
+}
+
 // expandState returns the expansion of the given composite state, using
 // the cache. Must be called with mu held.
 func (e *Engine) expandState(state []int32) *expanded {
@@ -208,16 +274,16 @@ func (e *Engine) expandState(state []int32) *expanded {
 	}
 	for i, j := range joints {
 		t := &ca.Transition{Sync: j.Sync, Guards: j.Guards, Acts: j.Acts}
-		ex.plans[i] = ca.CompilePlan(t, e.dirOf)
+		ex.plans[i] = ca.CompilePlan(t, e.planDir)
 		ex.targets[i] = j.Targets
-		hasBoundary := false
+		hasGate := false
 		j.Sync.ForEach(func(p ca.PortID) {
-			if e.boundary.Has(p) {
+			if e.gated(p) {
 				ex.byPort[p] = append(ex.byPort[p], int32(i))
-				hasBoundary = true
+				hasGate = true
 			}
 		})
-		if !hasBoundary {
+		if !hasGate {
 			ex.taus = append(ex.taus, int32(i))
 		}
 	}
@@ -248,28 +314,43 @@ func (e *Engine) expandAll() error {
 	return nil
 }
 
-// PlanPortVal implements ca.PlanHost: pending send value on a source port.
+// PlanPortVal implements ca.PlanHost: pending send value on a source
+// port, or the head of the inbound link offering values at it.
 func (e *Engine) PlanPortVal(p ca.PortID) any {
-	if o := e.pend[p]; o != nil {
+	if o := e.pend[p]; o != nil && o.send {
 		return o.val
+	}
+	if e.emitAt != nil {
+		if l := e.emitAt[p]; l != nil {
+			return l.peek()
+		}
 	}
 	return nil
 }
 
 // PlanDeliver implements ca.PlanHost: hand a fired value to the pending
-// receive on a sink port.
+// receive on a sink port, and stage it for any outbound links accepting
+// at the port (pushed by fireLinks once the step commits).
 func (e *Engine) PlanDeliver(p ca.PortID, v any) {
 	if o := e.pend[p]; o != nil && !o.send {
 		o.out = v
+	}
+	if e.acceptAt != nil {
+		if _, ok := e.acceptAt[p]; ok {
+			e.pushVal[p] = v
+		}
 	}
 }
 
 // Send registers a send operation on port p and blocks until a transition
 // involving p fires (completing the operation) or the connector closes.
 func (e *Engine) Send(p ca.PortID, v any) error {
-	o, err := e.register(p, true, v)
+	o, nudges, err := e.register(p, true, v)
 	if err != nil {
 		return err
+	}
+	if nudges != nil {
+		e.processNudges(nudges)
 	}
 	<-o.done
 	err = o.err
@@ -280,9 +361,12 @@ func (e *Engine) Send(p ca.PortID, v any) error {
 // Recv registers a receive operation on port p and blocks until a value is
 // delivered or the connector closes.
 func (e *Engine) Recv(p ca.PortID) (any, error) {
-	o, err := e.register(p, false, nil)
+	o, nudges, err := e.register(p, false, nil)
 	if err != nil {
 		return nil, err
+	}
+	if nudges != nil {
+		e.processNudges(nudges)
 	}
 	<-o.done
 	out, err := o.out, o.err
@@ -306,32 +390,37 @@ func (e *Engine) putOp(o *op) {
 	e.opPool.Put(o)
 }
 
-func (e *Engine) register(p ca.PortID, send bool, v any) (*op, error) {
+// register adds a pending operation and runs the fire loop. It returns
+// the cross-region nudges the fires produced (captured under the lock);
+// the caller must deliver them via processNudges after unlocking.
+func (e *Engine) register(p ca.PortID, send bool, v any) (*op, []*Engine, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
-		return nil, ErrClosed
+		return nil, nil, ErrClosed
 	}
 	if e.broken != nil {
-		return nil, e.broken
+		return nil, nil, e.broken
 	}
 	if int(p) >= len(e.pend) {
-		return nil, fmt.Errorf("engine: unknown port %d", p)
+		return nil, nil, fmt.Errorf("engine: unknown port %d", p)
 	}
 	if send && e.dirs[p] != ca.DirSource {
-		return nil, fmt.Errorf("engine: send on non-source port %q", e.u.Name(p))
+		return nil, nil, fmt.Errorf("engine: send on non-source port %q", e.u.Name(p))
 	}
 	if !send && e.dirs[p] != ca.DirSink {
-		return nil, fmt.Errorf("engine: recv on non-sink port %q", e.u.Name(p))
+		return nil, nil, fmt.Errorf("engine: recv on non-sink port %q", e.u.Name(p))
 	}
 	if e.pend[p] != nil {
-		return nil, ErrPortBusy
+		return nil, nil, ErrPortBusy
 	}
 	o := e.getOp(send, v)
 	e.pend[p] = o
 	e.pendMask.Set(p)
 	e.fireLoop(p)
-	return o, nil
+	nudges := e.outNudges
+	e.outNudges = nil
+	return o, nudges, nil
 }
 
 // tryEnable appends plan i to the candidate buffer if its sync set is
@@ -341,8 +430,12 @@ func (e *Engine) register(p ca.PortID, send bool, v any) (*op, error) {
 func (e *Engine) tryEnable(ex *expanded, i int32) bool {
 	pl := ex.plans[i]
 	// Enabled iff every *boundary* port in the sync set has a pending
-	// operation; internal vertices need none.
+	// operation and every link endpoint's queue condition holds; internal
+	// vertices need neither.
 	if !pl.Sync.MaskedSubsetOf(e.boundary, e.pendMask) {
+		return true
+	}
+	if e.linkGate != nil && !pl.Sync.MaskedSubsetOf(e.linkGate, e.linkOK) {
 		return true
 	}
 	e.guardEvals.Add(1)
@@ -367,8 +460,14 @@ func (e *Engine) resetEnabled(ex *expanded) {
 	}
 }
 
+// pumpTrigger is the fireLoop sentinel for pump wake-ups: no fresh
+// operation, so the indexed first iteration is skipped in favor of a
+// full scan (any link gate may have changed).
+const pumpTrigger ca.PortID = -1
+
 // fireLoop fires enabled transitions until quiescence. Called with mu held
-// from register, with the port whose fresh operation woke the engine.
+// from register, with the port whose fresh operation woke the engine, or
+// from the pump with pumpTrigger.
 //
 // The first iteration dispatches through the expanded state's port index:
 // when the loop last reached quiescence nothing was enabled, and a new
@@ -381,7 +480,15 @@ func (e *Engine) fireLoop(trigger ca.PortID) {
 	if e.broken != nil {
 		return
 	}
-	indexed := true
+	indexed := trigger != pumpTrigger
+	if !indexed && e.linkGate != nil {
+		// A drain visit: pick up the neighbor queue activity that
+		// prompted it. Register-path calls skip this — neighbor changes
+		// always arrive with their own drain visit, and gates only ever
+		// turn on asynchronously, so a not-yet-refreshed gate is at worst
+		// a missed enable the pending visit repairs.
+		e.refreshLinks()
+	}
 	tau := 0
 	for {
 		ex := e.expandState(e.state)
@@ -429,6 +536,12 @@ func (e *Engine) fireLoop(trigger ca.PortID) {
 			e.break_(err)
 			return
 		}
+		linkActive := false
+		if e.linkGate != nil {
+			// Pop/push the link endpoints in the sync set before
+			// completing operations: popped values feed pending receives.
+			linkActive = e.fireLinks(pl)
+		}
 		completedAny := false
 		var traced []TracePort
 		// Complete every pending operation in the sync set. Sink values
@@ -463,7 +576,7 @@ func (e *Engine) fireLoop(trigger ca.PortID) {
 		if e.tracer != nil {
 			e.tracer(TraceEvent{Step: step, Ports: traced, Internal: !completedAny})
 		}
-		if completedAny {
+		if completedAny || linkActive {
 			tau = 0
 		} else {
 			tau++
@@ -476,7 +589,8 @@ func (e *Engine) fireLoop(trigger ca.PortID) {
 }
 
 // break_ marks the engine broken and fails all pending operations.
-// Called with mu held.
+// Called with mu held. A broken region breaks its sibling regions
+// asynchronously (their locks cannot be taken while holding this one).
 func (e *Engine) break_(err error) {
 	e.broken = err
 	for p, o := range e.pend {
@@ -487,6 +601,9 @@ func (e *Engine) break_(err error) {
 		e.pend[p] = nil
 		e.pendMask.Clear(ca.PortID(p))
 		o.done <- struct{}{}
+	}
+	if e.group != nil {
+		go e.group.breakOthers(e, err)
 	}
 }
 

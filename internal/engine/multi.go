@@ -7,17 +7,29 @@ import (
 	"repro/internal/ca"
 )
 
-// Multi is a partitioned coordinator (the optimization of §V-C(3), after
-// Jongmans, Santini & Arbab, "Partially distributed coordination with Reo
-// and constraint automata"): the constituent automata are partitioned into
-// connected components of the shared-port graph; each component is an
-// independent Engine with its own lock and composite state. Components
-// share no ports, so no consensus between them is ever needed, and the
-// per-state expansion work is exponential only in the largest component —
-// not in the whole connector.
+// Multi is a partitioned coordinator: the router over independently
+// locked engines, for both partition kinds.
+//
+// NewMulti partitions on connected components of the shared-port graph
+// (the optimization of §V-C(3), after Jongmans, Santini & Arbab,
+// "Partially distributed coordination with Reo and constraint
+// automata"): components share no ports, so no consensus between them is
+// ever needed, and the per-state expansion work is exponential only in
+// the largest component — not in the whole connector.
+//
+// NewMultiRegions (region.go) cuts finer: full buffers never require
+// consensus across them, so connectors that are a single component still
+// decompose into synchronous regions joined by bounded links, each
+// firing concurrently.
 type Multi struct {
 	engines []*Engine
 	owner   []int // port -> engine index (-1 if unknown)
+
+	// regions marks a region-partitioned coordinator; plan and links
+	// describe the cut (diagnostics).
+	regions bool
+	plan    *ca.RegionPlan
+	links   []*link
 }
 
 // NewMulti partitions the constituents and builds one engine per
@@ -26,19 +38,7 @@ func NewMulti(u *ca.Universe, auts []*ca.Automaton, opts Options) (*Multi, error
 	if len(auts) == 0 {
 		return nil, errors.New("engine: no constituent automata")
 	}
-	parent := make([]int, len(auts))
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	union := func(a, b int) { parent[find(a)] = find(b) }
+	uf := ca.NewUnionFind(len(auts))
 
 	// Union constituents sharing any port. portFirst remembers the first
 	// constituent seen per port; linear in total port occurrences.
@@ -51,7 +51,7 @@ func NewMulti(u *ca.Universe, auts []*ca.Automaton, opts Options) (*Multi, error
 			if portFirst[p] < 0 {
 				portFirst[p] = i
 			} else {
-				union(portFirst[p], i)
+				uf.Union(portFirst[p], i)
 			}
 		})
 	}
@@ -59,7 +59,7 @@ func NewMulti(u *ca.Universe, auts []*ca.Automaton, opts Options) (*Multi, error
 	groups := make(map[int][]*ca.Automaton)
 	var order []int
 	for i, a := range auts {
-		r := find(i)
+		r := uf.Find(i)
 		if _, ok := groups[r]; !ok {
 			order = append(order, r)
 		}
@@ -84,8 +84,43 @@ func NewMulti(u *ca.Universe, auts []*ca.Automaton, opts Options) (*Multi, error
 	return m, nil
 }
 
-// Partitions returns the number of independent components.
+// Partitions returns the number of independent engines.
 func (m *Multi) Partitions() int { return len(m.engines) }
+
+// RegionPartitioned reports whether the coordinator was built by
+// NewMultiRegions (buffer-boundary cut) rather than NewMulti
+// (connected components).
+func (m *Multi) RegionPartitioned() bool { return m.regions }
+
+// Plan returns the region plan behind a region-partitioned coordinator
+// (nil for component partitioning).
+func (m *Multi) Plan() *ca.RegionPlan { return m.plan }
+
+// PartitionInfo is a per-engine statistics snapshot.
+type PartitionInfo struct {
+	// Constituents counts the automata executing in the partition
+	// (including synthesized node automata for region partitions).
+	Constituents int
+	// Links counts the link endpoints attached to the partition (always
+	// 0 for component partitions).
+	Links                         int
+	Steps, Expansions, GuardEvals int64
+}
+
+// Infos returns one statistics snapshot per partition.
+func (m *Multi) Infos() []PartitionInfo {
+	out := make([]PartitionInfo, len(m.engines))
+	for i, e := range m.engines {
+		out[i] = PartitionInfo{
+			Constituents: len(e.auts),
+			Links:        e.linkCount(),
+			Steps:        e.Steps(),
+			Expansions:   e.Expansions(),
+			GuardEvals:   e.GuardEvals(),
+		}
+	}
+	return out
+}
 
 func (m *Multi) engineFor(p ca.PortID) (*Engine, error) {
 	if int(p) >= len(m.owner) || m.owner[p] < 0 {

@@ -1,0 +1,422 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"repro/internal/ca"
+)
+
+// This file implements asynchronous-region execution: the run-time half
+// of ca.PlanRegions. A region is an ordinary Engine extended with *link
+// endpoints* — ports backed by bounded queues that stand in for the
+// buffer constituents cut out of the region graph. A link endpoint is
+// always ready to accept while its queue is non-full and to offer while
+// non-empty, so a region decides its fires with purely local information
+// and never takes a neighbor's lock while holding its own. After a fire
+// changes link state, the firing goroutine re-fires the affected
+// neighbors one at a time (processNudges), so cross-region progress
+// needs no background goroutines.
+
+// link is the bounded queue backing one cut buffer constituent. The
+// source region pushes (by firing the buffer's accept port), the target
+// region pops (by firing its emit port). Each side only ever mutates the
+// queue under its own engine lock plus the link mutex, so the mutex is
+// contended by at most two goroutines for a few loads/stores.
+type link struct {
+	mu      sync.Mutex
+	buf     []any
+	head, n int
+
+	src, dst         *Engine
+	srcPort, dstPort ca.PortID
+}
+
+func newLink(capacity int) *link {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &link{buf: make([]any, capacity)}
+}
+
+func (l *link) push(v any) {
+	l.mu.Lock()
+	if l.n == len(l.buf) {
+		l.mu.Unlock()
+		panic("engine: push on full region link (gate invariant violated)")
+	}
+	l.buf[(l.head+l.n)%len(l.buf)] = v
+	l.n++
+	l.mu.Unlock()
+}
+
+func (l *link) pop() any {
+	l.mu.Lock()
+	if l.n == 0 {
+		l.mu.Unlock()
+		panic("engine: pop on empty region link (gate invariant violated)")
+	}
+	v := l.buf[l.head]
+	l.buf[l.head] = nil
+	l.head = (l.head + 1) % len(l.buf)
+	l.n--
+	l.mu.Unlock()
+	return v
+}
+
+// peek returns the value the link currently offers. Only the owning
+// (target) region pops, and only under its engine lock, so a peek under
+// that lock is stable until the region itself pops.
+func (l *link) peek() any {
+	l.mu.Lock()
+	v := l.buf[l.head]
+	l.mu.Unlock()
+	return v
+}
+
+func (l *link) empty() bool {
+	l.mu.Lock()
+	e := l.n == 0
+	l.mu.Unlock()
+	return e
+}
+
+func (l *link) full() bool {
+	l.mu.Lock()
+	f := l.n == len(l.buf)
+	l.mu.Unlock()
+	return f
+}
+
+// regionGroup ties the regions of one connector together for error
+// propagation: a broken region breaks its siblings, since the connector
+// as a whole can no longer honor its protocol.
+type regionGroup struct {
+	engines []*Engine
+}
+
+func (g *regionGroup) breakOthers(src *Engine, err error) {
+	for _, e := range g.engines {
+		if e != src {
+			e.breakExternal(err)
+		}
+	}
+}
+
+// breakExternal marks the engine broken on behalf of a sibling region.
+func (e *Engine) breakExternal(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed || e.broken != nil {
+		return
+	}
+	e.break_(err)
+}
+
+// addAccept registers an outbound link at port p (the region pushes into
+// it when p fires). Several links may accept at one port: a replicated
+// node pushes to all of them in the same fire.
+func (e *Engine) addAccept(p ca.PortID, l *link) {
+	if e.acceptAt == nil {
+		e.acceptAt = make(map[ca.PortID][]*link)
+	}
+	e.acceptAt[p] = append(e.acceptAt[p], l)
+}
+
+// addEmit registers an inbound link at port p (the region pops from it
+// when p fires). At most one link may emit at a port — link-level merges
+// are excluded by the planner.
+func (e *Engine) addEmit(p ca.PortID, l *link) {
+	if e.emitAt == nil {
+		e.emitAt = make(map[ca.PortID]*link)
+	}
+	if _, dup := e.emitAt[p]; dup {
+		panic("engine: two links emitting at one port")
+	}
+	e.emitAt[p] = l
+}
+
+// initLinks finalizes link-endpoint bookkeeping. Must run after all
+// addAccept/addEmit calls and before the engine expands any state (the
+// compiled plans depend on which ports are link endpoints).
+func (e *Engine) initLinks() {
+	if len(e.emitAt) == 0 && len(e.acceptAt) == 0 {
+		return
+	}
+	e.linkGate = e.u.NewSet()
+	e.linkOK = e.u.NewSet()
+	seen := make(map[ca.PortID]bool)
+	for p := range e.emitAt {
+		if !seen[p] {
+			seen[p] = true
+			e.gatePorts = append(e.gatePorts, p)
+		}
+	}
+	for p := range e.acceptAt {
+		if !seen[p] {
+			seen[p] = true
+			e.gatePorts = append(e.gatePorts, p)
+		}
+	}
+	sort.Slice(e.gatePorts, func(i, j int) bool { return e.gatePorts[i] < e.gatePorts[j] })
+	for _, p := range e.gatePorts {
+		e.linkGate.Set(p)
+	}
+	e.pushVal = make(map[ca.PortID]any)
+	e.refreshLinks()
+}
+
+// refreshLinks recomputes every link gate bit. Called with mu held.
+// Neighbor activity can only turn gates on (they never consume our
+// readiness), so a stale bit is at worst a missed enable that the
+// neighbor's nudge repairs.
+func (e *Engine) refreshLinks() {
+	for _, p := range e.gatePorts {
+		e.refreshLinkPort(p)
+	}
+}
+
+func (e *Engine) refreshLinkPort(p ca.PortID) {
+	ok := true
+	if l := e.emitAt[p]; l != nil && l.empty() {
+		ok = false
+	}
+	if ok {
+		for _, l := range e.acceptAt[p] {
+			if l.full() {
+				ok = false
+				break
+			}
+		}
+	}
+	if ok {
+		e.linkOK.Set(p)
+	} else {
+		e.linkOK.Clear(p)
+	}
+}
+
+// fireLinks performs the link effects of a fired transition: pop every
+// emitting endpoint in the sync set, push every accepting one, deliver
+// popped values to pending receives, and nudge the neighbors whose gates
+// changed. Called with mu held, after the plan executed and before
+// pending operations are completed. Reports whether any endpoint was
+// touched (link progress resets the τ-livelock counter: a relay region
+// completes no boundary operations but still makes global progress).
+func (e *Engine) fireLinks(pl *ca.Plan) bool {
+	active := false
+	for wi := range pl.Sync {
+		if wi >= len(e.linkGate) {
+			break
+		}
+		w := pl.Sync[wi] & e.linkGate[wi]
+		for w != 0 {
+			p := ca.PortID(wi*64 + bits.TrailingZeros64(w))
+			w &= w - 1
+			active = true
+			var v any
+			fromLink := false
+			if l := e.emitAt[p]; l != nil {
+				v = l.pop()
+				fromLink = true
+				if o := e.pend[p]; o != nil && !o.send {
+					o.out = v
+				}
+				e.noteNudge(l.src)
+			}
+			if outs := e.acceptAt[p]; len(outs) > 0 {
+				if !fromLink {
+					if o := e.pend[p]; o != nil && o.send {
+						v = o.val
+					} else if pv, ok := e.pushVal[p]; ok {
+						v = pv
+					}
+				}
+				for _, l := range outs {
+					l.push(v)
+					e.noteNudge(l.dst)
+				}
+			}
+			e.refreshLinkPort(p)
+		}
+	}
+	for p := range e.pushVal {
+		delete(e.pushVal, p)
+	}
+	return active
+}
+
+// noteNudge records that a fire changed link state visible to neighbor
+// t, which must be re-fired once this engine's lock is released. Called
+// with mu held; self-nudges are dropped (the running fireLoop rescans).
+func (e *Engine) noteNudge(t *Engine) {
+	if t == e {
+		return
+	}
+	for _, x := range e.outNudges {
+		if x == t {
+			return
+		}
+	}
+	e.outNudges = append(e.outNudges, t)
+}
+
+// processNudges delivers cross-region wake-ups collected by this
+// engine's fires: it locks each noted neighbor in turn — never holding
+// two engine locks at once, so lock order cannot deadlock — and runs its
+// fire loop, accumulating any nudges those fires produce in turn
+// (a token relaying across several regions is walked to quiescence by
+// the goroutine that set it in motion). Must be called WITHOUT mu held.
+//
+// Every link-state change happens inside some engine's fire loop, and
+// the goroutine that ran that loop processes its nudges afterwards, so
+// no enablement is ever lost: the neighbor's re-fire happens-after the
+// change via its lock acquisition.
+//
+// A closed cycle of links with no task anywhere on it (a token spinning
+// through pure relay regions) would keep the walk alive forever; the
+// per-engine τ-burst guard cannot see it because each region's own fire
+// loop quiesces after one hop. The walk therefore carries its own
+// budget, mirroring the single-engine ErrLivelock on τ bursts.
+func (e *Engine) processNudges(work []*Engine) {
+	visits := 0
+	for len(work) > 0 {
+		visits++
+		if visits > e.opts.MaxTauBurst {
+			e.breakExternal(ErrLivelock)
+			return
+		}
+		t := work[0]
+		work = work[1:]
+		t.mu.Lock()
+		if t.closed || t.broken != nil {
+			t.mu.Unlock()
+			continue
+		}
+		t.fireLoop(pumpTrigger)
+		more := t.outNudges
+		t.outNudges = nil
+		t.mu.Unlock()
+		// Deduplicate; e itself may be re-enqueued (a downstream pop can
+		// reopen our own gates).
+		for _, m := range more {
+			seen := false
+			for _, w := range work {
+				if w == m {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				work = append(work, m)
+			}
+		}
+	}
+}
+
+// settle runs the initial fire pass of a freshly built region (and its
+// ripple effects): initially full links can enable relay fires before
+// any task operation arrives.
+func (e *Engine) settle() {
+	if e.linkGate == nil {
+		return
+	}
+	e.mu.Lock()
+	e.fireLoop(pumpTrigger)
+	nudges := e.outNudges
+	e.outNudges = nil
+	e.mu.Unlock()
+	e.processNudges(nudges)
+}
+
+// linkCount returns the number of link endpoints attached to the engine.
+func (e *Engine) linkCount() int {
+	n := len(e.emitAt)
+	for _, ls := range e.acceptAt {
+		n += len(ls)
+	}
+	return n
+}
+
+// NewMultiRegions partitions the constituents into asynchronous regions
+// (ca.PlanRegions): buffer-shaped constituents whose sides attach to
+// different regions become bounded links, every other constituent joins
+// the region of its shared ports, and link endpoints without a
+// constituent get synthesized single-port node automata. Each region is
+// an independently locked engine; cross-region coordination happens only
+// through the links, so regions fire concurrently.
+//
+// Compared to NewMulti (connected components), the region cut also
+// splits connectors that are one component: any full buffer decouples
+// the consensus on its two sides.
+func NewMultiRegions(u *ca.Universe, auts []*ca.Automaton, opts Options) (*Multi, error) {
+	if len(auts) == 0 {
+		return nil, errors.New("engine: no constituent automata")
+	}
+	for _, a := range auts {
+		if a.U != u {
+			return nil, errors.New("engine: constituent from foreign universe")
+		}
+	}
+	plan := ca.PlanRegions(u, auts)
+
+	group := &regionGroup{}
+	m := &Multi{owner: make([]int, u.NumPorts()), regions: true, plan: plan}
+	for i := range m.owner {
+		m.owner[i] = -1
+	}
+	for ri, spec := range plan.Regions {
+		sub := make([]*ca.Automaton, 0, len(spec.Auts)+len(spec.Nodes))
+		for _, ai := range spec.Auts {
+			sub = append(sub, auts[ai])
+		}
+		for _, p := range spec.Nodes {
+			sub = append(sub, ca.NodeAutomaton(u, p))
+		}
+		ropts := opts
+		// Distinct per-region streams keep each region's choices
+		// reproducible for a given seed.
+		ropts.Seed = opts.Seed + int64(ri)
+		eng, err := newEngine(u, sub, ropts)
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("engine: region %d: %w", ri, err)
+		}
+		eng.group = group
+		group.engines = append(group.engines, eng)
+		m.engines = append(m.engines, eng)
+		for _, a := range sub {
+			a.Ports.ForEach(func(p ca.PortID) { m.owner[p] = ri })
+		}
+	}
+
+	for _, lk := range plan.Links {
+		l := newLink(lk.Capacity)
+		l.src, l.dst = m.engines[lk.From], m.engines[lk.To]
+		l.srcPort, l.dstPort = lk.SrcPort, lk.DstPort
+		if lk.Full {
+			l.buf[0] = lk.Initial
+			l.n = 1
+		}
+		l.src.addAccept(lk.SrcPort, l)
+		l.dst.addEmit(lk.DstPort, l)
+		m.links = append(m.links, l)
+	}
+
+	for _, e := range m.engines {
+		e.initLinks()
+		if err := e.finish(); err != nil {
+			m.Close()
+			return nil, err
+		}
+	}
+	// Settle initially full links (Fifo1Full seeds) so relay fires that
+	// need no task operation happen before the first Send/Recv.
+	for _, e := range m.engines {
+		e.settle()
+	}
+	return m, nil
+}

@@ -1,0 +1,340 @@
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ca"
+	"repro/internal/engine"
+	"repro/internal/prim"
+)
+
+// regionChain builds Sync(a;x) | Fifo1(x;y) | Sync(y;b): one connected
+// component that region partitioning must cut at the buffer.
+func regionChain(t *testing.T, opts engine.Options) (*engine.Multi, ca.PortID, ca.PortID) {
+	t.Helper()
+	u := ca.NewUniverse()
+	a, x, y, b := u.Port("a"), u.Port("x"), u.Port("y"), u.Port("b")
+	u.SetDir(a, ca.DirSource)
+	u.SetDir(b, ca.DirSink)
+	auts := []*ca.Automaton{prim.Sync(u, a, x), prim.Fifo1(u, x, y), prim.Sync(u, y, b)}
+	m, err := engine.NewMultiRegions(u, auts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Partitions() != 2 {
+		t.Fatalf("partitions = %d, want 2 (cut at the buffer)", m.Partitions())
+	}
+	if !m.RegionPartitioned() {
+		t.Fatal("RegionPartitioned() = false")
+	}
+	return m, a, b
+}
+
+func TestRegionsCutChainEndToEnd(t *testing.T) {
+	m, a, b := regionChain(t, engine.Options{})
+	defer m.Close()
+	const rounds = 200
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < rounds; i++ {
+			if err := m.Send(a, i); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < rounds; i++ {
+		v, err := m.Recv(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != i {
+			t.Fatalf("recv %d = %v", i, v)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if m.Steps() == 0 {
+		t.Error("no steps counted")
+	}
+}
+
+// TestRegionsBufferCapacityBlocks: with the link holding one value, a
+// second send must block until the receiver drains the first.
+func TestRegionsBufferCapacityBlocks(t *testing.T) {
+	m, a, b := regionChain(t, engine.Options{})
+	defer m.Close()
+	if err := m.Send(a, 1); err != nil { // fills the link
+		t.Fatal(err)
+	}
+	second := make(chan error, 1)
+	go func() { second <- m.Send(a, 2) }()
+	select {
+	case err := <-second:
+		t.Fatalf("second send completed with buffer full: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	for want := 1; want <= 2; want++ {
+		v, err := m.Recv(b)
+		if err != nil || v != want {
+			t.Fatalf("recv = %v, %v; want %d", v, err, want)
+		}
+	}
+	if err := <-second; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegionsInitiallyFullLink: a Fifo1Full constituent becomes a link
+// that starts full; its seed value must come out first.
+func TestRegionsInitiallyFullLink(t *testing.T) {
+	u := ca.NewUniverse()
+	a, x, y, b := u.Port("a"), u.Port("x"), u.Port("y"), u.Port("b")
+	u.SetDir(a, ca.DirSource)
+	u.SetDir(b, ca.DirSink)
+	auts := []*ca.Automaton{prim.Sync(u, a, x), prim.Fifo1Full(u, x, y, "seed"), prim.Sync(u, y, b)}
+	m, err := engine.NewMultiRegions(u, auts, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	v, err := m.Recv(b) // no send needed: the link starts full
+	if err != nil || v != "seed" {
+		t.Fatalf("recv = %v, %v; want seed", v, err)
+	}
+	go m.Send(a, 7)
+	if v, err = m.Recv(b); err != nil || v != 7 {
+		t.Fatalf("recv = %v, %v; want 7", v, err)
+	}
+}
+
+// TestRegionsNodeRelay: a pure buffer pipeline (only node regions) must
+// relay values across multiple pump-driven hops.
+func TestRegionsNodeRelay(t *testing.T) {
+	u := ca.NewUniverse()
+	a, mid, b := u.Port("a"), u.Port("m"), u.Port("b")
+	u.SetDir(a, ca.DirSource)
+	u.SetDir(b, ca.DirSink)
+	auts := []*ca.Automaton{prim.Fifo1(u, a, mid), prim.Fifo1(u, mid, b)}
+	m, err := engine.NewMultiRegions(u, auts, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Partitions() != 3 {
+		t.Fatalf("partitions = %d, want 3 (two ends and a relay node)", m.Partitions())
+	}
+	const rounds = 100
+	go func() {
+		for i := 0; i < rounds; i++ {
+			if m.Send(a, i) != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < rounds; i++ {
+		v, err := m.Recv(b)
+		if err != nil || v != i {
+			t.Fatalf("recv %d = %v, %v", i, v, err)
+		}
+	}
+}
+
+// TestRegionsReplicatedAccept: one node feeding several links pushes to
+// all of them in a single fire (replication), gated on all being
+// non-full.
+func TestRegionsReplicatedAccept(t *testing.T) {
+	u := ca.NewUniverse()
+	in := u.Port("in")
+	u.SetDir(in, ca.DirSource)
+	var auts []*ca.Automaton
+	var outs []ca.PortID
+	for i := 0; i < 3; i++ {
+		o := u.Port(fmt.Sprintf("out%d", i))
+		u.SetDir(o, ca.DirSink)
+		outs = append(outs, o)
+		auts = append(auts, prim.Fifo1(u, in, o))
+	}
+	m, err := engine.NewMultiRegions(u, auts, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Send(in, "v"); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outs {
+		v, err := m.Recv(o)
+		if err != nil || v != "v" {
+			t.Fatalf("recv %v = %v, %v", o, v, err)
+		}
+	}
+}
+
+// TestRegionsTokenRing drives a sequencer-style token ring cut into one
+// region per drain: N clients must complete in strict cyclic order.
+func TestRegionsTokenRing(t *testing.T) {
+	const n = 4
+	u := ca.NewUniverse()
+	var auts []*ca.Automaton
+	cs := make([]ca.PortID, n)
+	rs := make([]ca.PortID, n)
+	for i := 0; i < n; i++ {
+		cs[i] = u.Port(fmt.Sprintf("c%d", i))
+		rs[i] = u.Port(fmt.Sprintf("r%d", i))
+		u.SetDir(cs[i], ca.DirSource)
+	}
+	for i := 0; i < n-1; i++ {
+		auts = append(auts, prim.Fifo1(u, rs[i], rs[i+1]))
+	}
+	auts = append(auts, prim.Fifo1Full(u, rs[n-1], rs[0], prim.Token{}))
+	for i := 0; i < n; i++ {
+		auts = append(auts, prim.SyncDrain(u, cs[i], rs[i]))
+	}
+	m, err := engine.NewMultiRegions(u, auts, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Partitions() != n {
+		t.Fatalf("partitions = %d, want %d", m.Partitions(), n)
+	}
+
+	// Probe the token order deterministically: the out-of-turn client
+	// must stay blocked until the in-turn client has fired.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < n; i++ {
+			next := make(chan error, 1)
+			go func(who int) { next <- m.Send(cs[(who+1)%n], 0) }(i)
+			select {
+			case err := <-next:
+				t.Fatalf("round %d: client %d completed out of turn: %v", round, (i+1)%n, err)
+			case <-time.After(20 * time.Millisecond):
+			}
+			if err := m.Send(cs[i], round); err != nil {
+				t.Fatalf("round %d: client %d: %v", round, i, err)
+			}
+			// Now the out-of-turn probe is the in-turn client.
+			if err := <-next; err != nil {
+				t.Fatalf("round %d: client %d: %v", round, (i+1)%n, err)
+			}
+			i++ // the probe consumed client i+1's turn
+		}
+	}
+}
+
+// TestRegionsClosePropagatesToPending: Close must fail pending
+// operations in every region.
+func TestRegionsClosePropagatesToPending(t *testing.T) {
+	m, a, b := regionChain(t, engine.Options{})
+	errs := make(chan error, 2)
+	// Both sides loop until the connector fails them; after Close, each
+	// goroutine's in-flight operation must surface ErrClosed whichever
+	// region it is pending in.
+	go func() {
+		for {
+			if _, err := m.Recv(b); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	go func() {
+		for {
+			if err := m.Send(a, 0); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	m.Close()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err != engine.ErrClosed {
+				t.Errorf("pending op error = %v, want ErrClosed", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("pending operation not released by Close")
+		}
+	}
+}
+
+// TestRegionsAOT: ahead-of-time composition must expand each region's
+// space with link gates in place.
+func TestRegionsAOT(t *testing.T) {
+	m, a, b := regionChain(t, engine.Options{Composition: engine.AOT})
+	defer m.Close()
+	go m.Send(a, 5)
+	v, err := m.Recv(b)
+	if err != nil || v != 5 {
+		t.Fatalf("recv = %v, %v", v, err)
+	}
+	if m.Expansions() == 0 {
+		t.Error("AOT should have expanded states eagerly")
+	}
+}
+
+// TestRegionsClosedCycleLivelocks: a closed loop of cut buffers with no
+// task anywhere on it spins a token through pure relay regions forever.
+// The nudge walk must hit its budget and break the group with
+// ErrLivelock instead of hanging NewMultiRegions — the region analogue
+// of the single engine's τ-burst guard.
+func TestRegionsClosedCycleLivelocks(t *testing.T) {
+	u := ca.NewUniverse()
+	x, y := u.Port("x"), u.Port("y")
+	auts := []*ca.Automaton{prim.Fifo1Full(u, x, y, prim.Token{}), prim.Fifo1(u, y, x)}
+	done := make(chan *engine.Multi, 1)
+	go func() {
+		m, err := engine.NewMultiRegions(u, auts, engine.Options{MaxTauBurst: 1000})
+		if err != nil {
+			t.Errorf("construction failed: %v", err)
+		}
+		done <- m
+	}()
+	select {
+	case m := <-done:
+		if m != nil {
+			m.Close()
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("NewMultiRegions hung on a closed buffer cycle")
+	}
+}
+
+// TestRegionsInfos checks the per-region statistics snapshot.
+func TestRegionsInfos(t *testing.T) {
+	m, a, b := regionChain(t, engine.Options{})
+	defer m.Close()
+	go m.Send(a, 1)
+	if _, err := m.Recv(b); err != nil {
+		t.Fatal(err)
+	}
+	infos := m.Infos()
+	if len(infos) != 2 {
+		t.Fatalf("infos = %d entries, want 2", len(infos))
+	}
+	var steps int64
+	links := 0
+	for _, in := range infos {
+		steps += in.Steps
+		links += in.Links
+		if in.Constituents == 0 {
+			t.Error("region reports zero constituents")
+		}
+	}
+	if steps != m.Steps() {
+		t.Errorf("per-region steps sum %d != total %d", steps, m.Steps())
+	}
+	if links != 2 {
+		t.Errorf("link endpoints = %d, want 2 (one per side)", links)
+	}
+	if m.Plan() == nil || m.Plan().NumCut() != 1 {
+		t.Errorf("plan = %+v, want 1 cut buffer", m.Plan())
+	}
+}

@@ -1,0 +1,256 @@
+// Differential tests for asynchronous-region partitioning: for
+// deterministic protocols, PartitionRegions must deliver exactly the
+// per-port value sequences of the single-engine run — the observational
+// equivalence the region cut promises (cross-region interleaving may
+// differ, per-port sequences may not).
+package reo_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	reo "repro"
+	"repro/internal/connlib"
+)
+
+// pipelineProto is a stage-coupled pipeline: one buffered lane per hop,
+// tasks attached between hops (the examples/pipeline "Lanes" shape).
+const pipelineProto = `
+Pipeline(src,out[];in[],snk) =
+    Fifo1(src;in[1])
+    mult prod (i:1..#out-1) Fifo1(out[i];in[i+1])
+    mult Fifo1(out[#out];snk)
+`
+
+// runPipeline pushes items through an n-stage pipeline (each stage
+// applies a tagged transformation) and returns the sink sequence plus
+// each stage's observed input sequence.
+func runPipeline(t *testing.T, n, items int, opts ...reo.ConnectOption) (sink []any, stages [][]any) {
+	t.Helper()
+	prog := reo.MustCompile(pipelineProto)
+	conn := prog.MustConnector("Pipeline")
+	inst, err := conn.Connect(map[string]int{"out": n, "in": n}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	stages = make([][]any, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			in := inst.Inports("in")[i]
+			out := inst.Outports("out")[i]
+			for k := 0; k < items; k++ {
+				v, err := in.Recv()
+				if err != nil {
+					t.Errorf("stage %d recv: %v", i, err)
+					return
+				}
+				stages[i] = append(stages[i], v)
+				if err := out.Send(v.(int)*10 + i); err != nil {
+					t.Errorf("stage %d send: %v", i, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		src := inst.Outport("src")
+		for k := 1; k <= items; k++ {
+			if err := src.Send(k); err != nil {
+				t.Errorf("src send: %v", err)
+				return
+			}
+		}
+	}()
+	snk := inst.Inport("snk")
+	for k := 0; k < items; k++ {
+		v, err := snk.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink = append(sink, v)
+	}
+	wg.Wait()
+	return sink, stages
+}
+
+func TestRegionsDifferentialPipeline(t *testing.T) {
+	const n, items = 4, 40
+	wantSink, wantStages := runPipeline(t, n, items, reo.WithSeed(1))
+	gotSink, gotStages := runPipeline(t, n, items, reo.WithSeed(1),
+		reo.WithPartitioning(reo.PartitionRegions))
+	if fmt.Sprint(gotSink) != fmt.Sprint(wantSink) {
+		t.Errorf("sink sequence differs:\nregions: %v\nsingle:  %v", gotSink, wantSink)
+	}
+	for i := range wantStages {
+		if fmt.Sprint(gotStages[i]) != fmt.Sprint(wantStages[i]) {
+			t.Errorf("stage %d input sequence differs:\nregions: %v\nsingle:  %v",
+				i, gotStages[i], wantStages[i])
+		}
+	}
+}
+
+// runAlternator drives connlib's Alternator (senders tag their values)
+// and returns the merged output sequence, which the connector forces
+// into strict cyclic sender order.
+func runAlternator(t *testing.T, n, rounds int, opts ...reo.ConnectOption) []any {
+	t.Helper()
+	d, err := connlib.ByName("Alternator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := d.Connect(n, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	var wg sync.WaitGroup
+	for i, out := range inst.Outports("in") {
+		wg.Add(1)
+		go func(i int, out reo.Outport) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := out.Send((i+1)*1000 + r); err != nil {
+					t.Errorf("sender %d: %v", i, err)
+					return
+				}
+			}
+		}(i, out)
+	}
+	var got []any
+	in := inst.Inport("out")
+	for k := 0; k < n*rounds; k++ {
+		v, err := in.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, v)
+	}
+	wg.Wait()
+	return got
+}
+
+func TestRegionsDifferentialAlternator(t *testing.T) {
+	const n, rounds = 4, 20
+	want := runAlternator(t, n, rounds, reo.WithSeed(7))
+	got := runAlternator(t, n, rounds, reo.WithSeed(7),
+		reo.WithPartitioning(reo.PartitionRegions))
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("output sequence differs:\nregions: %v\nsingle:  %v", got, want)
+	}
+}
+
+// TestRegionCounts pins the region decomposition of the cut-friendly
+// connlib connectors at N=8 (the acceptance shape: pipeline/ring-style
+// connectors must split into ≥ 2 regions).
+func TestRegionCounts(t *testing.T) {
+	cases := []struct {
+		connector string
+		regions   int
+	}{
+		{"Sequencer", 8},        // one region per drain, ring of links
+		{"TokenRing", 8},        // one region per replicator
+		{"Alternator", 2},       // drain chain | merge side
+		{"EarlyAsyncMerger", 9}, // 8 source nodes + merger
+		{"LateAsyncMerger", 2},
+		{"Discriminator", 9},
+		// Single-region connectors: every buffer is either spanned by
+		// synchronous couplings or folded into a compile-time medium
+		// product (Lock's Fifo1Full shares a level with its SyncDrain).
+		{"Lock", 1},
+		{"Barrier", 1},
+		{"OrderedMany2One", 1},
+	}
+	for _, c := range cases {
+		d, err := connlib.ByName(c.connector)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := d.Connect(8, reo.WithPartitioning(reo.PartitionRegions))
+		if err != nil {
+			t.Fatalf("%s: %v", c.connector, err)
+		}
+		if got := inst.Partitions(); got != c.regions {
+			t.Errorf("%s at N=8: %d regions, want %d", c.connector, got, c.regions)
+		}
+		inst.Close()
+	}
+
+	// The pipeline protocol splits at every lane.
+	prog := reo.MustCompile(pipelineProto)
+	inst, err := prog.MustConnector("Pipeline").Connect(
+		map[string]int{"out": 8, "in": 8}, reo.WithPartitioning(reo.PartitionRegions))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	if got := inst.Partitions(); got < 2 {
+		t.Errorf("Pipeline at N=8: %d regions, want >= 2", got)
+	}
+}
+
+// TestRegionsInstanceStats exercises the public Regions() surface under
+// all three partition modes.
+func TestRegionsInstanceStats(t *testing.T) {
+	d, err := connlib.ByName("Sequencer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []reo.PartitionMode{reo.PartitionOff, reo.PartitionComponents, reo.PartitionRegions} {
+		inst, err := d.Connect(4, reo.WithPartitioning(mode))
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		wait := connlib.Drive(d, inst, 4)
+		time.Sleep(30 * time.Millisecond)
+		inst.Close()
+		wait()
+		// Snapshot after Close: the engines are quiescent, so the
+		// per-region sums must match the aggregate exactly.
+		infos := inst.Regions()
+		if len(infos) != inst.Partitions() {
+			t.Errorf("%v: Regions() has %d entries, Partitions() = %d", mode, len(infos), inst.Partitions())
+		}
+		var steps int64
+		links := 0
+		for _, in := range infos {
+			steps += in.Steps
+			links += in.Links
+		}
+		if steps != inst.Steps() {
+			t.Errorf("%v: region steps sum %d != instance steps %d", mode, steps, inst.Steps())
+		}
+		if mode == reo.PartitionRegions {
+			if links == 0 {
+				t.Errorf("%v: no link endpoints reported", mode)
+			}
+			if inst.Partitions() != 4 {
+				t.Errorf("%v: partitions = %d, want 4", mode, inst.Partitions())
+			}
+		} else if links != 0 {
+			t.Errorf("%v: links = %d, want 0", mode, links)
+		}
+	}
+}
+
+// TestDeprecatedPartitioningShim keeps the old boolean option working.
+func TestDeprecatedPartitioningShim(t *testing.T) {
+	prog := reo.MustCompile(`Buffers(in[];out[]) = prod (i:1..#in) Fifo1(in[i];out[i])`)
+	inst, err := prog.MustConnector("Buffers").Connect(
+		map[string]int{"in": 3, "out": 3}, reo.WithPartitioningEnabled(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	if inst.Partitions() != 3 {
+		t.Errorf("partitions = %d, want 3 (components via deprecated shim)", inst.Partitions())
+	}
+}

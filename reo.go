@@ -203,7 +203,7 @@ func (c *Connector) Template() *compile.Template { return c.tmpl }
 // connectCfg holds instance options.
 type connectCfg struct {
 	mode        Mode
-	partition   bool
+	partition   PartitionMode
 	expand      ca.ExpandMode
 	cacheSize   int
 	policy      engine.EvictionPolicy
@@ -219,10 +219,57 @@ type ConnectOption func(*connectCfg)
 // WithMode selects JIT (default), AOT, or Static execution.
 func WithMode(m Mode) ConnectOption { return func(c *connectCfg) { c.mode = m } }
 
-// WithPartitioning splits the constituents into independent components,
-// each with its own engine (§V-C(3) optimization). Not applicable to
+// PartitionMode selects how Connect splits an instance into
+// independently locked engines.
+type PartitionMode uint8
+
+const (
+	// PartitionOff runs the whole connector in one engine under one lock.
+	PartitionOff PartitionMode = iota
+	// PartitionComponents splits the constituents into connected
+	// components of the shared-port graph (§V-C(3) optimization):
+	// components share no ports, so each becomes an independent engine.
+	PartitionComponents
+	// PartitionRegions additionally cuts connectors at buffer
+	// constituents (Fifo1/Fifo1Full shapes, detected structurally): a
+	// full buffer never requires consensus across it, so its two sides
+	// become separate synchronous regions joined by a bounded queue and
+	// fire concurrently — even when the connector is a single component.
+	PartitionRegions
+)
+
+func (m PartitionMode) String() string {
+	switch m {
+	case PartitionComponents:
+		return "components"
+	case PartitionRegions:
+		return "regions"
+	default:
+		return "off"
+	}
+}
+
+// WithPartitioning selects the partitioning mode. Not applicable to
 // Static mode (the product is already global).
-func WithPartitioning(on bool) ConnectOption { return func(c *connectCfg) { c.partition = on } }
+func WithPartitioning(mode PartitionMode) ConnectOption {
+	return func(c *connectCfg) { c.partition = mode }
+}
+
+// WithPartitioningEnabled carries the semantics of the pre-PartitionMode
+// boolean WithPartitioning(bool): callers of that form migrate by
+// renaming the call (true selects component partitioning).
+//
+// Deprecated: use WithPartitioning(PartitionComponents) or
+// WithPartitioning(PartitionOff).
+func WithPartitioningEnabled(on bool) ConnectOption {
+	return func(c *connectCfg) {
+		if on {
+			c.partition = PartitionComponents
+		} else {
+			c.partition = PartitionOff
+		}
+	}
+}
 
 // WithFullExpansion enables the textbook joint-step enumeration, which
 // combines independent local steps into single global steps. Exponentially
@@ -349,8 +396,11 @@ func buildCoordinator(asm *compile.Assembly, cfg *connectCfg) (engine.Coordinato
 	default:
 		eopts.Composition = engine.JIT
 	}
-	if cfg.partition {
+	switch cfg.partition {
+	case PartitionComponents:
 		return engine.NewMulti(asm.U, asm.Auts, eopts)
+	case PartitionRegions:
+		return engine.NewMultiRegions(asm.U, asm.Auts, eopts)
 	}
 	return engine.New(asm.U, asm.Auts, eopts)
 }
@@ -424,6 +474,46 @@ func (i *Instance) Partitions() int {
 		return m.Partitions()
 	}
 	return 1
+}
+
+// RegionInfo is a per-partition statistics snapshot (see
+// Instance.Regions).
+type RegionInfo struct {
+	// Constituents counts the automata executing in the partition,
+	// including node automata synthesized for link endpoints.
+	Constituents int
+	// Links counts the buffered link endpoints attached to the partition
+	// (0 unless PartitionRegions cut a buffer at its boundary).
+	Links int
+	// Steps/Expansions/GuardEvals are the partition's share of the
+	// instance counters.
+	Steps, Expansions, GuardEvals int64
+}
+
+// Regions returns one entry per independent engine of the instance: the
+// synchronous regions under WithPartitioning(PartitionRegions), the
+// components under PartitionComponents, and a single entry otherwise.
+func (i *Instance) Regions() []RegionInfo {
+	if m, ok := i.coord.(*engine.Multi); ok {
+		infos := m.Infos()
+		out := make([]RegionInfo, len(infos))
+		for k, in := range infos {
+			out[k] = RegionInfo{
+				Constituents: in.Constituents,
+				Links:        in.Links,
+				Steps:        in.Steps,
+				Expansions:   in.Expansions,
+				GuardEvals:   in.GuardEvals,
+			}
+		}
+		return out
+	}
+	return []RegionInfo{{
+		Constituents: len(i.asm.Auts),
+		Steps:        i.coord.Steps(),
+		Expansions:   i.coord.Expansions(),
+		GuardEvals:   i.coord.GuardEvals(),
+	}}
 }
 
 // SetTracer installs a hook receiving a rendered description of every

@@ -400,7 +400,7 @@ Buffers(in[];out[]) = prod (i:1..#in) Fifo1(in[i];out[i])
 	if err != nil {
 		t.Fatal(err)
 	}
-	inst, err := conn.Connect(map[string]int{"in": 8, "out": 8}, reo.WithPartitioning(true))
+	inst, err := conn.Connect(map[string]int{"in": 8, "out": 8}, reo.WithPartitioning(reo.PartitionComponents))
 	if err != nil {
 		t.Fatal(err)
 	}
