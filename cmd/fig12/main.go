@@ -22,6 +22,7 @@ func main() {
 		ns       = flag.String("N", "2,4,8,16,32,64", "comma-separated task counts")
 		conns    = flag.String("connectors", "", "comma-separated connector names (default: all eighteen)")
 		maxSt    = flag.Int("max-static-states", 1<<16, "existing compiler's automaton capacity")
+		reps     = flag.Int("reps", 1, "repetitions of the sweep; best steps per cell reported (use >= 3 for CI gating)")
 		verbose  = flag.Bool("v", false, "progress output")
 		jsonPath = flag.String("json", "", "also write machine-readable results (BENCH_fig12.json schema) to this file")
 	)
@@ -48,11 +49,19 @@ func main() {
 	if !*verbose {
 		progress = nil
 	}
-	rows, err := bench.RunFig12(cfg, progress)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "fig12:", err)
-		os.Exit(1)
+	if *reps < 1 {
+		*reps = 1
 	}
+	var runs [][]bench.Fig12Row
+	for r := 0; r < *reps; r++ {
+		rows, err := bench.RunFig12(cfg, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fig12:", err)
+			os.Exit(1)
+		}
+		runs = append(runs, rows)
+	}
+	rows := bench.MergeBest(runs)
 	fmt.Print(bench.FormatFig12(rows))
 	if *jsonPath != "" {
 		if err := bench.WriteFig12JSON(*jsonPath, rows, *budget); err != nil {

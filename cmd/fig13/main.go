@@ -22,7 +22,9 @@ func main() {
 		ns        = flag.String("N", "2,4,8", "comma-separated slave counts")
 		reps      = flag.Int("reps", 1, "repetitions per configuration (best time reported)")
 		partition = flag.String("partition", "off", "partition the Reo connectors: off, components (§V-C(3) fix), or regions (buffer-boundary cut)")
+		workers   = flag.Int("workers", 0, "scheduler workers for partition=regions (0 = synchronous, <0 = GOMAXPROCS)")
 		fullExp   = flag.Bool("full-expansion", false, "textbook joint enumeration (reproduces the §V-C(3) blow-up)")
+		jsonPath  = flag.String("json", "", "also write machine-readable results (BENCH_fig13.json schema, fig12 -json parity) to this file")
 	)
 	flag.Parse()
 
@@ -33,6 +35,9 @@ func main() {
 		opts = append(opts, reo.WithPartitioning(reo.PartitionComponents))
 	case "regions":
 		opts = append(opts, reo.WithPartitioning(reo.PartitionRegions))
+		if *workers != 0 {
+			opts = append(opts, reo.WithWorkers(*workers))
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "fig13: bad -partition %q (off|components|regions)\n", *partition)
 		os.Exit(2)
@@ -89,4 +94,10 @@ func main() {
 		}
 	}
 	fmt.Print(bench.FormatFig13(rows))
+	if *jsonPath != "" {
+		if err := bench.WriteFig13JSON(*jsonPath, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "fig13:", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -9,8 +9,9 @@
 //	reoc flatten file.reo Connector
 //	reoc automata file.reo Connector [-n N]
 //	reoc plan file.reo Connector [-n N]
-//	reoc regions file.reo Connector [-n N]
+//	reoc regions file.reo Connector [-n N] [-workers W]
 //	reoc verify file.reo Connector [-n N]
+//	reoc bench-compare baseline.json current.json [-threshold 0.25]
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	reo "repro"
 	"repro/internal/ast"
+	"repro/internal/bench"
 	"repro/internal/ca"
 	"repro/internal/check"
 	"repro/internal/compile"
@@ -36,6 +38,11 @@ func main() {
 	cmd := os.Args[1]
 	file := os.Args[2]
 	rest := os.Args[3:]
+
+	if cmd == "bench-compare" {
+		benchCompare(file, rest)
+		return
+	}
 
 	src, err := os.ReadFile(file)
 	if err != nil {
@@ -108,11 +115,28 @@ func main() {
 		// Dump the asynchronous-region partition: which constituents are
 		// buffer shapes cut into links, and which synchronous regions
 		// remain — what WithPartitioning(PartitionRegions) executes.
-		name, n := parseRest(rest)
-		inst := connectInstance(string(src), name, n)
+		name, n, workers := parseRegionsRest(rest)
+		// With -workers the instance itself runs region-partitioned on
+		// the requested pool, so the assignment report reads the real
+		// scheduler state; the plan dump works on the same instance
+		// either way (the constituent automata do not depend on the
+		// connect options).
+		var opts []reo.ConnectOption
+		if workers != 0 {
+			opts = append(opts,
+				reo.WithPartitioning(reo.PartitionRegions), reo.WithWorkers(workers))
+		}
+		inst := connectInstanceOpts(string(src), name, n, opts...)
 		defer inst.Close()
 		plan := ca.PlanRegions(inst.Universe(), inst.Automata())
 		fmt.Printf("# %s (N=%d): %s", name, n, plan.Dump(inst.Universe(), inst.Automata()))
+		if workers != 0 {
+			fmt.Printf("\n# worker assignment (%d workers):\n", inst.Workers())
+			for ri, info := range inst.Regions() {
+				fmt.Printf("  region %d -> worker %d (%d constituents, %d link endpoints)\n",
+					ri, info.Worker, info.Constituents, info.Links)
+			}
+		}
 	case "verify":
 		name, n := parseRest(rest)
 		inst := connectInstance(string(src), name, n)
@@ -139,9 +163,53 @@ func main() {
 	}
 }
 
+// benchCompare is the CI perf-regression gate: compare a benchmark JSON
+// artifact (BENCH_fig12.json / BENCH_fig13.json schema) against a
+// checked-in baseline and exit non-zero when any cell's rate dropped by
+// more than the threshold (or vanished).
+func benchCompare(baselinePath string, rest []string) {
+	if len(rest) < 1 {
+		usage()
+	}
+	currentPath := rest[0]
+	fs := flag.NewFlagSet("bench-compare", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.25, "allowed fractional rate drop per cell")
+	minRows := fs.Int("min-rows", 1, "minimum rows the current artifact must contain (guards against an empty run passing)")
+	fs.Parse(rest[1:])
+
+	baseline, err := bench.ReadCompareRows(baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	current, err := bench.ReadCompareRows(currentPath)
+	if err != nil {
+		fatal(err)
+	}
+	if len(current) < *minRows {
+		fmt.Fprintf(os.Stderr, "bench-compare: current artifact has %d rows, need >= %d\n", len(current), *minRows)
+		os.Exit(1)
+	}
+	regs := bench.CompareRates(baseline, current, *threshold)
+	fmt.Printf("bench-compare: %d baseline cells vs %s (threshold %.0f%% drop)\n",
+		len(bench.BestRates(baseline)), currentPath, 100**threshold)
+	if len(regs) == 0 {
+		fmt.Println("bench-compare: OK — no cell regressed")
+		return
+	}
+	for _, r := range regs {
+		fmt.Printf("  REGRESSION %s\n", r)
+	}
+	fmt.Fprintf(os.Stderr, "bench-compare: %d cell(s) regressed\n", len(regs))
+	os.Exit(1)
+}
+
 // connectInstance compiles the named connector and instantiates every
 // array parameter at length n.
 func connectInstance(src, name string, n int) *reo.Instance {
+	return connectInstanceOpts(src, name, n)
+}
+
+func connectInstanceOpts(src, name string, n int, opts ...reo.ConnectOption) *reo.Instance {
 	prog, err := reo.Compile(src)
 	if err != nil {
 		fatal(err)
@@ -154,7 +222,7 @@ func connectInstance(src, name string, n int) *reo.Instance {
 	for _, p := range connTemplateArrays(conn.Template()) {
 		lengths[p] = n
 	}
-	inst, err := conn.Connect(lengths)
+	inst, err := conn.Connect(lengths, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -174,6 +242,20 @@ func parseRest(rest []string) (name string, n int) {
 	return name, *np
 }
 
+// parseRegionsRest additionally accepts -workers for the regions
+// subcommand (0 = plan only; <0 = GOMAXPROCS).
+func parseRegionsRest(rest []string) (name string, n, workers int) {
+	if len(rest) < 1 {
+		usage()
+	}
+	name = rest[0]
+	fs := flag.NewFlagSet("reoc", flag.ExitOnError)
+	np := fs.Int("n", 3, "array length for every array parameter")
+	wp := fs.Int("workers", 0, "also report scheduler worker assignment for this pool size (<0 = GOMAXPROCS)")
+	fs.Parse(rest[1:])
+	return name, *np, *wp
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "reoc:", err)
 	os.Exit(1)
@@ -185,7 +267,8 @@ func usage() {
   reoc flatten  file.reo Connector
   reoc automata file.reo Connector [-n N]
   reoc plan     file.reo Connector [-n N]
-  reoc regions  file.reo Connector [-n N]
-  reoc verify   file.reo Connector [-n N]`)
+  reoc regions  file.reo Connector [-n N] [-workers W]
+  reoc verify   file.reo Connector [-n N]
+  reoc bench-compare baseline.json current.json [-threshold 0.25] [-min-rows K]`)
 	os.Exit(2)
 }

@@ -52,15 +52,17 @@ func main() {
 	run(prog, *n, *items, reo.PartitionOff)
 	fmt.Println("\n== asynchronous regions (PartitionRegions) ==")
 	run(prog, *n, *items, reo.PartitionRegions)
+	fmt.Println("\n== worker scheduler (PartitionRegions + WithWorkers) ==")
+	run(prog, *n, *items, reo.PartitionRegions, reo.WithWorkers(-1))
 }
 
-func run(prog *reo.Program, n, items int, mode reo.PartitionMode) {
+func run(prog *reo.Program, n, items int, mode reo.PartitionMode, extra ...reo.ConnectOption) {
+	opts := append([]reo.ConnectOption{reo.WithPartitioning(mode)}, extra...)
 	lanes, err := prog.Connector("Lanes")
 	if err != nil {
 		log.Fatal(err)
 	}
-	lanesInst, err := lanes.Connect(map[string]int{"out": n, "in": n},
-		reo.WithPartitioning(mode))
+	lanesInst, err := lanes.Connect(map[string]int{"out": n, "in": n}, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,8 +71,7 @@ func run(prog *reo.Program, n, items int, mode reo.PartitionMode) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	repInst, err := reports.Connect(map[string]int{"rep": n},
-		reo.WithPartitioning(mode))
+	repInst, err := reports.Connect(map[string]int{"rep": n}, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -136,13 +137,25 @@ func run(prog *reo.Program, n, items int, mode reo.PartitionMode) {
 	fmt.Printf("lanes: %d steps over %d partition(s); reports: %d steps over %d partition(s)\n",
 		lanesInst.Steps(), lanesInst.Partitions(), repInst.Steps(), repInst.Partitions())
 	if mode == reo.PartitionRegions {
+		if w := lanesInst.Workers(); w > 0 {
+			fmt.Printf("  scheduler: %d worker(s) for lanes, %d for reports\n", w, repInst.Workers())
+		}
 		for ri, info := range lanesInst.Regions() {
-			fmt.Printf("  lanes region %d: %d constituents, %d link endpoint(s), %d steps\n",
-				ri, info.Constituents, info.Links, info.Steps)
+			fmt.Printf("  lanes region %d: %d constituents, %d link endpoint(s), %d steps%s\n",
+				ri, info.Constituents, info.Links, info.Steps, workerTag(info))
 		}
 		for ri, info := range repInst.Regions() {
-			fmt.Printf("  reports region %d: %d constituents, %d link endpoint(s), %d steps\n",
-				ri, info.Constituents, info.Links, info.Steps)
+			fmt.Printf("  reports region %d: %d constituents, %d link endpoint(s), %d steps%s\n",
+				ri, info.Constituents, info.Links, info.Steps, workerTag(info))
 		}
 	}
+}
+
+// workerTag renders a region's home-worker assignment when it runs on
+// the scheduler pool.
+func workerTag(info reo.RegionInfo) string {
+	if info.Worker < 0 {
+		return ""
+	}
+	return fmt.Sprintf(", worker %d", info.Worker)
 }

@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// This file is the perf-regression gate: machine-readable benchmark rows
+// (the BENCH_fig12.json / BENCH_fig13.json schemas) are compared against
+// a checked-in baseline, and any cell whose rate dropped by more than
+// the threshold fails the build. cmd/reoc bench-compare is the CLI.
+
+// CompareRow is the schema superset the gate understands: a Fig12JSON
+// row (approach/connector/n/steps_per_sec) or a Fig13JSON row
+// (approach/program/class/n/seconds/steps). Unknown JSON fields are
+// ignored, so the schemas can grow without breaking old baselines.
+type CompareRow struct {
+	Approach    string  `json:"approach"`
+	Connector   string  `json:"connector,omitempty"`
+	Program     string  `json:"program,omitempty"`
+	Class       string  `json:"class,omitempty"`
+	N           int     `json:"n"`
+	StepsPerSec float64 `json:"steps_per_sec,omitempty"`
+	Seconds     float64 `json:"seconds,omitempty"`
+	Steps       int64   `json:"steps,omitempty"`
+	Failed      bool    `json:"failed,omitempty"`
+}
+
+// Key identifies the measurement cell a row belongs to (everything but
+// the metrics), so repeated rows — `-count 3`-style repetitions — fold
+// into one comparison.
+func (r CompareRow) Key() string {
+	parts := []string{r.Approach}
+	if r.Connector != "" {
+		parts = append(parts, r.Connector)
+	}
+	if r.Program != "" {
+		parts = append(parts, r.Program)
+	}
+	if r.Class != "" {
+		parts = append(parts, "class="+r.Class)
+	}
+	parts = append(parts, fmt.Sprintf("N=%d", r.N))
+	return strings.Join(parts, "/")
+}
+
+// Rate returns the row's higher-is-better metric: steps/s where
+// measured, else inverse wall-clock (Fig. 13 rows time a fixed
+// workload, so 1/seconds is its throughput). 0 means unmeasured.
+func (r CompareRow) Rate() float64 {
+	if r.Failed {
+		return 0
+	}
+	if r.StepsPerSec > 0 {
+		return r.StepsPerSec
+	}
+	if r.Seconds > 0 {
+		return 1 / r.Seconds
+	}
+	return 0
+}
+
+// ReadCompareRows loads a benchmark JSON artifact.
+func ReadCompareRows(path string) ([]CompareRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []CompareRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rows, nil
+}
+
+// BestRates folds rows to the best (max) rate per cell: repetitions
+// measure the same code, so the fastest run is the least-noisy signal.
+func BestRates(rows []CompareRow) map[string]float64 {
+	best := make(map[string]float64)
+	for _, r := range rows {
+		k := r.Key()
+		if rate := r.Rate(); rate > best[k] {
+			best[k] = rate
+		}
+	}
+	return best
+}
+
+// Regression is one cell that failed the gate.
+type Regression struct {
+	Key               string
+	Baseline, Current float64
+	// Missing marks a baseline cell absent from the current run (a
+	// silently dropped benchmark must fail the gate too).
+	Missing bool
+}
+
+func (r Regression) String() string {
+	if r.Missing {
+		return fmt.Sprintf("%s: missing from current run (baseline %.0f/s)", r.Key, r.Baseline)
+	}
+	return fmt.Sprintf("%s: %.0f/s -> %.0f/s (%.1f%% drop)",
+		r.Key, r.Baseline, r.Current, 100*(1-r.Current/r.Baseline))
+}
+
+// CompareRates gates current against baseline: every baseline cell with
+// a measured rate must be present and within threshold (fraction, e.g.
+// 0.25) of its baseline rate. Cells only the current run has are
+// ignored (new benchmarks enter the baseline when it is regenerated).
+func CompareRates(baseline, current []CompareRow, threshold float64) []Regression {
+	base, cur := BestRates(baseline), BestRates(current)
+	var out []Regression
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b := base[k]
+		if b <= 0 {
+			continue // unmeasured baseline cell (e.g. "existing fails")
+		}
+		c, ok := cur[k]
+		if !ok {
+			out = append(out, Regression{Key: k, Baseline: b, Missing: true})
+			continue
+		}
+		if c < b*(1-threshold) {
+			out = append(out, Regression{Key: k, Baseline: b, Current: c})
+		}
+	}
+	return out
+}
+
+// Fig13JSON is one machine-readable Fig. 13 result row — the NPB
+// counterpart of Fig12JSON, sharing the approach/n/rate shape so both
+// figures land in the same perf trajectory and the same gate.
+type Fig13JSON struct {
+	Approach string  `json:"approach"` // variant: "orig" or "reo"
+	Program  string  `json:"program"`
+	Class    string  `json:"class"`
+	N        int     `json:"n"` // slave count
+	Seconds  float64 `json:"seconds"`
+	Steps    int64   `json:"steps,omitempty"`
+	// Failed marks configurations that errored; Seconds is 0 then.
+	Failed bool `json:"failed,omitempty"`
+}
+
+// Fig13JSONRows flattens measurement rows into JSON rows.
+func Fig13JSONRows(rows []Fig13Row) []Fig13JSON {
+	out := make([]Fig13JSON, 0, len(rows))
+	for _, r := range rows {
+		j := Fig13JSON{
+			Approach: r.Variant.String(),
+			Program:  r.Program,
+			Class:    r.Class.String(),
+			N:        r.Slaves,
+			Steps:    r.Steps,
+		}
+		if r.Err != nil {
+			j.Failed = true
+		} else {
+			j.Seconds = r.Elapsed.Seconds()
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+// WriteFig13JSON writes the rows to path in the BENCH_fig13.json schema.
+func WriteFig13JSON(path string, rows []Fig13Row) error {
+	data, err := json.MarshalIndent(Fig13JSONRows(rows), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// MergeBest folds repeated Fig. 12 sweeps (cmd/fig12 -reps) into
+// per-cell best rows: max steps for each approach, "old failed" only if
+// it failed every rep. Rows must align (same config per index), which
+// RunFig12 guarantees for a fixed config.
+func MergeBest(runs [][]Fig12Row) []Fig12Row {
+	if len(runs) == 0 {
+		return nil
+	}
+	out := append([]Fig12Row(nil), runs[0]...)
+	for _, run := range runs[1:] {
+		for i := range out {
+			if i >= len(run) {
+				break
+			}
+			r := run[i]
+			if r.StepsNew > out[i].StepsNew {
+				out[i].StepsNew = r.StepsNew
+			}
+			if !r.OldFailed {
+				out[i].OldFailed = false
+				if r.StepsOld > out[i].StepsOld {
+					out[i].StepsOld = r.StepsOld
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package bench_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/npb"
+)
+
+func fig12Rows() []bench.Fig12Row {
+	return []bench.Fig12Row{
+		{Connector: "Sequencer", N: 8, StepsNew: 1000, StepsOld: 400},
+		{Connector: "Merger", N: 4, StepsNew: 2000, OldFailed: true},
+	}
+}
+
+// TestCompareGateFailsOnInjectedSlowdown is the satellite's local
+// verification: write a baseline, slow one cell down >25%, and assert
+// the gate reports exactly that cell.
+func TestCompareGateFailsOnInjectedSlowdown(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "BENCH_baseline.json")
+	curPath := filepath.Join(dir, "BENCH_fig12.json")
+	if err := bench.WriteFig12JSON(basePath, fig12Rows(), 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Inject a 40% slowdown on the new-approach Sequencer cell.
+	slow := fig12Rows()
+	slow[0].StepsNew = 600
+	if err := bench.WriteFig12JSON(curPath, slow, 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := bench.ReadCompareRows(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	current, err := bench.ReadCompareRows(curPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := bench.CompareRates(baseline, current, 0.25)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly the injected one", regs)
+	}
+	if !strings.Contains(regs[0].Key, "new/Sequencer") {
+		t.Errorf("regressed key = %q, want the new/Sequencer cell", regs[0].Key)
+	}
+	if regs[0].Missing {
+		t.Error("injected slowdown reported as missing cell")
+	}
+	// Within threshold passes.
+	if regs := bench.CompareRates(baseline, baseline, 0.25); len(regs) != 0 {
+		t.Errorf("identical artifacts regressed: %v", regs)
+	}
+}
+
+// TestCompareGateFailsOnMissingCell: a benchmark silently dropped from
+// the current run must fail the gate, not pass by absence.
+func TestCompareGateFailsOnMissingCell(t *testing.T) {
+	baseline := []bench.CompareRow{
+		{Approach: "new", Connector: "Sequencer", N: 8, StepsPerSec: 100},
+		{Approach: "new", Connector: "Merger", N: 4, StepsPerSec: 100},
+	}
+	current := baseline[:1]
+	regs := bench.CompareRates(baseline, current, 0.25)
+	if len(regs) != 1 || !regs[0].Missing {
+		t.Fatalf("regressions = %v, want one missing-cell failure", regs)
+	}
+}
+
+// TestCompareFoldsRepsAndFailedCells: repeated rows fold to best-of,
+// failed baseline cells are not gated, and fig13-style rows rate by
+// inverse seconds.
+func TestCompareFoldsRepsAndFailedCells(t *testing.T) {
+	baseline := []bench.CompareRow{
+		{Approach: "new", Connector: "Ring", N: 8, StepsPerSec: 90},
+		{Approach: "new", Connector: "Ring", N: 8, StepsPerSec: 110}, // best-of
+		{Approach: "existing", Connector: "Ring", N: 8, Failed: true},
+		{Approach: "reo", Program: "CG", Class: "S", N: 2, Seconds: 2.0},
+	}
+	current := []bench.CompareRow{
+		{Approach: "new", Connector: "Ring", N: 8, StepsPerSec: 100},
+		{Approach: "existing", Connector: "Ring", N: 8, Failed: true},
+		// 3x slower NPB run: 1/seconds rate drops 66%.
+		{Approach: "reo", Program: "CG", Class: "S", N: 2, Seconds: 6.0},
+	}
+	regs := bench.CompareRates(baseline, current, 0.25)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want only the NPB slowdown", regs)
+	}
+	if !strings.Contains(regs[0].Key, "CG") {
+		t.Errorf("regressed key = %q, want the CG cell", regs[0].Key)
+	}
+	// 110 -> 100 is within 25%: the fold used best-of, not last.
+	for _, r := range regs {
+		if strings.Contains(r.Key, "Ring") {
+			t.Errorf("Ring cell regressed despite best-of fold: %v", r)
+		}
+	}
+}
+
+// TestFig13JSONRoundTrips: fig13 rows serialize into the shared schema
+// and read back as comparable rows.
+func TestFig13JSONRoundTrips(t *testing.T) {
+	rows := []bench.Fig13Row{
+		{Program: "CG", Class: npb.Class('S'), Variant: npb.Reo, Slaves: 4, Elapsed: 250 * time.Millisecond, Steps: 1234},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_fig13.json")
+	if err := bench.WriteFig13JSON(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bench.ReadCompareRows(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("rows = %d, want 1", len(got))
+	}
+	r := got[0]
+	if r.Approach != "reo" || r.Program != "CG" || r.Class != "S" || r.N != 4 {
+		t.Errorf("row = %+v, want reo/CG/S/4", r)
+	}
+	if r.Rate() != 4 { // 1/0.25s
+		t.Errorf("rate = %v, want 4 (inverse seconds)", r.Rate())
+	}
+	if r.Steps != 1234 {
+		t.Errorf("steps = %d, want 1234", r.Steps)
+	}
+}
+
+// TestMergeBest folds repeated fig12 sweeps per cell.
+func TestMergeBest(t *testing.T) {
+	a := []bench.Fig12Row{{Connector: "X", N: 2, StepsNew: 10, OldFailed: true}}
+	b := []bench.Fig12Row{{Connector: "X", N: 2, StepsNew: 30, StepsOld: 5}}
+	got := bench.MergeBest([][]bench.Fig12Row{a, b})
+	if len(got) != 1 || got[0].StepsNew != 30 || got[0].StepsOld != 5 || got[0].OldFailed {
+		t.Errorf("merged = %+v, want best-of with old success kept", got)
+	}
+}

@@ -69,6 +69,12 @@ type Options struct {
 	MaxStates int
 	// MaxTauBurst bounds consecutive internal steps (0 = 1<<20).
 	MaxTauBurst int
+	// Workers selects the concurrent runtime for NewMultiRegions: the
+	// number of scheduler workers region engines fire on (capped at the
+	// region count), with cross-region nudges posted as wake-ups. 0 runs
+	// the synchronous nudge-draining path on the callers' goroutines;
+	// negative means GOMAXPROCS. Ignored outside region partitioning.
+	Workers int
 }
 
 type op struct {
@@ -128,6 +134,20 @@ type Engine struct {
 	pushVal   map[ca.PortID]any
 	outNudges []*Engine
 	group     *regionGroup
+
+	// Worker-scheduler support (scheduler.go). sched is non-nil when the
+	// engine is a region of a coordinator built with Options.Workers !=
+	// 0; nudges are then posted to it as wake-ups instead of drained
+	// inline. schedState is the engine's run state (idle/queued/running/
+	// dirty) advanced by CAS; homeWorker the static queue assignment.
+	// fireCompleted/fireLinkActive report, per fireLoop call (under mu),
+	// whether the pass completed any boundary operation / touched any
+	// link — the scheduler's τ-budget signals.
+	sched          *scheduler
+	schedState     atomic.Int32
+	homeWorker     int32
+	fireCompleted  bool
+	fireLinkActive bool
 
 	steps      atomic.Int64
 	expansions atomic.Int64
@@ -349,9 +369,7 @@ func (e *Engine) Send(p ca.PortID, v any) error {
 	if err != nil {
 		return err
 	}
-	if nudges != nil {
-		e.processNudges(nudges)
-	}
+	e.deliverNudges(nudges)
 	<-o.done
 	err = o.err
 	e.putOp(o)
@@ -365,9 +383,7 @@ func (e *Engine) Recv(p ca.PortID) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	if nudges != nil {
-		e.processNudges(nudges)
-	}
+	e.deliverNudges(nudges)
 	<-o.done
 	out, err := o.out, o.err
 	e.putOp(o)
@@ -477,6 +493,7 @@ const pumpTrigger ca.PortID = -1
 // are included for robustness. After a fire the composite state
 // and cells have changed, so subsequent iterations scan the full state.
 func (e *Engine) fireLoop(trigger ca.PortID) {
+	e.fireCompleted, e.fireLinkActive = false, false
 	if e.broken != nil {
 		return
 	}
@@ -576,6 +593,8 @@ func (e *Engine) fireLoop(trigger ca.PortID) {
 		if e.tracer != nil {
 			e.tracer(TraceEvent{Step: step, Ports: traced, Internal: !completedAny})
 		}
+		e.fireCompleted = e.fireCompleted || completedAny
+		e.fireLinkActive = e.fireLinkActive || linkActive
 		if completedAny || linkActive {
 			tau = 0
 		} else {

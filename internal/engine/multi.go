@@ -30,6 +30,9 @@ type Multi struct {
 	regions bool
 	plan    *ca.RegionPlan
 	links   []*link
+	// sched is the worker pool regions fire on (nil in synchronous
+	// mode; see scheduler.go).
+	sched *scheduler
 }
 
 // NewMulti partitions the constituents and builds one engine per
@@ -87,6 +90,16 @@ func NewMulti(u *ca.Universe, auts []*ca.Automaton, opts Options) (*Multi, error
 // Partitions returns the number of independent engines.
 func (m *Multi) Partitions() int { return len(m.engines) }
 
+// Workers returns the size of the worker pool region engines fire on (0
+// when cross-region nudges are drained synchronously on the callers'
+// goroutines).
+func (m *Multi) Workers() int {
+	if m.sched == nil {
+		return 0
+	}
+	return m.sched.workers()
+}
+
 // RegionPartitioned reports whether the coordinator was built by
 // NewMultiRegions (buffer-boundary cut) rather than NewMulti
 // (connected components).
@@ -103,7 +116,11 @@ type PartitionInfo struct {
 	Constituents int
 	// Links counts the link endpoints attached to the partition (always
 	// 0 for component partitions).
-	Links                         int
+	Links int
+	// Worker is the scheduler worker the partition's run queue is keyed
+	// to (its home; idle workers may steal it), or -1 when the
+	// coordinator runs synchronously.
+	Worker                        int
 	Steps, Expansions, GuardEvals int64
 }
 
@@ -111,9 +128,14 @@ type PartitionInfo struct {
 func (m *Multi) Infos() []PartitionInfo {
 	out := make([]PartitionInfo, len(m.engines))
 	for i, e := range m.engines {
+		worker := -1
+		if m.sched != nil {
+			worker = int(e.homeWorker)
+		}
 		out[i] = PartitionInfo{
 			Constituents: len(e.auts),
 			Links:        e.linkCount(),
+			Worker:       worker,
 			Steps:        e.Steps(),
 			Expansions:   e.Expansions(),
 			GuardEvals:   e.GuardEvals(),
@@ -147,10 +169,16 @@ func (m *Multi) Recv(p ca.PortID) (any, error) {
 	return e.Recv(p)
 }
 
-// Close closes all partitions.
+// Close closes all partitions, then stops the worker pool (if any) and
+// waits for the workers to exit: pending operations in every region
+// fail with ErrClosed first, so no in-flight fire pass can complete new
+// work after Close returns.
 func (m *Multi) Close() error {
 	for _, e := range m.engines {
 		e.Close()
+	}
+	if m.sched != nil {
+		m.sched.shutdown()
 	}
 	return nil
 }

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/ca"
 )
@@ -21,15 +21,24 @@ import (
 // neighbors one at a time (processNudges), so cross-region progress
 // needs no background goroutines.
 
-// link is the bounded queue backing one cut buffer constituent. The
-// source region pushes (by firing the buffer's accept port), the target
-// region pops (by firing its emit port). Each side only ever mutates the
-// queue under its own engine lock plus the link mutex, so the mutex is
-// contended by at most two goroutines for a few loads/stores.
+// link is the bounded SPSC queue backing one cut buffer constituent.
+// The source region pushes (by firing the buffer's accept port), the
+// target region pops (by firing its emit port). All pushes happen under
+// the source engine's lock and all pops under the target engine's, so
+// each index has exactly one writer at a time and the queue needs no
+// lock of its own: buf[t] is written before the tail store releases it,
+// and any consumer that loaded the new tail acquires that write. The
+// two regions therefore never contend on a mutex, no matter how hot the
+// link runs.
 type link struct {
-	mu      sync.Mutex
-	buf     []any
-	head, n int
+	buf []any
+	// head is advanced only by the consumer, tail only by the producer.
+	// Padding keeps the two counters on separate cache lines so the
+	// regions do not false-share.
+	head atomic.Int64
+	_    [56]byte
+	tail atomic.Int64
+	_    [56]byte
 
 	src, dst         *Engine
 	srcPort, dstPort ca.PortID
@@ -42,53 +51,50 @@ func newLink(capacity int) *link {
 	return &link{buf: make([]any, capacity)}
 }
 
+// push appends v. Producer side only (under the source engine's lock).
 func (l *link) push(v any) {
-	l.mu.Lock()
-	if l.n == len(l.buf) {
-		l.mu.Unlock()
+	t := l.tail.Load()
+	if t-l.head.Load() == int64(len(l.buf)) {
 		panic("engine: push on full region link (gate invariant violated)")
 	}
-	l.buf[(l.head+l.n)%len(l.buf)] = v
-	l.n++
-	l.mu.Unlock()
+	l.buf[t%int64(len(l.buf))] = v
+	l.tail.Store(t + 1)
 }
 
+// pop removes and returns the head value. Consumer side only (under the
+// target engine's lock).
 func (l *link) pop() any {
-	l.mu.Lock()
-	if l.n == 0 {
-		l.mu.Unlock()
+	h := l.head.Load()
+	if l.tail.Load() == h {
 		panic("engine: pop on empty region link (gate invariant violated)")
 	}
-	v := l.buf[l.head]
-	l.buf[l.head] = nil
-	l.head = (l.head + 1) % len(l.buf)
-	l.n--
-	l.mu.Unlock()
+	i := h % int64(len(l.buf))
+	v := l.buf[i]
+	l.buf[i] = nil
+	l.head.Store(h + 1)
 	return v
 }
 
-// peek returns the value the link currently offers. Only the owning
-// (target) region pops, and only under its engine lock, so a peek under
-// that lock is stable until the region itself pops.
+// peek returns the value the link currently offers. Consumer side only:
+// the head slot is stable until the consuming region itself pops, and
+// the consumer observed non-empty (an acquiring tail load) when its
+// gate bit was set.
 func (l *link) peek() any {
-	l.mu.Lock()
-	v := l.buf[l.head]
-	l.mu.Unlock()
-	return v
+	return l.buf[l.head.Load()%int64(len(l.buf))]
 }
 
+// empty reports whether the queue offers no value. On the consumer side
+// this is exact; elsewhere it may be stale-true, which is at worst a
+// missed enable that the producer's wake-up repairs.
 func (l *link) empty() bool {
-	l.mu.Lock()
-	e := l.n == 0
-	l.mu.Unlock()
-	return e
+	return l.tail.Load() == l.head.Load()
 }
 
+// full reports whether the queue accepts no value. On the producer side
+// this is exact; elsewhere it may be stale-true, repaired by the
+// consumer's wake-up.
 func (l *link) full() bool {
-	l.mu.Lock()
-	f := l.n == len(l.buf)
-	l.mu.Unlock()
-	return f
+	return l.tail.Load()-l.head.Load() == int64(len(l.buf))
 }
 
 // regionGroup ties the regions of one connector together for error
@@ -317,6 +323,22 @@ func (e *Engine) processNudges(work []*Engine) {
 	}
 }
 
+// deliverNudges hands the cross-region wake-ups captured by a register
+// call to whichever runtime the coordinator uses: posted to the
+// scheduler in worker mode (the caller returns to parking on its op
+// immediately), drained inline otherwise. Must be called WITHOUT mu
+// held.
+func (e *Engine) deliverNudges(nudges []*Engine) {
+	if len(nudges) == 0 {
+		return
+	}
+	if e.sched != nil {
+		e.sched.wakeAll(nudges)
+		return
+	}
+	e.processNudges(nudges)
+}
+
 // settle runs the initial fire pass of a freshly built region (and its
 // ripple effects): initially full links can enable relay fires before
 // any task operation arrives.
@@ -398,8 +420,10 @@ func NewMultiRegions(u *ca.Universe, auts []*ca.Automaton, opts Options) (*Multi
 		l.src, l.dst = m.engines[lk.From], m.engines[lk.To]
 		l.srcPort, l.dstPort = lk.SrcPort, lk.DstPort
 		if lk.Full {
+			// Pre-publication seeding: the link is not shared yet, so the
+			// plain slot write followed by the tail store is safe.
 			l.buf[0] = lk.Initial
-			l.n = 1
+			l.tail.Store(1)
 		}
 		l.src.addAccept(lk.SrcPort, l)
 		l.dst.addEmit(lk.DstPort, l)
@@ -413,10 +437,20 @@ func NewMultiRegions(u *ca.Universe, auts []*ca.Automaton, opts Options) (*Multi
 			return nil, err
 		}
 	}
-	// Settle initially full links (Fifo1Full seeds) so relay fires that
-	// need no task operation happen before the first Send/Recv.
-	for _, e := range m.engines {
-		e.settle()
+	if opts.Workers != 0 {
+		// Concurrent runtime (scheduler.go): regions fire on a worker
+		// pool, and cross-region nudges become scheduler wake-ups. The
+		// initial wake of every region replaces the synchronous settle —
+		// relay fires enabled by initially full links happen on the
+		// workers before (or concurrently with) the first Send/Recv,
+		// which parks until a fire completes its operation either way.
+		m.sched = newScheduler(opts.Workers, m.engines, opts.MaxTauBurst)
+	} else {
+		// Settle initially full links (Fifo1Full seeds) so relay fires
+		// that need no task operation happen before the first Send/Recv.
+		for _, e := range m.engines {
+			e.settle()
+		}
 	}
 	return m, nil
 }

@@ -1,0 +1,256 @@
+package engine_test
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ca"
+	"repro/internal/engine"
+	"repro/internal/prim"
+)
+
+// waitForErr waits for one error on ch, failing the test after timeout
+// (the stubEntityTicker.waitForCalls pattern: signal channel + deadline,
+// no sleeping in a loop).
+func waitForErr(t *testing.T, ch <-chan error, timeout time.Duration, what string) error {
+	t.Helper()
+	select {
+	case err := <-ch:
+		return err
+	case <-time.After(timeout):
+		t.Fatalf("timed out waiting for %s", what)
+		return nil
+	}
+}
+
+// TestWorkersChainEndToEnd runs the cut chain on a 2-worker scheduler:
+// values must arrive in order, and the pool size must be reported.
+func TestWorkersChainEndToEnd(t *testing.T) {
+	m, a, b := regionChain(t, engine.Options{Workers: 2})
+	defer m.Close()
+	if m.Workers() != 2 {
+		t.Fatalf("Workers() = %d, want 2", m.Workers())
+	}
+	const rounds = 200
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < rounds; i++ {
+			if err := m.Send(a, i); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < rounds; i++ {
+		v, err := m.Recv(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != i {
+			t.Fatalf("recv %d = %v", i, v)
+		}
+	}
+	if err := waitForErr(t, done, 5*time.Second, "sender"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkersPoolCaps checks the worker-count normalization: negative
+// selects GOMAXPROCS, and the pool never exceeds the region count.
+func TestWorkersPoolCaps(t *testing.T) {
+	m, _, _ := regionChain(t, engine.Options{Workers: -1})
+	defer m.Close()
+	want := runtime.GOMAXPROCS(0)
+	if want > m.Partitions() {
+		want = m.Partitions()
+	}
+	if m.Workers() != want {
+		t.Errorf("Workers() = %d, want %d (GOMAXPROCS capped at regions)", m.Workers(), want)
+	}
+	m2, _, _ := regionChain(t, engine.Options{Workers: 64})
+	defer m2.Close()
+	if m2.Workers() != m2.Partitions() {
+		t.Errorf("Workers() = %d, want %d (capped at regions)", m2.Workers(), m2.Partitions())
+	}
+}
+
+// TestWorkersInitiallyFullLink: the workers' initial wake must settle
+// seeded links, so the seed value is deliverable with no send.
+func TestWorkersInitiallyFullLink(t *testing.T) {
+	u := ca.NewUniverse()
+	a, x, y, b := u.Port("a"), u.Port("x"), u.Port("y"), u.Port("b")
+	u.SetDir(a, ca.DirSource)
+	u.SetDir(b, ca.DirSink)
+	auts := []*ca.Automaton{prim.Sync(u, a, x), prim.Fifo1Full(u, x, y, "seed"), prim.Sync(u, y, b)}
+	m, err := engine.NewMultiRegions(u, auts, engine.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	v, err := m.Recv(b)
+	if err != nil || v != "seed" {
+		t.Fatalf("recv = %v, %v; want seed", v, err)
+	}
+	go m.Send(a, 7)
+	if v, err = m.Recv(b); err != nil || v != 7 {
+		t.Fatalf("recv = %v, %v; want 7", v, err)
+	}
+}
+
+// TestWorkersCloseDuringParkedRecv: Close must fail a Recv parked on
+// its wait slot while the scheduler is live, and shut the pool down.
+func TestWorkersCloseDuringParkedRecv(t *testing.T) {
+	m, _, b := regionChain(t, engine.Options{Workers: 2})
+	parked := make(chan error, 1)
+	go func() {
+		_, err := m.Recv(b)
+		parked <- err
+	}()
+	// Give the recv time to park (nothing is ever sent, so it cannot
+	// complete any other way).
+	time.Sleep(20 * time.Millisecond)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitForErr(t, parked, 2*time.Second, "parked recv"); err != engine.ErrClosed {
+		t.Errorf("parked recv error = %v, want ErrClosed", err)
+	}
+	// Close is idempotent with the scheduler shut down.
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkersGroupErrorMidNudge: a closed cycle of links with no task
+// on it livelocks; the per-worker τ budget must break the spinning
+// region's group, failing operations parked in *sibling* regions with
+// ErrLivelock (group error propagation through the scheduler).
+func TestWorkersGroupErrorMidNudge(t *testing.T) {
+	u := ca.NewUniverse()
+	x, y := u.Port("x"), u.Port("y")
+	a, b := u.Port("a"), u.Port("b")
+	u.SetDir(a, ca.DirSource)
+	u.SetDir(b, ca.DirSink)
+	auts := []*ca.Automaton{
+		prim.Fifo1Full(u, x, y, prim.Token{}), // token cycle: pure relay,
+		prim.Fifo1(u, y, x),                   // spins forever
+		prim.Fifo1(u, a, b),                   // innocent sibling region
+	}
+	m, err := engine.NewMultiRegions(u, auts, engine.Options{Workers: 2, MaxTauBurst: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	recvErr := make(chan error, 1)
+	go func() {
+		// Parked (or immediately failed, if the budget fired first) —
+		// either way the livelock must surface here.
+		_, err := m.Recv(b)
+		recvErr <- err
+	}()
+	if err := waitForErr(t, recvErr, 10*time.Second, "livelock propagation"); !errors.Is(err, engine.ErrLivelock) {
+		t.Errorf("sibling recv error = %v, want ErrLivelock", err)
+	}
+}
+
+// TestWorkersAssignmentReported: region-partitioned Infos must report a
+// home worker in worker mode and -1 in synchronous mode.
+func TestWorkersAssignmentReported(t *testing.T) {
+	m, _, _ := regionChain(t, engine.Options{Workers: 2})
+	defer m.Close()
+	seen := map[int]bool{}
+	for i, in := range m.Infos() {
+		if in.Worker < 0 || in.Worker >= m.Workers() {
+			t.Errorf("region %d: worker %d out of range [0,%d)", i, in.Worker, m.Workers())
+		}
+		seen[in.Worker] = true
+	}
+	// Round-robin assignment over 2 regions and 2 workers covers both.
+	if len(seen) != 2 {
+		t.Errorf("home workers %v, want both of the pool used", seen)
+	}
+	ms, _, _ := regionChain(t, engine.Options{})
+	defer ms.Close()
+	for i, in := range ms.Infos() {
+		if in.Worker != -1 {
+			t.Errorf("synchronous region %d: worker = %d, want -1", i, in.Worker)
+		}
+	}
+	if ms.Workers() != 0 {
+		t.Errorf("synchronous Workers() = %d, want 0", ms.Workers())
+	}
+}
+
+// TestWorkersSchedulerDrainRace hammers a multi-region relay pipeline
+// from concurrent tasks and closes it mid-flight; under -race this
+// exercises the lock-free links, the CAS run states, and scheduler
+// shutdown against in-flight fire passes.
+func TestWorkersSchedulerDrainRace(t *testing.T) {
+	const lanes = 4
+	u := ca.NewUniverse()
+	var auts []*ca.Automaton
+	var as, bs []ca.PortID
+	for i := 0; i < lanes; i++ {
+		a := u.Port(fmt.Sprintf("a%d", i))
+		mid := u.Port(fmt.Sprintf("m%d", i))
+		b := u.Port(fmt.Sprintf("b%d", i))
+		u.SetDir(a, ca.DirSource)
+		u.SetDir(b, ca.DirSink)
+		as, bs = append(as, a), append(bs, b)
+		// Two buffers per lane: the middle vertex becomes a pure relay
+		// region, so every value crosses two links and a scheduled hop.
+		auts = append(auts, prim.Fifo1(u, a, mid), prim.Fifo1(u, mid, b))
+	}
+	m, err := engine.NewMultiRegions(u, auts, engine.Options{Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*lanes)
+	for i := 0; i < lanes; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; ; k++ {
+				if err := m.Send(as[i], k); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			last := -1
+			for {
+				v, err := m.Recv(bs[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if v.(int) != last+1 {
+					t.Errorf("lane %d: got %v after %d", i, v, last)
+					errs <- nil
+					return
+				}
+				last = v.(int)
+			}
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond)
+	m.Close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil && err != engine.ErrClosed {
+			t.Errorf("task error = %v, want ErrClosed", err)
+		}
+	}
+	if m.Steps() == 0 {
+		t.Error("no steps fired before Close")
+	}
+}

@@ -1,0 +1,267 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the concurrent runtime for region-partitioned
+// connectors: a fixed worker pool that runs region engines in response
+// to wake-ups. In synchronous mode (Options.Workers == 0) every
+// cross-region nudge is drained inline by the goroutine that fired
+// (region.go, processNudges), so a connector cut into eight regions
+// still burns one core; with workers, a nudge becomes a wake-up posted
+// to the scheduler and the affected regions fire concurrently.
+//
+// Each engine carries a run state (idle / queued / running / dirty)
+// advanced by compare-and-swap, which both deduplicates wake-ups (an
+// already-queued engine is not queued twice) and guarantees that no
+// enablement is lost: a wake-up arriving while the engine runs flips it
+// to dirty, and the finishing worker requeues it, so a fire pass
+// happens-after every wake. Engines are assigned a home worker
+// round-robin at construction (the run queue is keyed by engine); a
+// worker whose own queue is empty steals from its siblings before
+// parking, so load imbalance between regions does not idle cores.
+
+// Engine run states (Engine.schedState).
+const (
+	// schedIdle: quiescent, not queued; a wake-up must enqueue it.
+	schedIdle int32 = iota
+	// schedQueued: on some worker's run queue awaiting a fire pass.
+	schedQueued
+	// schedRunning: a worker is inside its fire pass.
+	schedRunning
+	// schedDirty: running, and a wake-up arrived meanwhile; the worker
+	// requeues the engine when the current pass finishes.
+	schedDirty
+)
+
+// scheduler is the worker pool of one region-partitioned Multi.
+type scheduler struct {
+	mu sync.Mutex
+	// queues[w] is worker w's FIFO run queue. One mutex guards them
+	// all: enqueues are O(1) and rare relative to the fires a single
+	// wake-up batches, so the scheduler lock is not the hot path — the
+	// hot path (link push/pop) is lock-free.
+	queues   [][]*Engine
+	cond     *sync.Cond
+	sleeping int
+	closed   bool
+	wg       sync.WaitGroup
+	// maxTau bounds consecutive link-only visits per worker — the
+	// worker-pool mirror of the processNudges walk budget: a token
+	// spinning through pure relay regions makes link progress forever
+	// without completing any boundary operation.
+	maxTau int
+	// completions counts fire passes (on any worker) that completed a
+	// boundary operation. Workers reset their τ burst whenever it has
+	// advanced, so a worker whose steady-state diet is pure-relay
+	// regions — a dedicated home worker for the middle of a hot
+	// pipeline — does not mistake healthy global throughput for a
+	// livelocked relay cycle.
+	completions atomic.Int64
+}
+
+// newScheduler builds the pool, assigns every engine a home worker, and
+// starts the workers. workers < 0 selects GOMAXPROCS; the pool is
+// capped at the region count (extra workers could never run anything).
+func newScheduler(workers int, engines []*Engine, maxTau int) *scheduler {
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(engines) {
+		workers = len(engines)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if maxTau <= 0 {
+		maxTau = 1 << 20
+	}
+	s := &scheduler{queues: make([][]*Engine, workers), maxTau: maxTau}
+	s.cond = sync.NewCond(&s.mu)
+	for i, e := range engines {
+		e.sched = s
+		e.homeWorker = int32(i % workers)
+		e.schedState.Store(schedIdle)
+	}
+	s.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go s.worker(w)
+	}
+	// The initial wake of every region replaces the synchronous settle:
+	// initially full links can enable relay fires before any task
+	// operation arrives.
+	for _, e := range engines {
+		s.wake(e)
+	}
+	return s
+}
+
+// workers returns the pool size.
+func (s *scheduler) workers() int { return len(s.queues) }
+
+// wake requests a fire pass for e, deduplicating against one already
+// pending. Must be called WITHOUT any engine lock held (it takes the
+// scheduler lock; lock order is engine.mu strictly before scheduler.mu
+// never holds, since neither is acquired under the other).
+func (s *scheduler) wake(e *Engine) {
+	for {
+		switch st := e.schedState.Load(); st {
+		case schedIdle:
+			if e.schedState.CompareAndSwap(schedIdle, schedQueued) {
+				s.enqueue(e)
+				return
+			}
+		case schedRunning:
+			if e.schedState.CompareAndSwap(schedRunning, schedDirty) {
+				return
+			}
+		default: // queued or dirty: a pass that sees the change is pending
+			return
+		}
+	}
+}
+
+// wakeAll posts one wake-up per engine (the worker-pool replacement for
+// processNudges on the register path).
+func (s *scheduler) wakeAll(engines []*Engine) {
+	for _, e := range engines {
+		s.wake(e)
+	}
+}
+
+func (s *scheduler) enqueue(e *Engine) {
+	s.mu.Lock()
+	if s.closed {
+		// Workers are gone; the engine is (being) closed too, so the
+		// pass it asked for has nothing left to do.
+		s.mu.Unlock()
+		return
+	}
+	s.queues[e.homeWorker] = append(s.queues[e.homeWorker], e)
+	if s.sleeping > 0 {
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+}
+
+// next returns the next engine for worker w: its own queue first, then
+// stolen from a sibling, else it parks. Returns nil on shutdown.
+func (s *scheduler) next(w int) *Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return nil
+		}
+		if q := s.queues[w]; len(q) > 0 {
+			e := q[0]
+			s.queues[w] = q[1:]
+			return e
+		}
+		// Steal: scan the siblings round-robin from our right neighbor.
+		for i := 1; i < len(s.queues); i++ {
+			v := (w + i) % len(s.queues)
+			if q := s.queues[v]; len(q) > 0 {
+				e := q[0]
+				s.queues[v] = q[1:]
+				return e
+			}
+		}
+		s.sleeping++
+		s.cond.Wait()
+		s.sleeping--
+	}
+}
+
+func (s *scheduler) worker(w int) {
+	defer s.wg.Done()
+	// burst counts the worker's consecutive link-only visits with no
+	// boundary completion anywhere in the pool — the per-worker τ
+	// budget. lastSeen snapshots the global completion counter: any
+	// advance means some task's operation finished since the worker
+	// last looked, so the link churn it is relaying is real throughput,
+	// not a closed cycle. A visit that fired nothing leaves the burst
+	// unchanged (quiescence produces no further wake-ups, so it cannot
+	// spin).
+	burst := 0
+	lastSeen := s.completions.Load()
+	for {
+		e := s.next(w)
+		if e == nil {
+			return
+		}
+		e.schedState.Store(schedRunning)
+		s.runEngine(e, &burst, &lastSeen)
+	}
+}
+
+// runEngine performs one fire pass of e and reposts the wake-ups the
+// pass produced.
+func (s *scheduler) runEngine(e *Engine, burst *int, lastSeen *int64) {
+	e.mu.Lock()
+	completed, linked := false, false
+	if !e.closed && e.broken == nil {
+		e.fireLoop(pumpTrigger)
+		completed, linked = e.fireCompleted, e.fireLinkActive
+	}
+	// Collect nudges even from a pass that broke the engine: link-state
+	// changes it made before breaking must still wake the neighbors.
+	nudges := e.outNudges
+	e.outNudges = nil
+	e.mu.Unlock()
+	// Leave the running state before posting nudges: a neighbor's pass
+	// may wake us right back, and that wake must find idle (enqueue) or
+	// our own dirty-requeue below, never be swallowed.
+	for {
+		if e.schedState.CompareAndSwap(schedRunning, schedIdle) {
+			break
+		}
+		if e.schedState.CompareAndSwap(schedDirty, schedQueued) {
+			s.enqueue(e)
+			break
+		}
+	}
+	s.wakeAll(nudges)
+	if completed {
+		s.completions.Add(1)
+		*burst = 0
+		*lastSeen = s.completions.Load()
+		return
+	}
+	if !linked {
+		return
+	}
+	if cur := s.completions.Load(); cur != *lastSeen {
+		*lastSeen = cur
+		*burst = 1 // this link-only visit starts a fresh window
+		return
+	}
+	*burst++
+	if *burst > s.maxTau {
+		// Link progress with no boundary completion anywhere for a full
+		// budget: a closed cycle of links with no task on it. Break the
+		// group, as the synchronous walk budget would.
+		e.breakExternal(ErrLivelock)
+		*burst = 0
+	}
+}
+
+// shutdown stops the workers and waits for them to exit. Idempotent.
+// Pending queue entries are dropped: every engine is closed (or broken)
+// by the time the coordinator shuts its scheduler down, so a dropped
+// pass has nothing to fire.
+func (s *scheduler) shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}

@@ -85,15 +85,23 @@ func runPipeline(t *testing.T, n, items int, opts ...reo.ConnectOption) (sink []
 func TestRegionsDifferentialPipeline(t *testing.T) {
 	const n, items = 4, 40
 	wantSink, wantStages := runPipeline(t, n, items, reo.WithSeed(1))
-	gotSink, gotStages := runPipeline(t, n, items, reo.WithSeed(1),
-		reo.WithPartitioning(reo.PartitionRegions))
-	if fmt.Sprint(gotSink) != fmt.Sprint(wantSink) {
-		t.Errorf("sink sequence differs:\nregions: %v\nsingle:  %v", gotSink, wantSink)
+	modes := []struct {
+		name string
+		opts []reo.ConnectOption
+	}{
+		{"synchronous", []reo.ConnectOption{reo.WithSeed(1), reo.WithPartitioning(reo.PartitionRegions)}},
+		{"workers", []reo.ConnectOption{reo.WithSeed(1), reo.WithPartitioning(reo.PartitionRegions), reo.WithWorkers(-1)}},
 	}
-	for i := range wantStages {
-		if fmt.Sprint(gotStages[i]) != fmt.Sprint(wantStages[i]) {
-			t.Errorf("stage %d input sequence differs:\nregions: %v\nsingle:  %v",
-				i, gotStages[i], wantStages[i])
+	for _, m := range modes {
+		gotSink, gotStages := runPipeline(t, n, items, m.opts...)
+		if fmt.Sprint(gotSink) != fmt.Sprint(wantSink) {
+			t.Errorf("%s: sink sequence differs:\nregions: %v\nsingle:  %v", m.name, gotSink, wantSink)
+		}
+		for i := range wantStages {
+			if fmt.Sprint(gotStages[i]) != fmt.Sprint(wantStages[i]) {
+				t.Errorf("%s: stage %d input sequence differs:\nregions: %v\nsingle:  %v",
+					m.name, i, gotStages[i], wantStages[i])
+			}
 		}
 	}
 }
@@ -145,6 +153,54 @@ func TestRegionsDifferentialAlternator(t *testing.T) {
 		reo.WithPartitioning(reo.PartitionRegions))
 	if fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Errorf("output sequence differs:\nregions: %v\nsingle:  %v", got, want)
+	}
+	gotW := runAlternator(t, n, rounds, reo.WithSeed(7),
+		reo.WithPartitioning(reo.PartitionRegions), reo.WithWorkers(2))
+	if fmt.Sprint(gotW) != fmt.Sprint(want) {
+		t.Errorf("output sequence differs:\nworkers: %v\nsingle:  %v", gotW, want)
+	}
+}
+
+// TestWorkersInstanceSurface pins the public worker-scheduler surface:
+// Workers() reporting, per-region Worker assignment, and Close of a
+// live worker instance.
+func TestWorkersInstanceSurface(t *testing.T) {
+	d, err := connlib.ByName("Sequencer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := d.Connect(4, reo.WithPartitioning(reo.PartitionRegions), reo.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait := connlib.Drive(d, inst, 4)
+	time.Sleep(30 * time.Millisecond)
+	if inst.Workers() != 2 {
+		t.Errorf("Workers() = %d, want 2", inst.Workers())
+	}
+	for ri, info := range inst.Regions() {
+		if info.Worker < 0 || info.Worker >= 2 {
+			t.Errorf("region %d: worker %d out of range [0,2)", ri, info.Worker)
+		}
+	}
+	if inst.Steps() == 0 {
+		t.Error("no steps fired on the worker pool")
+	}
+	inst.Close()
+	wait()
+
+	// Without workers (and without region partitioning) the surface
+	// reports no pool and no assignment.
+	single, err := d.Connect(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	if single.Workers() != 0 {
+		t.Errorf("single-engine Workers() = %d, want 0", single.Workers())
+	}
+	if got := single.Regions()[0].Worker; got != -1 {
+		t.Errorf("single-engine region worker = %d, want -1", got)
 	}
 }
 
@@ -244,6 +300,7 @@ func TestRegionsInstanceStats(t *testing.T) {
 // TestDeprecatedPartitioningShim keeps the old boolean option working.
 func TestDeprecatedPartitioningShim(t *testing.T) {
 	prog := reo.MustCompile(`Buffers(in[];out[]) = prod (i:1..#in) Fifo1(in[i];out[i])`)
+	//lint:ignore SA1019 the deprecated shim's behavior is the thing under test
 	inst, err := prog.MustConnector("Buffers").Connect(
 		map[string]int{"in": 3, "out": 3}, reo.WithPartitioningEnabled(true))
 	if err != nil {

@@ -204,6 +204,7 @@ func (c *Connector) Template() *compile.Template { return c.tmpl }
 type connectCfg struct {
 	mode        Mode
 	partition   PartitionMode
+	workers     int
 	expand      ca.ExpandMode
 	cacheSize   int
 	policy      engine.EvictionPolicy
@@ -255,12 +256,41 @@ func WithPartitioning(mode PartitionMode) ConnectOption {
 	return func(c *connectCfg) { c.partition = mode }
 }
 
+// WithWorkers runs the regions of a PartitionRegions instance on an
+// n-worker scheduler: cross-region wake-ups are posted to a worker pool
+// (a work-stealing run queue keyed by region) instead of being drained
+// inline on the goroutine whose Send/Recv fired, so the regions of one
+// connector occupy up to n cores concurrently.
+//
+// n = 0 (the default) keeps today's synchronous draining: all region
+// fires run on the callers' goroutines, which preserves the strongest
+// reproducibility (with WithSeed and deterministic task order, whole
+// runs replay exactly) and avoids pool overhead for connectors whose
+// regions are short or serial. n < 0 selects runtime.GOMAXPROCS(0).
+// The pool is capped at the region count. Ignored unless
+// WithPartitioning(PartitionRegions) is in effect.
+//
+// Determinism: per-port delivered sequences of deterministic protocols
+// are identical in both modes (the differential tests pin this); the
+// interleaving across regions, and therefore the choices of protocols
+// that race cross-region timing, follow the scheduler. Each region
+// still resolves its local nondeterminism from WithSeed + its region
+// index, and the per-worker τ budget mirrors the synchronous walk's
+// livelock guard (MaxTauBurst).
+func WithWorkers(n int) ConnectOption {
+	return func(c *connectCfg) { c.workers = n }
+}
+
 // WithPartitioningEnabled carries the semantics of the pre-PartitionMode
 // boolean WithPartitioning(bool): callers of that form migrate by
 // renaming the call (true selects component partitioning).
 //
 // Deprecated: use WithPartitioning(PartitionComponents) or
-// WithPartitioning(PartitionOff).
+// WithPartitioning(PartitionOff). New code that wants maximum
+// concurrency should consider WithPartitioning(PartitionRegions)
+// combined with WithWorkers, which additionally cuts single-component
+// connectors at their buffers and fires the regions on a worker pool —
+// capabilities the boolean form cannot express.
 func WithPartitioningEnabled(on bool) ConnectOption {
 	return func(c *connectCfg) {
 		if on {
@@ -367,6 +397,7 @@ func buildCoordinator(asm *compile.Assembly, cfg *connectCfg) (engine.Coordinato
 		Policy:    cfg.policy,
 		Seed:      cfg.seed,
 		MaxStates: cfg.maxStates,
+		Workers:   cfg.workers,
 	}
 	switch cfg.mode {
 	case Static:
@@ -476,6 +507,16 @@ func (i *Instance) Partitions() int {
 	return 1
 }
 
+// Workers returns the size of the scheduler pool the instance's regions
+// fire on (see WithWorkers), or 0 when cross-region progress is driven
+// synchronously by the tasks' own goroutines.
+func (i *Instance) Workers() int {
+	if m, ok := i.coord.(*engine.Multi); ok {
+		return m.Workers()
+	}
+	return 0
+}
+
 // RegionInfo is a per-partition statistics snapshot (see
 // Instance.Regions).
 type RegionInfo struct {
@@ -485,6 +526,10 @@ type RegionInfo struct {
 	// Links counts the buffered link endpoints attached to the partition
 	// (0 unless PartitionRegions cut a buffer at its boundary).
 	Links int
+	// Worker is the scheduler worker the region's run queue is keyed to
+	// under WithWorkers (idle workers may steal it), or -1 when the
+	// instance runs without a worker pool.
+	Worker int
 	// Steps/Expansions/GuardEvals are the partition's share of the
 	// instance counters.
 	Steps, Expansions, GuardEvals int64
@@ -501,6 +546,7 @@ func (i *Instance) Regions() []RegionInfo {
 			out[k] = RegionInfo{
 				Constituents: in.Constituents,
 				Links:        in.Links,
+				Worker:       in.Worker,
 				Steps:        in.Steps,
 				Expansions:   in.Expansions,
 				GuardEvals:   in.GuardEvals,
@@ -510,6 +556,7 @@ func (i *Instance) Regions() []RegionInfo {
 	}
 	return []RegionInfo{{
 		Constituents: len(i.asm.Auts),
+		Worker:       -1,
 		Steps:        i.coord.Steps(),
 		Expansions:   i.coord.Expansions(),
 		GuardEvals:   i.coord.GuardEvals(),

@@ -1,12 +1,16 @@
 // BenchmarkRegionScaling measures steps/s of buffer-decomposable
-// connectors under the three partition modes. Sweep GOMAXPROCS with the
-// standard -cpu flag to see the scaling the region cut buys:
+// connectors under the partition modes and the worker scheduler. Sweep
+// GOMAXPROCS with the standard -cpu flag to see the scaling the region
+// cut buys:
 //
 //	go test -run xxx -bench RegionScaling -cpu 1,4,8
 //
 // PartitionOff serializes every fire on one lock, so its step rate is
 // flat in GOMAXPROCS; PartitionRegions fires each region on its own
-// lock, so pipeline stages and ring segments proceed concurrently.
+// lock, so pipeline stages and ring segments proceed concurrently; the
+// "workers" variant additionally posts cross-region nudges to a
+// GOMAXPROCS worker pool (reo.WithWorkers) so region fires are not
+// serialized on the nudging goroutine either.
 package reo_test
 
 import (
@@ -93,19 +97,24 @@ func BenchmarkRegionScaling(b *testing.B) {
 	const n = 8
 	modes := []struct {
 		name string
-		mode reo.PartitionMode
+		opts []reo.ConnectOption
 	}{
-		{"off", reo.PartitionOff},
-		{"components", reo.PartitionComponents},
-		{"regions", reo.PartitionRegions},
+		{"off", []reo.ConnectOption{reo.WithPartitioning(reo.PartitionOff)}},
+		{"components", []reo.ConnectOption{reo.WithPartitioning(reo.PartitionComponents)}},
+		{"regions", []reo.ConnectOption{reo.WithPartitioning(reo.PartitionRegions)}},
+		// The worker scheduler: cross-region nudges become wake-ups on a
+		// GOMAXPROCS-sized pool instead of inline draining, so region
+		// fires occupy every core (compare against "regions" at -cpu 4,8
+		// for the scaling the scheduler buys).
+		{"workers", []reo.ConnectOption{reo.WithPartitioning(reo.PartitionRegions), reo.WithWorkers(-1)}},
 	}
 
 	type setup struct {
 		name    string
-		connect func(mode reo.PartitionMode) (*reo.Instance, func(), error)
+		connect func(opts ...reo.ConnectOption) (*reo.Instance, func(), error)
 	}
 	setups := []setup{
-		{"pipeline", func(mode reo.PartitionMode) (*reo.Instance, func(), error) {
+		{"pipeline", func(opts ...reo.ConnectOption) (*reo.Instance, func(), error) {
 			prog, err := reo.Compile(pipelineProto)
 			if err != nil {
 				return nil, nil, err
@@ -114,13 +123,13 @@ func BenchmarkRegionScaling(b *testing.B) {
 			if err != nil {
 				return nil, nil, err
 			}
-			inst, err := conn.Connect(map[string]int{"out": n, "in": n}, reo.WithPartitioning(mode))
+			inst, err := conn.Connect(map[string]int{"out": n, "in": n}, opts...)
 			if err != nil {
 				return nil, nil, err
 			}
 			return inst, drivePipeline(inst, n), nil
 		}},
-		{"ring", func(mode reo.PartitionMode) (*reo.Instance, func(), error) {
+		{"ring", func(opts ...reo.ConnectOption) (*reo.Instance, func(), error) {
 			prog, err := reo.Compile(ringProto)
 			if err != nil {
 				return nil, nil, err
@@ -129,18 +138,18 @@ func BenchmarkRegionScaling(b *testing.B) {
 			if err != nil {
 				return nil, nil, err
 			}
-			inst, err := conn.Connect(map[string]int{"c": n}, reo.WithPartitioning(mode))
+			inst, err := conn.Connect(map[string]int{"c": n}, opts...)
 			if err != nil {
 				return nil, nil, err
 			}
 			return inst, driveReceivers(inst, "c"), nil
 		}},
-		{"async-merger", func(mode reo.PartitionMode) (*reo.Instance, func(), error) {
+		{"async-merger", func(opts ...reo.ConnectOption) (*reo.Instance, func(), error) {
 			d, err := connlib.ByName("EarlyAsyncMerger")
 			if err != nil {
 				return nil, nil, err
 			}
-			inst, err := d.Connect(n, reo.WithPartitioning(mode))
+			inst, err := d.Connect(n, opts...)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -153,13 +162,13 @@ func BenchmarkRegionScaling(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/%s", s.name, m.name), func(b *testing.B) {
 				var totalSteps int64
 				var totalTime time.Duration
-				regions := 0
+				regions, workers := 0, 0
 				for i := 0; i < b.N; i++ {
-					inst, wait, err := s.connect(m.mode)
+					inst, wait, err := s.connect(m.opts...)
 					if err != nil {
 						b.Fatal(err)
 					}
-					regions = inst.Partitions()
+					regions, workers = inst.Partitions(), inst.Workers()
 					time.Sleep(scalingWindow)
 					totalSteps += inst.Steps()
 					totalTime += scalingWindow
@@ -168,6 +177,7 @@ func BenchmarkRegionScaling(b *testing.B) {
 				}
 				b.ReportMetric(float64(totalSteps)/totalTime.Seconds(), "steps/s")
 				b.ReportMetric(float64(regions), "regions")
+				b.ReportMetric(float64(workers), "workers")
 			})
 		}
 	}
