@@ -21,6 +21,7 @@ func main() {
 		classes   = flag.String("class", "S,W", "comma-separated classes (S,W,A,B,C)")
 		ns        = flag.String("N", "2,4,8", "comma-separated slave counts")
 		reps      = flag.Int("reps", 1, "repetitions per configuration (best time reported)")
+		batch     = flag.Int("batch", 1, "scatter/gather batching degree: work units per slave per round, moved as one batched port operation (1 = the paper's structure)")
 		partition = flag.String("partition", "off", "partition the Reo connectors: off, components (§V-C(3) fix), or regions (buffer-boundary cut)")
 		workers   = flag.Int("workers", 0, "scheduler workers for partition=regions (0 = synchronous, <0 = GOMAXPROCS)")
 		fullExp   = flag.Bool("full-expansion", false, "textbook joint enumeration (reproduces the §V-C(3) blow-up)")
@@ -46,6 +47,14 @@ func main() {
 		opts = append(opts, reo.WithFullExpansion(true))
 	}
 	npb.DefaultReoOptions = npb.ReoCommOptions{Opts: opts}
+	if *batch < 1 {
+		fmt.Fprintf(os.Stderr, "fig13: bad -batch %d (need >= 1)\n", *batch)
+		os.Exit(2)
+	}
+	// Both variants run the same batched scatter/gather structure; the
+	// rows land in the -json output keyed with their batch degree, so
+	// batched sweeps track separately from the scalar baseline cells.
+	npb.DefaultBatch = *batch
 
 	var programs []string
 	if *progs == "all" {

@@ -11,13 +11,16 @@
 //	reoc plan file.reo Connector [-n N]
 //	reoc regions file.reo Connector [-n N] [-workers W]
 //	reoc verify file.reo Connector [-n N]
-//	reoc bench-compare baseline.json current.json [-threshold 0.25]
+//	reoc bench-compare baseline.json current.json... [-threshold 0.25]
+//	reoc bench-batch out.json [-stages S] [-items I] [-batches 1,8,64,512] [-reps R]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	reo "repro"
 	"repro/internal/ast"
@@ -41,6 +44,10 @@ func main() {
 
 	if cmd == "bench-compare" {
 		benchCompare(file, rest)
+		return
+	}
+	if cmd == "bench-batch" {
+		benchBatch(file, rest)
 		return
 	}
 
@@ -163,35 +170,46 @@ func main() {
 	}
 }
 
-// benchCompare is the CI perf-regression gate: compare a benchmark JSON
-// artifact (BENCH_fig12.json / BENCH_fig13.json schema) against a
-// checked-in baseline and exit non-zero when any cell's rate dropped by
-// more than the threshold (or vanished).
+// benchCompare is the CI perf-regression gate: compare one or more
+// benchmark JSON artifacts (BENCH_fig12.json / BENCH_fig13.json /
+// bench-batch schemas) against a checked-in baseline and exit non-zero
+// when any cell's rate dropped by more than the threshold (or vanished).
+// Multiple current artifacts concatenate, so a baseline can hold cells
+// produced by different sweeps (the fig12 sweep and the batched-port
+// sweep) and gate them in one invocation.
 func benchCompare(baselinePath string, rest []string) {
-	if len(rest) < 1 {
+	var currentPaths []string
+	for len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+		currentPaths = append(currentPaths, rest[0])
+		rest = rest[1:]
+	}
+	if len(currentPaths) == 0 {
 		usage()
 	}
-	currentPath := rest[0]
 	fs := flag.NewFlagSet("bench-compare", flag.ExitOnError)
 	threshold := fs.Float64("threshold", 0.25, "allowed fractional rate drop per cell")
-	minRows := fs.Int("min-rows", 1, "minimum rows the current artifact must contain (guards against an empty run passing)")
-	fs.Parse(rest[1:])
+	minRows := fs.Int("min-rows", 1, "minimum rows the current artifacts must contain together (guards against an empty run passing)")
+	fs.Parse(rest)
 
 	baseline, err := bench.ReadCompareRows(baselinePath)
 	if err != nil {
 		fatal(err)
 	}
-	current, err := bench.ReadCompareRows(currentPath)
-	if err != nil {
-		fatal(err)
+	var current []bench.CompareRow
+	for _, path := range currentPaths {
+		rows, err := bench.ReadCompareRows(path)
+		if err != nil {
+			fatal(err)
+		}
+		current = append(current, rows...)
 	}
 	if len(current) < *minRows {
-		fmt.Fprintf(os.Stderr, "bench-compare: current artifact has %d rows, need >= %d\n", len(current), *minRows)
+		fmt.Fprintf(os.Stderr, "bench-compare: current artifacts have %d rows, need >= %d\n", len(current), *minRows)
 		os.Exit(1)
 	}
 	regs := bench.CompareRates(baseline, current, *threshold)
 	fmt.Printf("bench-compare: %d baseline cells vs %s (threshold %.0f%% drop)\n",
-		len(bench.BestRates(baseline)), currentPath, 100**threshold)
+		len(bench.BestRates(baseline)), strings.Join(currentPaths, "+"), 100**threshold)
 	if len(regs) == 0 {
 		fmt.Println("bench-compare: OK — no cell regressed")
 		return
@@ -201,6 +219,50 @@ func benchCompare(baselinePath string, rest []string) {
 	}
 	fmt.Fprintf(os.Stderr, "bench-compare: %d cell(s) regressed\n", len(regs))
 	os.Exit(1)
+}
+
+// benchBatch runs the batched-port throughput sweep (the workload of
+// BenchmarkBatchedThroughput) and writes machine-readable rows for the
+// perf-regression gate: items/s through the stage-coupled Fifo1 pipeline
+// per batch size, best of -reps runs.
+func benchBatch(outPath string, rest []string) {
+	fs := flag.NewFlagSet("bench-batch", flag.ExitOnError)
+	stages := fs.Int("stages", 4, "pipeline stages")
+	items := fs.Int("items", 1<<14, "items moved per measurement")
+	batches := fs.String("batches", "1,8,64,512", "comma-separated batch sizes")
+	reps := fs.Int("reps", 3, "repetitions per batch size (best run reported; use >= 3 for CI gating)")
+	fs.Parse(rest)
+	if *reps < 1 {
+		*reps = 1
+	}
+
+	var results []bench.BatchResult
+	for _, s := range strings.Split(*batches, ",") {
+		batch, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || batch < 1 {
+			fmt.Fprintf(os.Stderr, "bench-batch: bad batch size %q\n", s)
+			os.Exit(2)
+		}
+		best, err := bench.RunBatchThroughput(*stages, *items, batch)
+		if err != nil {
+			fatal(err)
+		}
+		for r := 1; r < *reps; r++ {
+			res, err := bench.RunBatchThroughput(*stages, *items, batch)
+			if err != nil {
+				fatal(err)
+			}
+			if res.Elapsed < best.Elapsed {
+				best = res
+			}
+		}
+		fmt.Printf("bench-batch: stages=%d items=%d batch=%-4d %12.0f items/s (%d conn steps)\n",
+			best.Stages, best.Items, best.Batch, best.ItemsPerSec(), best.Steps)
+		results = append(results, best)
+	}
+	if err := bench.WriteBatchJSON(outPath, results); err != nil {
+		fatal(err)
+	}
 }
 
 // connectInstance compiles the named connector and instantiates every
@@ -269,6 +331,7 @@ func usage() {
   reoc plan     file.reo Connector [-n N]
   reoc regions  file.reo Connector [-n N] [-workers W]
   reoc verify   file.reo Connector [-n N]
-  reoc bench-compare baseline.json current.json [-threshold 0.25] [-min-rows K]`)
+  reoc bench-compare baseline.json current.json... [-threshold 0.25] [-min-rows K]
+  reoc bench-batch out.json [-stages S] [-items I] [-batches 1,8,64,512] [-reps R]`)
 	os.Exit(2)
 }

@@ -12,15 +12,21 @@
 // buffers into concurrently firing regions (one per stage boundary), and
 // Instance.Regions() exposes the per-region execution counters.
 //
-//	go run ./examples/pipeline -n 4 -items 5
+// A second, quiet phase compares coordination throughput of the same
+// Lanes protocol with scalar port operations vs batched ones
+// (SendBatch/RecvBatch, -batch items per operation), printing steps/s
+// side by side: the batched run pays one engine-lock registration and
+// one completion handshake per batch instead of per item.
+//
+//	go run ./examples/pipeline -n 4 -items 5 -batch 64
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-
 	reo "repro"
+	"repro/internal/bench"
 )
 
 const protocol = `
@@ -42,8 +48,13 @@ Reports(rep[];mon) =
 func main() {
 	n := flag.Int("n", 4, "number of pipeline stages")
 	items := flag.Int("items", 5, "items pushed through the pipeline")
+	batch := flag.Int("batch", 64, "batch size of the scalar-vs-batched throughput comparison")
+	benchItems := flag.Int("bench-items", 50000, "items moved per throughput measurement")
 	flag.Parse()
 
+	if *batch < 1 || *benchItems < 1 {
+		log.Fatalf("pipeline: -batch and -bench-items must be >= 1 (got %d, %d)", *batch, *benchItems)
+	}
 	prog, err := reo.Compile(protocol)
 	if err != nil {
 		log.Fatal(err)
@@ -54,6 +65,23 @@ func main() {
 	run(prog, *n, *items, reo.PartitionRegions)
 	fmt.Println("\n== worker scheduler (PartitionRegions + WithWorkers) ==")
 	run(prog, *n, *items, reo.PartitionRegions, reo.WithWorkers(-1))
+
+	fmt.Printf("\n== scalar vs batched ports (%d stages, %d items) ==\n", *n, *benchItems)
+	scalarRate := throughput(*n, *benchItems, 1)
+	batchedRate := throughput(*n, *benchItems, *batch)
+	fmt.Printf("scalar  (batch=1):   %12.0f steps/s\n", scalarRate)
+	fmt.Printf("batched (batch=%d): %12.0f steps/s  (%.1fx)\n", *batch, batchedRate, batchedRate/scalarRate)
+}
+
+// throughput runs the shared batched-pipeline workload (the same pump
+// behind BenchmarkBatchedThroughput and `reoc bench-batch`) and returns
+// global execution steps per second.
+func throughput(n, items, batch int) float64 {
+	res, err := bench.RunBatchThroughput(n, items, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return float64(res.Steps) / res.Elapsed.Seconds()
 }
 
 func run(prog *reo.Program, n, items int, mode reo.PartitionMode, extra ...reo.ConnectOption) {

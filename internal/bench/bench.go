@@ -244,14 +244,19 @@ type Fig13Row struct {
 	Class   npb.Class
 	Variant npb.Variant
 	Slaves  int
+	// Batch is the scatter/gather batching degree the run used
+	// (npb.DefaultBatch at measurement time; 1 = the paper's structure).
+	Batch   int
 	Elapsed time.Duration
 	Steps   int64
 	Err     error
 }
 
-// RunFig13 measures one NPB configuration.
+// RunFig13 measures one NPB configuration under the current
+// npb.DefaultBatch (stamped into the row so batched sweeps stay
+// distinguishable in the perf trajectory).
 func RunFig13(program string, class npb.Class, variant npb.Variant, slaves int) Fig13Row {
-	row := Fig13Row{Program: program, Class: class, Variant: variant, Slaves: slaves}
+	row := Fig13Row{Program: program, Class: class, Variant: variant, Slaves: slaves, Batch: npb.DefaultBatch}
 	prog, err := npb.ProgramByName(program)
 	if err != nil {
 		row.Err = err
@@ -271,15 +276,19 @@ func RunFig13(program string, class npb.Class, variant npb.Variant, slaves int) 
 // FormatFig13 renders the measurement table.
 func FormatFig13(rows []Fig13Row) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-8s %-6s %-8s %4s %14s %12s\n", "program", "class", "variant", "N", "time", "conn-steps")
+	fmt.Fprintf(&sb, "%-8s %-6s %-8s %4s %6s %14s %12s\n", "program", "class", "variant", "N", "batch", "time", "conn-steps")
 	for _, r := range rows {
+		batch := r.Batch
+		if batch < 1 {
+			batch = 1
+		}
 		if r.Err != nil {
-			fmt.Fprintf(&sb, "%-8s %-6s %-8s %4d %14s %12s (%v)\n",
-				r.Program, r.Class, r.Variant, r.Slaves, "ERROR", "-", r.Err)
+			fmt.Fprintf(&sb, "%-8s %-6s %-8s %4d %6d %14s %12s (%v)\n",
+				r.Program, r.Class, r.Variant, r.Slaves, batch, "ERROR", "-", r.Err)
 			continue
 		}
-		fmt.Fprintf(&sb, "%-8s %-6s %-8s %4d %14s %12d\n",
-			r.Program, r.Class, r.Variant, r.Slaves, r.Elapsed.Round(time.Microsecond), r.Steps)
+		fmt.Fprintf(&sb, "%-8s %-6s %-8s %4d %6d %14s %12d\n",
+			r.Program, r.Class, r.Variant, r.Slaves, batch, r.Elapsed.Round(time.Microsecond), r.Steps)
 	}
 	return sb.String()
 }

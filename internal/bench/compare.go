@@ -23,6 +23,7 @@ type CompareRow struct {
 	Program     string  `json:"program,omitempty"`
 	Class       string  `json:"class,omitempty"`
 	N           int     `json:"n"`
+	Batch       int     `json:"batch,omitempty"`
 	StepsPerSec float64 `json:"steps_per_sec,omitempty"`
 	Seconds     float64 `json:"seconds,omitempty"`
 	Steps       int64   `json:"steps,omitempty"`
@@ -44,6 +45,11 @@ func (r CompareRow) Key() string {
 		parts = append(parts, "class="+r.Class)
 	}
 	parts = append(parts, fmt.Sprintf("N=%d", r.N))
+	// Batch > 1 marks a batched-port sweep cell; scalar rows (batch
+	// absent or 1) keep their historical keys so old baselines align.
+	if r.Batch > 1 {
+		parts = append(parts, fmt.Sprintf("batch=%d", r.Batch))
+	}
 	return strings.Join(parts, "/")
 }
 
@@ -139,12 +145,15 @@ func CompareRates(baseline, current []CompareRow, threshold float64) []Regressio
 // counterpart of Fig12JSON, sharing the approach/n/rate shape so both
 // figures land in the same perf trajectory and the same gate.
 type Fig13JSON struct {
-	Approach string  `json:"approach"` // variant: "orig" or "reo"
-	Program  string  `json:"program"`
-	Class    string  `json:"class"`
-	N        int     `json:"n"` // slave count
-	Seconds  float64 `json:"seconds"`
-	Steps    int64   `json:"steps,omitempty"`
+	Approach string `json:"approach"` // variant: "orig" or "reo"
+	Program  string `json:"program"`
+	Class    string `json:"class"`
+	N        int    `json:"n"` // slave count
+	// Batch is the scatter/gather batching degree (omitted when 1, the
+	// paper's structure, keeping schema parity with old artifacts).
+	Batch   int     `json:"batch,omitempty"`
+	Seconds float64 `json:"seconds"`
+	Steps   int64   `json:"steps,omitempty"`
 	// Failed marks configurations that errored; Seconds is 0 then.
 	Failed bool `json:"failed,omitempty"`
 }
@@ -159,6 +168,9 @@ func Fig13JSONRows(rows []Fig13Row) []Fig13JSON {
 			Class:    r.Class.String(),
 			N:        r.Slaves,
 			Steps:    r.Steps,
+		}
+		if r.Batch > 1 {
+			j.Batch = r.Batch
 		}
 		if r.Err != nil {
 			j.Failed = true

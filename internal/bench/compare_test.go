@@ -140,3 +140,60 @@ func TestMergeBest(t *testing.T) {
 		t.Errorf("merged = %+v, want best-of with old success kept", got)
 	}
 }
+
+// TestBatchKeysSeparateCells: a batched sweep must not collide with the
+// scalar baseline cell of the same configuration, while batch=1 rows
+// keep their historical keys so old artifacts still align.
+func TestBatchKeysSeparateCells(t *testing.T) {
+	scalar := bench.CompareRow{Approach: "reo", Program: "EP", Class: "S", N: 4}
+	legacy := scalar
+	batched := scalar
+	batched.Batch = 8
+	batch1 := scalar
+	batch1.Batch = 1
+	if scalar.Key() == batched.Key() {
+		t.Errorf("batch=8 key %q collides with the scalar cell", batched.Key())
+	}
+	if legacy.Key() != batch1.Key() {
+		t.Errorf("batch=1 key %q differs from the legacy key %q", batch1.Key(), legacy.Key())
+	}
+}
+
+// TestBatchThroughputJSONRoundTrips: the batched-port sweep measures,
+// serializes into the gate schema, and reads back as comparable cells —
+// the path `reoc bench-batch` + `reoc bench-compare` exercise in CI.
+func TestBatchThroughputJSONRoundTrips(t *testing.T) {
+	var results []bench.BatchResult
+	for _, batch := range []int{1, 4} {
+		res, err := bench.RunBatchThroughput(2, 512, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Steps == 0 || res.ItemsPerSec() <= 0 {
+			t.Fatalf("batch=%d: empty measurement %+v", batch, res)
+		}
+		results = append(results, res)
+	}
+	// Batching must not change the firing structure: same items, same
+	// global steps, whatever the batch degree.
+	if results[0].Steps != results[1].Steps {
+		t.Errorf("steps differ across batch sizes: %d vs %d", results[0].Steps, results[1].Steps)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_batch.json")
+	if err := bench.WriteBatchJSON(path, results); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := bench.ReadCompareRows(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if rows[1].Approach != "batched" || rows[1].Connector != "BatchPipeline" || rows[1].N != 4 {
+		t.Errorf("row = %+v, want batched/BatchPipeline/N=4", rows[1])
+	}
+	if rows[1].Rate() <= 0 {
+		t.Errorf("rate = %v, want > 0", rows[1].Rate())
+	}
+}

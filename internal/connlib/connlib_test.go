@@ -85,6 +85,31 @@ func TestAllDriversMakeProgress(t *testing.T) {
 	}
 }
 
+// TestBatchedDriversMakeProgress runs the batched benchmark driver on
+// every connector: the plain sender/receiver tasks move items in batches
+// of 8, which must keep every protocol live (a pending batch behaves
+// like a task that re-registers instantly) and keep steps accumulating.
+func TestBatchedDriversMakeProgress(t *testing.T) {
+	for _, d := range connlib.All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			t.Parallel()
+			inst, err := d.Connect(4, reo.WithSeed(11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wait := connlib.DriveBatched(d, inst, 4, 8)
+			time.Sleep(200 * time.Millisecond)
+			steps := inst.Steps()
+			inst.Close()
+			wait()
+			if steps == 0 {
+				t.Errorf("%s made no global steps under batched driving", d.Name)
+			}
+		})
+	}
+}
+
 // TestLargeNAcrossWordBoundary is a regression test for bit-set padding:
 // instances whose universes grow past 64/128 ports while automata are
 // being stamped out must still compose (EarlyAsyncMerger at N=40 crosses

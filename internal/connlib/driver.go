@@ -11,19 +11,52 @@ import (
 // receive as often as possible", §V-B) until the instance closes. The
 // returned function waits for all tasks to exit; close the instance first.
 func Drive(d Def, inst *reo.Instance, n int) (wait func()) {
+	return DriveBatched(d, inst, n, 1)
+}
+
+// DriveBatched is Drive with a batching degree: every plain sender and
+// receiver task moves items through its port in batches of the given
+// size (SendBatch/RecvBatch over a per-task reused slice, so the steady
+// state allocates nothing), amortizing one registration handshake over
+// the batch. batch <= 1 selects the scalar operations — the k=1 case of
+// the same engine path. Control-structured tasks (AcquireRelease's
+// lock/unlock alternation, the GatedManyToMany valve) stay scalar: their
+// protocol alternates ports per item, which is exactly the access
+// pattern batching cannot help.
+func DriveBatched(d Def, inst *reo.Instance, n, batch int) (wait func()) {
 	var wg sync.WaitGroup
 	sender := func(out reo.Outport) {
 		defer wg.Done()
-		for i := 0; ; i++ {
-			if err := out.Send(i); err != nil {
+		if batch <= 1 {
+			for i := 0; ; i++ {
+				if err := out.Send(i); err != nil {
+					return
+				}
+			}
+		}
+		vs := make([]any, batch)
+		for i := 0; ; {
+			for j := range vs {
+				vs[j] = i
+				i++
+			}
+			if err := out.SendBatch(vs); err != nil {
 				return
 			}
 		}
 	}
 	receiver := func(in reo.Inport) {
 		defer wg.Done()
+		if batch <= 1 {
+			for {
+				if _, err := in.Recv(); err != nil {
+					return
+				}
+			}
+		}
+		buf := make([]any, batch)
 		for {
-			if _, err := in.Recv(); err != nil {
+			if _, err := in.RecvBatch(buf); err != nil {
 				return
 			}
 		}

@@ -77,16 +77,31 @@ type Options struct {
 	Workers int
 }
 
+// op is one pending port operation. Every op is a batch: vals holds the
+// items — the values to send on a source port, or the destination buffer
+// of a receive on a sink port — and cur counts how many of them fired
+// transitions have already moved. Scalar Send/Recv are the k=1 case on
+// the same code path: they alias the one-slot inline array, so the pool
+// round-trip stays allocation-free and the firing path never branches on
+// scalar-vs-batch.
 type op struct {
 	send bool
-	val  any
-	out  any
-	err  error
+	// vals are the operation's items; the engine reads/writes vals[cur]
+	// and the op completes when cur reaches len(vals). Batched operations
+	// alias the caller's slice (the caller must not touch it until the
+	// operation returns); scalar operations alias inline.
+	vals   []any
+	cur    int
+	inline [1]any
+	err    error
 	// done carries the single completion signal. It is buffered so the
 	// engine never blocks signaling it, and reusable so completed ops can
 	// return to the pool instead of being reallocated per operation.
 	done chan struct{}
 }
+
+// remaining returns how many items the op still has to move.
+func (o *op) remaining() int { return len(o.vals) - o.cur }
 
 // Engine coordinates one connector instance (or one partition of one).
 type Engine struct {
@@ -141,8 +156,9 @@ type Engine struct {
 	// inline. schedState is the engine's run state (idle/queued/running/
 	// dirty) advanced by CAS; homeWorker the static queue assignment.
 	// fireCompleted/fireLinkActive report, per fireLoop call (under mu),
-	// whether the pass completed any boundary operation / touched any
-	// link — the scheduler's τ-budget signals.
+	// whether the pass moved any boundary operation forward (a batched
+	// operation's item progress counts, and a fused k-step is k items of
+	// progress) / touched any link — the scheduler's τ-budget signals.
 	sched          *scheduler
 	schedState     atomic.Int32
 	homeWorker     int32
@@ -242,6 +258,12 @@ type expanded struct {
 	// taus lists plans with no boundary port in their sync set; they need
 	// no pending operation and are always dispatch candidates.
 	taus []int32
+	// flow[i] marks plan i as a pure flow: no guards, no cell writes, and
+	// a target state equal to the source state. Firing it changes nothing
+	// the dispatch scan depends on except operation cursors and link
+	// queues, so a pending batch can fuse up to k consecutive firings of
+	// it into one dispatch decision (fireLoop's fused fast path).
+	flow []bool
 }
 
 func (e *Engine) dirOf(p ca.PortID) ca.Dir {
@@ -291,11 +313,19 @@ func (e *Engine) expandState(state []int32) *expanded {
 		plans:   make([]*ca.Plan, len(joints)),
 		targets: make([][]int32, len(joints)),
 		byPort:  make(map[ca.PortID][]int32),
+		flow:    make([]bool, len(joints)),
 	}
 	for i, j := range joints {
 		t := &ca.Transition{Sync: j.Sync, Guards: j.Guards, Acts: j.Acts}
 		ex.plans[i] = ca.CompilePlan(t, e.planDir)
 		ex.targets[i] = j.Targets
+		flow := ex.plans[i].Guards() == 0 && ex.plans[i].CellWrites() == 0
+		for ai := 0; flow && ai < len(j.Targets); ai++ {
+			if j.Targets[ai] != state[ai] {
+				flow = false
+			}
+		}
+		ex.flow[i] = flow
 		hasGate := false
 		j.Sync.ForEach(func(p ca.PortID) {
 			if e.gated(p) {
@@ -334,11 +364,12 @@ func (e *Engine) expandAll() error {
 	return nil
 }
 
-// PlanPortVal implements ca.PlanHost: pending send value on a source
-// port, or the head of the inbound link offering values at it.
+// PlanPortVal implements ca.PlanHost: the pending operation's current
+// item on a source port, or the value the inbound link currently offers
+// at it (the head, shifted past any pops deferred by a fused burst).
 func (e *Engine) PlanPortVal(p ca.PortID) any {
 	if o := e.pend[p]; o != nil && o.send {
-		return o.val
+		return o.vals[o.cur]
 	}
 	if e.emitAt != nil {
 		if l := e.emitAt[p]; l != nil {
@@ -349,11 +380,12 @@ func (e *Engine) PlanPortVal(p ca.PortID) any {
 }
 
 // PlanDeliver implements ca.PlanHost: hand a fired value to the pending
-// receive on a sink port, and stage it for any outbound links accepting
-// at the port (pushed by fireLinks once the step commits).
+// receive's current batch slot on a sink port, and stage it for any
+// outbound links accepting at the port (pushed by fireLinks once the
+// step commits).
 func (e *Engine) PlanDeliver(p ca.PortID, v any) {
 	if o := e.pend[p]; o != nil && !o.send {
-		o.out = v
+		o.vals[o.cur] = v
 	}
 	if e.acceptAt != nil {
 		if _, ok := e.acceptAt[p]; ok {
@@ -365,78 +397,128 @@ func (e *Engine) PlanDeliver(p ca.PortID, v any) {
 // Send registers a send operation on port p and blocks until a transition
 // involving p fires (completing the operation) or the connector closes.
 func (e *Engine) Send(p ca.PortID, v any) error {
-	o, nudges, err := e.register(p, true, v)
-	if err != nil {
-		return err
-	}
-	e.deliverNudges(nudges)
-	<-o.done
-	err = o.err
-	e.putOp(o)
+	o := e.getOp(true)
+	o.inline[0] = v
+	o.vals = o.inline[:1]
+	_, err := e.runOp(p, o)
 	return err
 }
 
 // Recv registers a receive operation on port p and blocks until a value is
 // delivered or the connector closes.
 func (e *Engine) Recv(p ca.PortID) (any, error) {
-	o, nudges, err := e.register(p, false, nil)
+	o := e.getOp(false)
+	o.vals = o.inline[:1]
+	nudges, err := e.register(p, o)
 	if err != nil {
+		e.putOp(o)
 		return nil, err
 	}
 	e.deliverNudges(nudges)
 	<-o.done
-	out, err := o.out, o.err
+	out, err := o.inline[0], o.err
 	e.putOp(o)
 	return out, err
 }
 
-func (e *Engine) getOp(send bool, v any) *op {
+// SendBatch registers one operation carrying all of vs on port p and
+// blocks until every item has been accepted by a fired transition (or
+// the connector closes/breaks). The batch is an ordered sequence of
+// independent items, not an atomic group: items are accepted one
+// transition firing at a time, exactly as len(vs) consecutive Send calls
+// would be, but under a single engine-lock registration and a single
+// completion handshake. Returns how many items were accepted (always
+// len(vs) on nil error). The engine reads vs in place; the caller must
+// not mutate it until SendBatch returns. An empty batch is a no-op.
+func (e *Engine) SendBatch(p ca.PortID, vs []any) (int, error) {
+	if len(vs) == 0 {
+		return 0, nil
+	}
+	o := e.getOp(true)
+	o.vals = vs
+	return e.runOp(p, o)
+}
+
+// RecvBatch registers one operation that fills buf and blocks until
+// len(buf) values have been delivered (or the connector closes/breaks).
+// Returns how many leading entries of buf hold delivered values: len(buf)
+// on nil error, possibly fewer when the error interrupted a partially
+// moved batch. The ordering guarantee matches len(buf) consecutive Recv
+// calls. An empty buffer is a no-op.
+func (e *Engine) RecvBatch(p ca.PortID, buf []any) (int, error) {
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	o := e.getOp(false)
+	o.vals = buf
+	return e.runOp(p, o)
+}
+
+// runOp drives a prepared op through register/park/complete and recycles
+// it, returning the number of items moved.
+func (e *Engine) runOp(p ca.PortID, o *op) (int, error) {
+	nudges, err := e.register(p, o)
+	if err != nil {
+		e.putOp(o)
+		return 0, err
+	}
+	e.deliverNudges(nudges)
+	<-o.done
+	n, err := o.cur, o.err
+	e.putOp(o)
+	return n, err
+}
+
+func (e *Engine) getOp(send bool) *op {
 	if x := e.opPool.Get(); x != nil {
 		o := x.(*op)
-		o.send, o.val, o.out, o.err = send, v, nil, nil
+		o.send = send
 		return o
 	}
-	return &op{send: send, val: v, done: make(chan struct{}, 1)}
+	return &op{send: send, done: make(chan struct{}, 1)}
 }
 
 // putOp recycles a completed op. Only the goroutine that registered the op
-// may call it, after receiving the completion signal.
+// may call it, after receiving the completion signal. The reset drops the
+// value slice reference (it may alias caller memory) and the inline slot,
+// so pooled ops never pin user payloads between operations.
 func (e *Engine) putOp(o *op) {
-	o.val, o.out, o.err = nil, nil, nil
+	o.vals, o.cur, o.err = nil, 0, nil
+	o.inline[0] = nil
 	e.opPool.Put(o)
 }
 
 // register adds a pending operation and runs the fire loop. It returns
 // the cross-region nudges the fires produced (captured under the lock);
-// the caller must deliver them via processNudges after unlocking.
-func (e *Engine) register(p ca.PortID, send bool, v any) (*op, []*Engine, error) {
+// the caller must deliver them via processNudges after unlocking. On
+// error the op was not pended and the caller still owns it.
+func (e *Engine) register(p ca.PortID, o *op) ([]*Engine, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
-		return nil, nil, ErrClosed
+		return nil, ErrClosed
 	}
 	if e.broken != nil {
-		return nil, nil, e.broken
+		return nil, e.broken
 	}
 	if int(p) >= len(e.pend) {
-		return nil, nil, fmt.Errorf("engine: unknown port %d", p)
+		return nil, fmt.Errorf("engine: unknown port %d", p)
 	}
-	if send && e.dirs[p] != ca.DirSource {
-		return nil, nil, fmt.Errorf("engine: send on non-source port %q", e.u.Name(p))
+	if o.send && e.dirs[p] != ca.DirSource {
+		return nil, fmt.Errorf("engine: send on non-source port %q", e.u.Name(p))
 	}
-	if !send && e.dirs[p] != ca.DirSink {
-		return nil, nil, fmt.Errorf("engine: recv on non-sink port %q", e.u.Name(p))
+	if !o.send && e.dirs[p] != ca.DirSink {
+		return nil, fmt.Errorf("engine: recv on non-sink port %q", e.u.Name(p))
 	}
 	if e.pend[p] != nil {
-		return nil, nil, ErrPortBusy
+		return nil, ErrPortBusy
 	}
-	o := e.getOp(send, v)
 	e.pend[p] = o
 	e.pendMask.Set(p)
 	e.fireLoop(p)
 	nudges := e.outNudges
 	e.outNudges = nil
-	return o, nudges, nil
+	return nudges, nil
 }
 
 // tryEnable appends plan i to the candidate buffer if its sync set is
@@ -557,31 +639,27 @@ func (e *Engine) fireLoop(trigger ca.PortID) {
 		if e.linkGate != nil {
 			// Pop/push the link endpoints in the sync set before
 			// completing operations: popped values feed pending receives.
-			linkActive = e.fireLinks(pl)
+			linkActive = e.fireLinks(pl, false)
 		}
-		completedAny := false
 		var traced []TracePort
-		// Complete every pending operation in the sync set. Sink values
-		// were delivered by the plan via PlanDeliver.
-		for wi, w := range pl.Sync {
-			for w != 0 {
-				p := ca.PortID(wi*64 + bits.TrailingZeros64(w))
-				w &= w - 1
-				o := e.pend[p]
-				if o == nil {
-					continue // internal vertex; no operation to complete
-				}
-				if e.tracer != nil {
-					val := o.val
-					if !o.send {
-						val = o.out
-					}
-					traced = append(traced, TracePort{Name: e.u.Name(p), Dir: e.dirs[p], Val: val})
-				}
-				e.pend[p] = nil
-				e.pendMask.Clear(p)
-				o.done <- struct{}{}
-				completedAny = true
+		var tracedp *[]TracePort
+		if e.tracer != nil {
+			tracedp = &traced // stays on the stack; only appends allocate
+		}
+		// Advance every pending operation in the sync set one item (sink
+		// values were delivered by the plan via PlanDeliver) and complete
+		// the exhausted ones.
+		completedAny := e.advanceOps(pl, tracedp)
+		// Fused flow fast path: a pure-flow plan left state and cells
+		// untouched, so while every gate in its sync set still has items
+		// (batch cursors, link queues) re-firing it needs no fresh
+		// dispatch scan and no guard evaluation. Move the whole remaining
+		// budget in one burst, each item counting as one global step.
+		// Tracing stays on the scanned path so every step is reported
+		// individually.
+		if ex.flow[ti] && e.tracer == nil {
+			if !e.fireFused(ex, pl) {
+				return
 			}
 		}
 		copy(e.state, ex.targets[ti])
@@ -605,6 +683,122 @@ func (e *Engine) fireLoop(trigger ca.PortID) {
 			}
 		}
 	}
+}
+
+// advanceOps moves every pending operation in the fired plan's sync set
+// one item forward: the plan's Execute consumed vals[cur] of each source
+// and delivered into vals[cur] of each sink. Operations whose batch is
+// exhausted complete (cleared and signaled); the rest stay pending with
+// their cursor advanced. Reports whether any operation progressed —
+// item-level progress, which resets the τ-livelock budget even when a
+// large batch keeps its op pending. Appends trace records to *traced
+// when non-nil. Called with mu held.
+func (e *Engine) advanceOps(pl *ca.Plan, traced *[]TracePort) bool {
+	progressed := false
+	for wi, w := range pl.Sync {
+		for w != 0 {
+			p := ca.PortID(wi*64 + bits.TrailingZeros64(w))
+			w &= w - 1
+			o := e.pend[p]
+			if o == nil {
+				continue // internal vertex or link endpoint; no operation
+			}
+			if traced != nil {
+				*traced = append(*traced, TracePort{Name: e.u.Name(p), Dir: e.dirs[p], Val: o.vals[o.cur]})
+			}
+			o.cur++
+			progressed = true
+			if o.cur == len(o.vals) {
+				e.pend[p] = nil
+				e.pendMask.Clear(p)
+				o.done <- struct{}{}
+			}
+		}
+	}
+	return progressed
+}
+
+// fuseBudget returns how many additional consecutive firings of flow
+// plan pl are guaranteed enabled right now: the minimum of the remaining
+// batch items across the pending operations on its boundary ports and
+// the item/space counts of its link endpoints. 0 when the sync set has
+// no gated port at all — a pure τ flow must stay on the scanned path,
+// where the livelock guard can see it spin. Called with mu held, after
+// the triggering fire already advanced its cursors and queues.
+func (e *Engine) fuseBudget(pl *ca.Plan) int {
+	k := int(^uint(0) >> 1)
+	found := false
+	for wi, w := range pl.Sync {
+		for w != 0 {
+			p := ca.PortID(wi*64 + bits.TrailingZeros64(w))
+			w &= w - 1
+			if e.boundary.Has(p) {
+				o := e.pend[p]
+				if o == nil {
+					return 0 // batch exhausted: the transition is disabled
+				}
+				if r := o.remaining(); r < k {
+					k = r
+				}
+				found = true
+			}
+			if e.emitAt != nil {
+				if l := e.emitAt[p]; l != nil {
+					if r := l.avail(); r < k {
+						k = r
+					}
+					found = true
+				}
+			}
+			if e.acceptAt != nil {
+				for _, l := range e.acceptAt[p] {
+					if r := l.free(); r < k {
+						k = r
+					}
+					found = true
+				}
+			}
+		}
+	}
+	if !found || k <= 0 {
+		return 0
+	}
+	return k
+}
+
+// fireFused re-fires a just-fired pure-flow plan as many times as its
+// batch budget allows, fusing up to k item movements into the one
+// dispatch decision fireLoop already made: guards need no re-evaluation
+// (a flow plan has none), the composite state is unchanged by
+// construction, and link endpoints defer their queue publication so the
+// whole burst costs one release store per endpoint (commitLinks). Every
+// fused item counts as one global step, keeping Steps parity with the
+// scalar run. Returns false when an Execute error broke the engine.
+// Called with mu held.
+func (e *Engine) fireFused(ex *expanded, pl *ca.Plan) bool {
+	k := e.fuseBudget(pl)
+	if k == 0 {
+		return true
+	}
+	for j := 0; j < k; j++ {
+		if err := pl.Execute(e.cells, e); err != nil {
+			if e.linkGate != nil {
+				e.commitLinks(pl)
+			}
+			e.resetEnabled(ex)
+			e.break_(err)
+			return false
+		}
+		if e.linkGate != nil {
+			e.fireLinks(pl, true)
+		}
+		e.advanceOps(pl, nil)
+	}
+	if e.linkGate != nil {
+		e.commitLinks(pl)
+	}
+	e.steps.Add(int64(k))
+	return true
 }
 
 // break_ marks the engine broken and fails all pending operations.

@@ -169,6 +169,25 @@ func (m *Multi) Recv(p ca.PortID) (any, error) {
 	return e.Recv(p)
 }
 
+// SendBatch routes to the owning partition: a batch involves exactly one
+// port, so the whole batch amortizes against that partition's lock.
+func (m *Multi) SendBatch(p ca.PortID, vs []any) (int, error) {
+	e, err := m.engineFor(p)
+	if err != nil {
+		return 0, err
+	}
+	return e.SendBatch(p, vs)
+}
+
+// RecvBatch routes to the owning partition.
+func (m *Multi) RecvBatch(p ca.PortID, buf []any) (int, error) {
+	e, err := m.engineFor(p)
+	if err != nil {
+		return 0, err
+	}
+	return e.RecvBatch(p, buf)
+}
+
 // Close closes all partitions, then stops the worker pool (if any) and
 // waits for the workers to exit: pending operations in every region
 // fail with ErrClosed first, so no in-flight fire pass can complete new

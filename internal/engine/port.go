@@ -7,6 +7,13 @@ import "repro/internal/ca"
 type Coordinator interface {
 	Send(p ca.PortID, v any) error
 	Recv(p ca.PortID) (any, error)
+	// SendBatch registers one operation carrying all of vs and blocks
+	// until every item was accepted; RecvBatch fills buf and blocks until
+	// every slot was delivered. Both return the number of items moved
+	// (short only on error) and amortize one registration — one engine
+	// lock acquisition and one completion handshake — over the batch.
+	SendBatch(p ca.PortID, vs []any) (int, error)
+	RecvBatch(p ca.PortID, buf []any) (int, error)
 	Close() error
 	Steps() int64
 	Expansions() int64
@@ -37,6 +44,17 @@ func NewOutport(c Coordinator, p ca.PortID, name string) *Outport {
 // Send offers v to the connector and blocks until accepted.
 func (o *Outport) Send(v any) error { return o.c.Send(o.p, v) }
 
+// SendBatch offers every item of vs in order, as one registered
+// operation, and blocks until the last is accepted. Equivalent to
+// len(vs) consecutive Send calls, minus len(vs)-1 lock acquisitions and
+// handshakes. The batch is an ordered sequence of independent items, not
+// an atomic group. The connector reads vs in place: do not mutate it
+// until SendBatch returns.
+func (o *Outport) SendBatch(vs []any) error {
+	_, err := o.c.SendBatch(o.p, vs)
+	return err
+}
+
 // Name returns the vertex name this outport is linked to.
 func (o *Outport) Name() string { return o.name }
 
@@ -58,6 +76,14 @@ func NewInport(c Coordinator, p ca.PortID, name string) *Inport {
 
 // Recv blocks until the connector delivers a value.
 func (i *Inport) Recv() (any, error) { return i.c.Recv(i.p) }
+
+// RecvBatch blocks until the connector has delivered one value into
+// every slot of buf, in order, as one registered operation. Returns how
+// many leading slots hold delivered values: len(buf) on nil error,
+// possibly fewer when the connector closed or broke mid-batch.
+// Equivalent to len(buf) consecutive Recv calls, minus len(buf)-1 lock
+// acquisitions and handshakes.
+func (i *Inport) RecvBatch(buf []any) (int, error) { return i.c.RecvBatch(i.p, buf) }
 
 // Name returns the vertex name this inport is linked to.
 func (i *Inport) Name() string { return i.name }

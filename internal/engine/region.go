@@ -33,12 +33,20 @@ import (
 type link struct {
 	buf []any
 	// head is advanced only by the consumer, tail only by the producer.
-	// Padding keeps the two counters on separate cache lines so the
-	// regions do not false-share.
-	head atomic.Int64
-	_    [56]byte
-	tail atomic.Int64
-	_    [56]byte
+	// pendPop/pendPush count batch items consumed/produced during a fused
+	// burst but not yet published: the burst defers the counter store so
+	// k items cost one release store per side (commitPops/commitPushes)
+	// instead of k — the cross-core handoff is what a hot link pays for.
+	// Each pend counter lives with its side's counter and is only ever
+	// touched under that side's engine lock (and is zero whenever that
+	// lock is released). Padding keeps the two sides on separate cache
+	// lines so the regions do not false-share.
+	head     atomic.Int64
+	pendPop  int64
+	_        [48]byte
+	tail     atomic.Int64
+	pendPush int64
+	_        [48]byte
 
 	src, dst         *Engine
 	srcPort, dstPort ca.PortID
@@ -51,50 +59,105 @@ func newLink(capacity int) *link {
 	return &link{buf: make([]any, capacity)}
 }
 
-// push appends v. Producer side only (under the source engine's lock).
+// push appends v and publishes it. Producer side only (under the source
+// engine's lock).
 func (l *link) push(v any) {
-	t := l.tail.Load()
-	if t-l.head.Load() == int64(len(l.buf)) {
+	l.pushDefer(v)
+	l.commitPushes()
+}
+
+// pushDefer stages v in the next free slot without publishing it;
+// commitPushes publishes the whole staged run with one tail store.
+// Producer side only.
+func (l *link) pushDefer(v any) {
+	t := l.tail.Load() + l.pendPush
+	if t-l.head.Load() >= int64(len(l.buf)) {
 		panic("engine: push on full region link (gate invariant violated)")
 	}
 	l.buf[t%int64(len(l.buf))] = v
-	l.tail.Store(t + 1)
+	l.pendPush++
 }
 
-// pop removes and returns the head value. Consumer side only (under the
-// target engine's lock).
-func (l *link) pop() any {
-	h := l.head.Load()
-	if l.tail.Load() == h {
-		panic("engine: pop on empty region link (gate invariant violated)")
+// commitPushes publishes every deferred push. The slot writes above
+// happen-before the single release store, exactly as with per-item
+// pushes. Producer side only.
+func (l *link) commitPushes() {
+	if l.pendPush == 0 {
+		return
 	}
-	i := h % int64(len(l.buf))
-	v := l.buf[i]
-	l.buf[i] = nil
-	l.head.Store(h + 1)
+	l.tail.Store(l.tail.Load() + l.pendPush)
+	l.pendPush = 0
+}
+
+// pop removes, publishes and returns the head value. Consumer side only
+// (under the target engine's lock).
+func (l *link) pop() any {
+	v := l.popDefer()
+	l.commitPops()
 	return v
 }
 
-// peek returns the value the link currently offers. Consumer side only:
-// the head slot is stable until the consuming region itself pops, and
-// the consumer observed non-empty (an acquiring tail load) when its
-// gate bit was set.
+// popDefer consumes the current head value without publishing the slot
+// back to the producer; commitPops publishes the whole consumed run with
+// one head store. Consumer side only.
+func (l *link) popDefer() any {
+	h := l.head.Load() + l.pendPop
+	if l.tail.Load() == h {
+		panic("engine: pop on empty region link (gate invariant violated)")
+	}
+	v := l.buf[h%int64(len(l.buf))]
+	l.pendPop++
+	return v
+}
+
+// commitPops clears the consumed slots (so the queue does not pin
+// payloads) and frees them to the producer with one head store.
+// Consumer side only.
+func (l *link) commitPops() {
+	if l.pendPop == 0 {
+		return
+	}
+	h := l.head.Load()
+	for i := int64(0); i < l.pendPop; i++ {
+		l.buf[(h+i)%int64(len(l.buf))] = nil
+	}
+	l.head.Store(h + l.pendPop)
+	l.pendPop = 0
+}
+
+// peek returns the value the link currently offers: the head shifted
+// past any deferred pops. Consumer side only: the slot is stable until
+// the consuming region itself commits, and the consumer observed
+// non-empty (an acquiring tail load) when its gate bit was set.
 func (l *link) peek() any {
-	return l.buf[l.head.Load()%int64(len(l.buf))]
+	return l.buf[(l.head.Load()+l.pendPop)%int64(len(l.buf))]
+}
+
+// avail returns how many items the link still offers the consumer,
+// counting deferred pops as gone. Consumer side only.
+func (l *link) avail() int {
+	return int(l.tail.Load() - l.head.Load() - l.pendPop)
+}
+
+// free returns how many items the link still accepts from the producer,
+// counting deferred pushes as used. Producer side only; a stale head
+// under-reports, which is at worst a shorter fused burst.
+func (l *link) free() int {
+	return len(l.buf) - int(l.tail.Load()+l.pendPush-l.head.Load())
 }
 
 // empty reports whether the queue offers no value. On the consumer side
 // this is exact; elsewhere it may be stale-true, which is at worst a
 // missed enable that the producer's wake-up repairs.
 func (l *link) empty() bool {
-	return l.tail.Load() == l.head.Load()
+	return l.tail.Load() == l.head.Load()+l.pendPop
 }
 
 // full reports whether the queue accepts no value. On the producer side
 // this is exact; elsewhere it may be stale-true, repaired by the
 // consumer's wake-up.
 func (l *link) full() bool {
-	return l.tail.Load()-l.head.Load() == int64(len(l.buf))
+	return l.tail.Load()+l.pendPush-l.head.Load() == int64(len(l.buf))
 }
 
 // regionGroup ties the regions of one connector together for error
@@ -209,10 +272,17 @@ func (e *Engine) refreshLinkPort(p ca.PortID) {
 // emitting endpoint in the sync set, push every accepting one, deliver
 // popped values to pending receives, and nudge the neighbors whose gates
 // changed. Called with mu held, after the plan executed and before
-// pending operations are completed. Reports whether any endpoint was
+// pending operations are advanced. Reports whether any endpoint was
 // touched (link progress resets the τ-livelock counter: a relay region
 // completes no boundary operations but still makes global progress).
-func (e *Engine) fireLinks(pl *ca.Plan) bool {
+//
+// With deferred set (the fused batch burst), pops and pushes are staged
+// on the queues without publishing the head/tail counters and the gate
+// bits are left alone; commitLinks publishes the whole burst with one
+// store per endpoint and refreshes the gates. The burst's budget
+// (fuseBudget) guarantees the staged run never over- or underflows a
+// queue.
+func (e *Engine) fireLinks(pl *ca.Plan, deferred bool) bool {
 	active := false
 	for wi := range pl.Sync {
 		if wi >= len(e.linkGate) {
@@ -226,33 +296,67 @@ func (e *Engine) fireLinks(pl *ca.Plan) bool {
 			var v any
 			fromLink := false
 			if l := e.emitAt[p]; l != nil {
-				v = l.pop()
+				if deferred {
+					v = l.popDefer()
+				} else {
+					v = l.pop()
+				}
 				fromLink = true
 				if o := e.pend[p]; o != nil && !o.send {
-					o.out = v
+					o.vals[o.cur] = v
 				}
 				e.noteNudge(l.src)
 			}
 			if outs := e.acceptAt[p]; len(outs) > 0 {
 				if !fromLink {
 					if o := e.pend[p]; o != nil && o.send {
-						v = o.val
+						v = o.vals[o.cur]
 					} else if pv, ok := e.pushVal[p]; ok {
 						v = pv
 					}
 				}
 				for _, l := range outs {
-					l.push(v)
+					if deferred {
+						l.pushDefer(v)
+					} else {
+						l.push(v)
+					}
 					e.noteNudge(l.dst)
 				}
 			}
-			e.refreshLinkPort(p)
+			if !deferred {
+				e.refreshLinkPort(p)
+			}
 		}
 	}
 	for p := range e.pushVal {
 		delete(e.pushVal, p)
 	}
 	return active
+}
+
+// commitLinks publishes the deferred pops and pushes a fused burst
+// staged on the fired plan's link endpoints — one release store per
+// endpoint side, regardless of the burst length — and refreshes the
+// affected gate bits. Called with mu held.
+func (e *Engine) commitLinks(pl *ca.Plan) {
+	for wi := range pl.Sync {
+		if wi >= len(e.linkGate) {
+			break
+		}
+		w := pl.Sync[wi] & e.linkGate[wi]
+		for w != 0 {
+			p := ca.PortID(wi*64 + bits.TrailingZeros64(w))
+			w &= w - 1
+			if l := e.emitAt[p]; l != nil {
+				l.commitPops()
+			}
+			for _, l := range e.acceptAt[p] {
+				l.commitPushes()
+			}
+			e.refreshLinkPort(p)
+		}
+	}
 }
 
 // noteNudge records that a fire changed link state visible to neighbor

@@ -54,8 +54,11 @@ type scheduler struct {
 	// spinning through pure relay regions makes link progress forever
 	// without completing any boundary operation.
 	maxTau int
-	// completions counts fire passes (on any worker) that completed a
-	// boundary operation. Workers reset their τ burst whenever it has
+	// completions counts fire passes (on any worker) that moved a
+	// boundary operation forward — batched operations count item
+	// progress, and a fused k-item burst is one completing pass, so a
+	// batch parked across many passes still registers as throughput.
+	// Workers reset their τ burst whenever it has
 	// advanced, so a worker whose steady-state diet is pure-relay
 	// regions — a dedicated home worker for the middle of a hot
 	// pipeline — does not mistake healthy global throughput for a

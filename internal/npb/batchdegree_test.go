@@ -1,0 +1,26 @@
+package npb
+
+import "testing"
+
+func TestBatchDegreeFloor(t *testing.T) {
+	saved := DefaultBatch
+	defer func() { DefaultBatch = saved }()
+	DefaultBatch = 8
+	if got := batchDegree(0); got != 1 {
+		t.Errorf("batchDegree(0) = %d, want 1", got)
+	}
+	if got := batchDegree(3); got != 3 {
+		t.Errorf("batchDegree(3) = %d, want 3", got)
+	}
+	DefaultBatch = 0
+	if got := batchDegree(100); got != 1 {
+		t.Errorf("batchDegree(100) with DefaultBatch=0 = %d, want 1", got)
+	}
+	// More slaves than work units: every slave still gets its message.
+	DefaultBatch = 4
+	p := NewEP()
+	res, err := p.Run(ClassS, Reo, 5)
+	if err != nil || !res.Verified {
+		t.Fatalf("EP with batch floor: %v verified=%v", err, res != nil && res.Verified)
+	}
+}

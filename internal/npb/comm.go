@@ -22,10 +22,49 @@ type Comm interface {
 	SlaveSend(i int, v any) error
 	// SlaveRecv receives the next master value at slave i.
 	SlaveRecv(i int) (any, error)
+	// SendToSlaveBatch transfers every item of vs master -> slave i as
+	// one lane operation: an ordered stream of independent items, paying
+	// one coordination handshake for the whole batch on the Reo fabric
+	// (the Orig fabric loops over its channel). The fabric reads vs in
+	// place; do not mutate it until the call returns.
+	SendToSlaveBatch(i int, vs []any) error
+	// RecvFromSlaveBatch fills buf with the next len(buf) values from
+	// slave i, returning how many leading slots were filled (len(buf) on
+	// nil error).
+	RecvFromSlaveBatch(i int, buf []any) (int, error)
+	// SlaveSendBatch transfers every item of vs slave i -> master as one
+	// lane operation.
+	SlaveSendBatch(i int, vs []any) error
+	// SlaveRecvBatch fills buf with the next len(buf) master values at
+	// slave i.
+	SlaveRecvBatch(i int, buf []any) (int, error)
 	// Close tears the fabric down.
 	Close() error
 	// Steps reports connector global steps (0 for Orig).
 	Steps() int64
+}
+
+// DefaultBatch is the scatter/gather batching degree the NPB programs
+// use: work units per slave per round, moved through the fabric with the
+// batched lane operations. 1 (the default) reproduces the paper's
+// one-message-per-round structure on the scalar path. Benchmark drivers
+// (cmd/fig13 -batch) override it before running; it must not be mutated
+// concurrently with runs.
+var DefaultBatch = 1
+
+// batchDegree clamps the configured batch against a round's work-unit
+// count: a batch cannot be wider than the units available to fill it,
+// but never drops below one job per slave (a slave with an empty work
+// range still gets its message, as the scalar structure always did).
+func batchDegree(units int) int {
+	b := DefaultBatch
+	if b > units {
+		b = units
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
 }
 
 // PipeComm extends Comm with a slave-to-slave pipeline (LU's wavefront:
@@ -103,16 +142,48 @@ func (c *chanComm) recv(ch chan any) (any, error) {
 	}
 }
 
+// sendBatch loops the hand-written channel send: the Orig fabric has no
+// cheaper bulk primitive, which is exactly the asymmetry the batched
+// benchmarks measure.
+func (c *chanComm) sendBatch(ch chan any, vs []any) error {
+	for _, v := range vs {
+		if err := c.send(ch, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *chanComm) recvBatch(ch chan any, buf []any) (int, error) {
+	for i := range buf {
+		v, err := c.recv(ch)
+		if err != nil {
+			return i, err
+		}
+		buf[i] = v
+	}
+	return len(buf), nil
+}
+
 func (c *chanComm) SendToSlave(i int, v any) error   { return c.send(c.toSlave[i], v) }
 func (c *chanComm) RecvFromSlave(i int) (any, error) { return c.recv(c.toMaster[i]) }
 func (c *chanComm) SlaveSend(i int, v any) error     { return c.send(c.toMaster[i], v) }
 func (c *chanComm) SlaveRecv(i int) (any, error)     { return c.recv(c.toSlave[i]) }
-func (c *chanComm) PipeSend(i int, v any) error      { return c.send(c.pipe[i], v) }
-func (c *chanComm) PipeRecv(i int) (any, error)      { return c.recv(c.pipe[i-1]) }
-func (c *chanComm) PipeSendUp(i int, v any) error    { return c.send(c.pipeUp[i-1], v) }
-func (c *chanComm) PipeRecvUp(i int) (any, error)    { return c.recv(c.pipeUp[i]) }
-func (c *chanComm) Steps() int64                     { return 0 }
-func (c *chanComm) Close() error                     { c.closeOnce(); return nil }
+
+func (c *chanComm) SendToSlaveBatch(i int, vs []any) error { return c.sendBatch(c.toSlave[i], vs) }
+func (c *chanComm) RecvFromSlaveBatch(i int, buf []any) (int, error) {
+	return c.recvBatch(c.toMaster[i], buf)
+}
+func (c *chanComm) SlaveSendBatch(i int, vs []any) error { return c.sendBatch(c.toMaster[i], vs) }
+func (c *chanComm) SlaveRecvBatch(i int, buf []any) (int, error) {
+	return c.recvBatch(c.toSlave[i], buf)
+}
+func (c *chanComm) PipeSend(i int, v any) error   { return c.send(c.pipe[i], v) }
+func (c *chanComm) PipeRecv(i int) (any, error)   { return c.recv(c.pipe[i-1]) }
+func (c *chanComm) PipeSendUp(i int, v any) error { return c.send(c.pipeUp[i-1], v) }
+func (c *chanComm) PipeRecvUp(i int) (any, error) { return c.recv(c.pipeUp[i]) }
+func (c *chanComm) Steps() int64                  { return 0 }
+func (c *chanComm) Close() error                  { c.closeOnce(); return nil }
 
 // --- Reo connector implementation -----------------------------------------
 
@@ -208,12 +279,21 @@ func (c *reoComm) SendToSlave(i int, v any) error   { return c.mo[i].Send(v) }
 func (c *reoComm) RecvFromSlave(i int) (any, error) { return c.mi[i].Recv() }
 func (c *reoComm) SlaveSend(i int, v any) error     { return c.so[i].Send(v) }
 func (c *reoComm) SlaveRecv(i int) (any, error)     { return c.si[i].Recv() }
-func (c *reoComm) PipeSend(i int, v any) error      { return c.po[i].Send(v) }
-func (c *reoComm) PipeRecv(i int) (any, error)      { return c.pi[i-1].Recv() }
-func (c *reoComm) PipeSendUp(i int, v any) error    { return c.qo[i-1].Send(v) }
-func (c *reoComm) PipeRecvUp(i int) (any, error)    { return c.qi[i].Recv() }
-func (c *reoComm) Steps() int64                     { return c.inst.Steps() }
-func (c *reoComm) Close() error                     { return c.inst.Close() }
+
+func (c *reoComm) SendToSlaveBatch(i int, vs []any) error { return c.mo[i].SendBatch(vs) }
+func (c *reoComm) RecvFromSlaveBatch(i int, buf []any) (int, error) {
+	return c.mi[i].RecvBatch(buf)
+}
+func (c *reoComm) SlaveSendBatch(i int, vs []any) error { return c.so[i].SendBatch(vs) }
+func (c *reoComm) SlaveRecvBatch(i int, buf []any) (int, error) {
+	return c.si[i].RecvBatch(buf)
+}
+func (c *reoComm) PipeSend(i int, v any) error   { return c.po[i].Send(v) }
+func (c *reoComm) PipeRecv(i int) (any, error)   { return c.pi[i-1].Recv() }
+func (c *reoComm) PipeSendUp(i int, v any) error { return c.qo[i-1].Send(v) }
+func (c *reoComm) PipeRecvUp(i int) (any, error) { return c.qi[i].Recv() }
+func (c *reoComm) Steps() int64                  { return c.inst.Steps() }
+func (c *reoComm) Close() error                  { return c.inst.Close() }
 
 // NewComm builds the fabric for a variant.
 func NewComm(variant Variant, n int, withPipe bool, rc ReoCommOptions) (PipeComm, error) {

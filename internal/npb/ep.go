@@ -102,30 +102,48 @@ func (p *EP) Run(class Class, variant Variant, slaves int) (*Result, error) {
 		return res, nil
 	}
 
+	// Scatter/gather over the batched lanes: each slave's range is split
+	// into batch sub-chunks sent as one ordered lane batch, and the
+	// slave's partial tallies come back the same way — one coordination
+	// handshake per slave per direction, whatever the batch degree. The
+	// default batch of 1 is the paper's one-message-per-slave structure,
+	// running the very same code path.
+	batch := batchDegree(pairs / slaves)
 	var total epAccum
 	master := func(c Comm) error {
+		jobs := make([]any, batch)
 		for i := 0; i < slaves; i++ {
 			lo, hi := splitRange(pairs, slaves, i)
-			if err := c.SendToSlave(i, [2]int{lo, hi}); err != nil {
+			for j := 0; j < batch; j++ {
+				jlo, jhi := splitRange(hi-lo, batch, j)
+				jobs[j] = [2]int{lo + jlo, lo + jhi}
+			}
+			if err := c.SendToSlaveBatch(i, jobs); err != nil {
 				return err
 			}
 		}
+		accs := make([]any, batch)
 		for i := 0; i < slaves; i++ {
-			v, err := c.RecvFromSlave(i)
-			if err != nil {
+			if _, err := c.RecvFromSlaveBatch(i, accs); err != nil {
 				return err
 			}
-			total.add(v.(epAccum))
+			for _, a := range accs {
+				total.add(a.(epAccum))
+			}
 		}
 		return nil
 	}
 	slave := func(c PipeComm, i int) error {
-		v, err := c.SlaveRecv(i)
-		if err != nil {
+		jobs := make([]any, batch)
+		if _, err := c.SlaveRecvBatch(i, jobs); err != nil {
 			return err
 		}
-		b := v.([2]int)
-		return c.SlaveSend(i, epChunk(b[0], b[1]))
+		accs := make([]any, batch)
+		for j, v := range jobs {
+			b := v.([2]int)
+			accs[j] = epChunk(b[0], b[1])
+		}
+		return c.SlaveSendBatch(i, accs)
 	}
 	steps, err := runMasterSlaves(variant, slaves, false, DefaultReoOptions, master, slave)
 	if err != nil {

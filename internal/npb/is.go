@@ -109,12 +109,21 @@ func (p *IS) Run(class Class, variant Variant, slaves int) (*Result, error) {
 	}
 
 	n := isKeys(class)
+	// Round 1's key ranges scatter as one ordered lane batch per slave
+	// (batch sub-ranges each); the slave folds its sub-histograms locally,
+	// so the gather stays one message. Batch 1 is the paper's structure.
+	batch := batchDegree(n / slaves)
 	var checksum float64
 	master := func(c Comm) error {
 		// Round 1: scatter key ranges, gather histograms.
+		jobs := make([]any, batch)
 		for i := 0; i < slaves; i++ {
 			lo, hi := splitRange(n, slaves, i)
-			if err := c.SendToSlave(i, [2]int{lo, hi}); err != nil {
+			for j := 0; j < batch; j++ {
+				jlo, jhi := splitRange(hi-lo, batch, j)
+				jobs[j] = [2]int{lo + jlo, lo + jhi}
+			}
+			if err := c.SendToSlaveBatch(i, jobs); err != nil {
 				return err
 			}
 		}
@@ -147,15 +156,21 @@ func (p *IS) Run(class Class, variant Variant, slaves int) (*Result, error) {
 		return nil
 	}
 	slave := func(c PipeComm, i int) error {
+		jobs := make([]any, batch)
+		if _, err := c.SlaveRecvBatch(i, jobs); err != nil {
+			return err
+		}
+		hist := make([]int64, isMaxKey)
+		for _, v := range jobs {
+			b := v.([2]int)
+			for k, cnt := range isHistogram(isGenChunk(b[0], b[1])) {
+				hist[k] += cnt
+			}
+		}
+		if err := c.SlaveSend(i, hist); err != nil {
+			return err
+		}
 		v, err := c.SlaveRecv(i)
-		if err != nil {
-			return err
-		}
-		b := v.([2]int)
-		if err := c.SlaveSend(i, isHistogram(isGenChunk(b[0], b[1]))); err != nil {
-			return err
-		}
-		v, err = c.SlaveRecv(i)
 		if err != nil {
 			return err
 		}

@@ -82,6 +82,184 @@ func runPipeline(t *testing.T, n, items int, opts ...reo.ConnectOption) (sink []
 	return sink, stages
 }
 
+// runPipelineBatched is runPipeline with every task moving values
+// through its ports in batches of the given size (ragged tail batches
+// included), reusing one slice per task. batch=1 still exercises the
+// batched entry points, pinning them to the scalar path's behavior.
+func runPipelineBatched(t *testing.T, n, items, batch int, opts ...reo.ConnectOption) (sink []any, stages [][]any) {
+	t.Helper()
+	prog := reo.MustCompile(pipelineProto)
+	conn := prog.MustConnector("Pipeline")
+	inst, err := conn.Connect(map[string]int{"out": n, "in": n}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	stages = make([][]any, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			in := inst.Inports("in")[i]
+			out := inst.Outports("out")[i]
+			buf := make([]any, batch)
+			for done := 0; done < items; {
+				k := batch
+				if items-done < k {
+					k = items - done
+				}
+				got, err := in.RecvBatch(buf[:k])
+				if err != nil {
+					t.Errorf("stage %d recv: %v", i, err)
+					return
+				}
+				stages[i] = append(stages[i], buf[:got]...)
+				for j := 0; j < got; j++ {
+					buf[j] = buf[j].(int)*10 + i
+				}
+				if err := out.SendBatch(buf[:got]); err != nil {
+					t.Errorf("stage %d send: %v", i, err)
+					return
+				}
+				done += got
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		src := inst.Outport("src")
+		vs := make([]any, batch)
+		for sent := 0; sent < items; {
+			k := batch
+			if items-sent < k {
+				k = items - sent
+			}
+			for j := 0; j < k; j++ {
+				vs[j] = sent + j + 1
+			}
+			if err := src.SendBatch(vs[:k]); err != nil {
+				t.Errorf("src send: %v", err)
+				return
+			}
+			sent += k
+		}
+	}()
+	snk := inst.Inport("snk")
+	buf := make([]any, batch)
+	for got := 0; got < items; {
+		k := batch
+		if items-got < k {
+			k = items - got
+		}
+		m, err := snk.RecvBatch(buf[:k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink = append(sink, buf[:m]...)
+		got += m
+	}
+	wg.Wait()
+	return sink, stages
+}
+
+// TestBatchedDifferential pins the tentpole's observational equivalence:
+// for the deterministic pipeline protocol, batched port operations must
+// deliver exactly the per-port value sequences of the scalar run, across
+// every partition mode, with and without the worker scheduler, and for
+// batch sizes that divide the stream raggedly.
+func TestBatchedDifferential(t *testing.T) {
+	const n, items = 4, 40
+	wantSink, wantStages := runPipeline(t, n, items, reo.WithSeed(1))
+	modes := []struct {
+		name string
+		opts []reo.ConnectOption
+	}{
+		{"off", []reo.ConnectOption{reo.WithSeed(1), reo.WithPartitioning(reo.PartitionOff)}},
+		{"components", []reo.ConnectOption{reo.WithSeed(1), reo.WithPartitioning(reo.PartitionComponents)}},
+		{"regions", []reo.ConnectOption{reo.WithSeed(1), reo.WithPartitioning(reo.PartitionRegions)}},
+		{"off+workers", []reo.ConnectOption{reo.WithSeed(1), reo.WithPartitioning(reo.PartitionOff), reo.WithWorkers(-1)}},
+		{"components+workers", []reo.ConnectOption{reo.WithSeed(1), reo.WithPartitioning(reo.PartitionComponents), reo.WithWorkers(-1)}},
+		{"regions+workers", []reo.ConnectOption{reo.WithSeed(1), reo.WithPartitioning(reo.PartitionRegions), reo.WithWorkers(-1)}},
+	}
+	for _, m := range modes {
+		for _, batch := range []int{1, 3, 8, 64} {
+			gotSink, gotStages := runPipelineBatched(t, n, items, batch, m.opts...)
+			if fmt.Sprint(gotSink) != fmt.Sprint(wantSink) {
+				t.Errorf("%s/batch=%d: sink sequence differs:\nbatched: %v\nscalar:  %v",
+					m.name, batch, gotSink, wantSink)
+			}
+			for i := range wantStages {
+				if fmt.Sprint(gotStages[i]) != fmt.Sprint(wantStages[i]) {
+					t.Errorf("%s/batch=%d: stage %d input sequence differs:\nbatched: %v\nscalar:  %v",
+						m.name, batch, i, gotStages[i], wantStages[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedDifferentialAlternator checks a connector whose merge order
+// is protocol-forced: the strict cyclic output sequence must survive
+// batched senders of unequal batch sizes.
+func TestBatchedDifferentialAlternator(t *testing.T) {
+	const n, rounds = 4, 24
+	want := runAlternator(t, n, rounds, reo.WithSeed(7))
+	d, err := connlib.ByName("Alternator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{2, 5} {
+		inst, err := d.Connect(n, reo.WithSeed(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for i, out := range inst.Outports("in") {
+			wg.Add(1)
+			go func(i int, out reo.Outport) {
+				defer wg.Done()
+				vs := make([]any, batch)
+				for r := 0; r < rounds; {
+					k := batch
+					if rounds-r < k {
+						k = rounds - r
+					}
+					for j := 0; j < k; j++ {
+						vs[j] = (i+1)*1000 + r + j
+					}
+					if err := out.SendBatch(vs[:k]); err != nil {
+						t.Errorf("sender %d: %v", i, err)
+						return
+					}
+					r += k
+				}
+			}(i, out)
+		}
+		var got []any
+		in := inst.Inport("out")
+		buf := make([]any, 3)
+		for len(got) < n*rounds {
+			k := n*rounds - len(got)
+			if k > len(buf) {
+				k = len(buf)
+			}
+			m, err := in.RecvBatch(buf[:k])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, buf[:m]...)
+		}
+		wg.Wait()
+		inst.Close()
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("batch=%d: output sequence differs:\nbatched: %v\nscalar:  %v", batch, got, want)
+		}
+	}
+}
+
 func TestRegionsDifferentialPipeline(t *testing.T) {
 	const n, items = 4, 40
 	wantSink, wantStages := runPipeline(t, n, items, reo.WithSeed(1))

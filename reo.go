@@ -43,6 +43,19 @@ type Outport interface {
 	// Send offers v to the connector and blocks until some transition
 	// accepts it (or the connector closes).
 	Send(v any) error
+	// SendBatch offers every item of vs in order as one registered
+	// operation and blocks until the last is accepted. A batch is an
+	// ordered sequence of independent items, not an atomic group: the
+	// connector accepts them one transition firing at a time, exactly as
+	// len(vs) consecutive Send calls would be observed, but the whole
+	// batch pays for one engine-lock registration and one completion
+	// handshake. The connector reads vs in place; do not mutate it until
+	// SendBatch returns. An empty batch is a no-op. On a non-nil error
+	// (connector closed or broken mid-batch) a prefix of vs may already
+	// have been accepted by fired transitions; a producer that must
+	// reconcile an interrupted stream should make items idempotent or
+	// carry sequence numbers, as with any failed send.
+	SendBatch(vs []any) error
 	// Name returns the vertex name the port is linked to.
 	Name() string
 }
@@ -51,6 +64,13 @@ type Outport interface {
 type Inport interface {
 	// Recv blocks until the connector delivers a value.
 	Recv() (any, error)
+	// RecvBatch blocks until the connector has delivered a value into
+	// every slot of buf, in order, as one registered operation — the
+	// receiving mirror of Outport.SendBatch. Returns how many leading
+	// slots hold delivered values: len(buf) on nil error, possibly fewer
+	// when the connector closed or broke mid-batch. An empty buffer is a
+	// no-op.
+	RecvBatch(buf []any) (int, error)
 	Name() string
 }
 

@@ -13,7 +13,10 @@ import (
 // TaskPorts carries the ports handed to one task instance, in the order
 // of the task's arguments in the main definition. Each argument yields an
 // Outport (if the vertex is a connector tail) or an Inport (if it is a
-// head); range arguments contribute one port per element.
+// head); range arguments contribute one port per element. Tasks moving
+// streams of items over one port should prefer the ports' batched
+// operations (Outport.SendBatch / Inport.RecvBatch), which amortize one
+// coordination handshake over the whole batch.
 type TaskPorts struct {
 	Outs []Outport
 	Ins  []Inport
