@@ -10,9 +10,11 @@
 //	reoc automata file.reo Connector [-n N]
 //	reoc plan file.reo Connector [-n N]
 //	reoc regions file.reo Connector [-n N] [-workers W]
+//	reoc gen file.reo Connector [-n N] [-o dir] [-pkg name] [-force]
 //	reoc verify file.reo Connector [-n N]
 //	reoc bench-compare baseline.json current.json... [-threshold 0.25]
 //	reoc bench-batch out.json [-stages S] [-items I] [-batches 1,8,64,512] [-reps R]
+//	reoc bench-gen out.json [-items I] [-reps R]
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/compile"
 	"repro/internal/flatten"
+	"repro/internal/gen"
 	"repro/internal/normalize"
 	"repro/internal/parser"
 	"repro/internal/sema"
@@ -49,6 +52,13 @@ func main() {
 	if cmd == "bench-batch" {
 		benchBatch(file, rest)
 		return
+	}
+	if cmd == "bench-gen" {
+		benchGen(file, rest)
+		return
+	}
+	if cmd == "gen" {
+		os.Exit(gen.RunCLI(append([]string{file}, rest...), os.Stdout, os.Stderr))
 	}
 
 	src, err := os.ReadFile(file)
@@ -265,6 +275,41 @@ func benchBatch(outPath string, rest []string) {
 	}
 }
 
+// benchGen runs the generated-vs-interpreted FireSteady comparison (the
+// internal/genlib/lane connector on both backends) and writes fig12-
+// schema rows for the perf-regression gate: one "interpreted" and one
+// "generated" Lane cell, best of -reps runs each.
+func benchGen(outPath string, rest []string) {
+	fs := flag.NewFlagSet("bench-gen", flag.ExitOnError)
+	items := fs.Int("items", 1<<17, "values moved end to end per measurement")
+	reps := fs.Int("reps", 3, "repetitions (best run reported; use >= 3 for CI gating)")
+	fs.Parse(rest)
+	if *reps < 1 {
+		*reps = 1
+	}
+	best, err := bench.RunGenSteady(*items)
+	if err != nil {
+		fatal(err)
+	}
+	for r := 1; r < *reps; r++ {
+		res, err := bench.RunGenSteady(*items)
+		if err != nil {
+			fatal(err)
+		}
+		for i := range best {
+			if res[i].Elapsed < best[i].Elapsed {
+				best[i] = res[i]
+			}
+		}
+	}
+	for _, r := range best {
+		fmt.Printf("bench-gen: %-12s Lane %12.0f steps/s (%d items)\n", r.Approach, r.StepsPerSec(), r.Items)
+	}
+	if err := bench.WriteGenJSON(outPath, best); err != nil {
+		fatal(err)
+	}
+}
+
 // connectInstance compiles the named connector and instantiates every
 // array parameter at length n.
 func connectInstance(src, name string, n int) *reo.Instance {
@@ -330,8 +375,10 @@ func usage() {
   reoc automata file.reo Connector [-n N]
   reoc plan     file.reo Connector [-n N]
   reoc regions  file.reo Connector [-n N] [-workers W]
+  reoc gen      file.reo Connector [-n N] [-o dir] [-pkg name] [-force]
   reoc verify   file.reo Connector [-n N]
   reoc bench-compare baseline.json current.json... [-threshold 0.25] [-min-rows K]
-  reoc bench-batch out.json [-stages S] [-items I] [-batches 1,8,64,512] [-reps R]`)
+  reoc bench-batch out.json [-stages S] [-items I] [-batches 1,8,64,512] [-reps R]
+  reoc bench-gen out.json [-items I] [-reps R]`)
 	os.Exit(2)
 }

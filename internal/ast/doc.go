@@ -1,0 +1,6 @@
+// Package ast defines the abstract syntax of the textual connector
+// language of §IV-B: connector definitions composed with `mult`, port
+// arrays, array lengths (#a), conditional expressions, iterated
+// composition (`prod`), and a `main` definition wiring connectors to
+// tasks.
+package ast

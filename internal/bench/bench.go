@@ -1,7 +1,3 @@
-// Package bench is the shared harness for the paper's experiments:
-// time-budgeted connector runs counting global execution steps (Fig. 12)
-// and wall-clock NPB runs (Fig. 13), with the table/classification
-// formatting used by cmd/fig12 and cmd/fig13.
 package bench
 
 import (
@@ -231,7 +227,14 @@ func Fig12JSONRows(rows []Fig12Row, budget time.Duration) []Fig12JSON {
 
 // WriteFig12JSON writes the rows to path in the BENCH_fig12.json schema.
 func WriteFig12JSON(path string, rows []Fig12Row, budget time.Duration) error {
-	data, err := json.MarshalIndent(Fig12JSONRows(rows, budget), "", "  ")
+	return WriteJSONRows(path, Fig12JSONRows(rows, budget))
+}
+
+// WriteJSONRows writes pre-flattened fig12-schema rows to path — the
+// shared writer for sweeps that mix row producers (e.g. the fig12 sweep
+// plus the generated-backend cells of -gen).
+func WriteJSONRows(path string, rows []Fig12JSON) error {
+	data, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
 		return err
 	}

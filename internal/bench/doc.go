@@ -1,0 +1,5 @@
+// Package bench is the shared harness for the paper's experiments:
+// time-budgeted connector runs counting global execution steps (Fig. 12)
+// and wall-clock NPB runs (Fig. 13), with the table/classification
+// formatting used by cmd/fig12 and cmd/fig13.
+package bench

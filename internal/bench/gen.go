@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	reo "repro"
+	"repro/internal/genlib/lane"
+)
+
+// This file measures the static code-generation backend against the
+// interpreted engine on the identical workload: the BenchmarkFireSteady
+// shape (one Fifo1 lane, one value moved end to end per iteration,
+// scalar Send/Recv on a warmed instance). Rows land in the fig12 JSON
+// schema under the approaches "interpreted" and "generated", so the
+// perf-regression gate tracks both the interpreted baseline and the
+// generated backend's advantage over it.
+
+// laneSrc is the FireSteady connector; internal/genlib/lane is its
+// checked-in generated twin (pinned byte-identical by the golden test).
+const laneSrc = `Lane(a;b) = Fifo1(a;b)`
+
+// GenResult is one backend's measurement.
+type GenResult struct {
+	Approach string
+	Items    int
+	Steps    int64
+	Elapsed  time.Duration
+}
+
+// StepsPerSec returns the measured firing rate.
+func (r GenResult) StepsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Steps) / r.Elapsed.Seconds()
+}
+
+// RunGenSteady moves `items` values through the lane on both backends
+// and returns one measurement per approach (interpreted first).
+func RunGenSteady(items int) ([]GenResult, error) {
+	interp, err := runInterpretedLane(items)
+	if err != nil {
+		return nil, err
+	}
+	generated, err := runGeneratedLane(items)
+	if err != nil {
+		return nil, err
+	}
+	return []GenResult{interp, generated}, nil
+}
+
+func runInterpretedLane(items int) (GenResult, error) {
+	res := GenResult{Approach: "interpreted", Items: items}
+	prog, err := reo.Compile(laneSrc)
+	if err != nil {
+		return res, err
+	}
+	conn, err := prog.Connector("Lane")
+	if err != nil {
+		return res, err
+	}
+	inst, err := conn.Connect(nil)
+	if err != nil {
+		return res, err
+	}
+	defer inst.Close()
+	out, in := inst.Outport("a"), inst.Inport("b")
+	// Warm both composite states so the measured loop is pure dispatch.
+	if err := pingPong(out.Send, func() error { _, err := in.Recv(); return err }, 1); err != nil {
+		return res, err
+	}
+	start := time.Now()
+	if err := pingPong(out.Send, func() error { _, err := in.Recv(); return err }, items); err != nil {
+		return res, err
+	}
+	res.Elapsed = time.Since(start)
+	res.Steps = inst.Steps() - 2 // exclude the warm-up iteration
+	return res, nil
+}
+
+func runGeneratedLane(items int) (GenResult, error) {
+	res := GenResult{Approach: "generated", Items: items}
+	inst, err := lane.New()
+	if err != nil {
+		return res, err
+	}
+	defer inst.Close()
+	out, in := inst.Outport("a"), inst.Inport("b")
+	if out == nil || in == nil {
+		return res, fmt.Errorf("bench: generated lane ports not found")
+	}
+	if err := pingPong(out.Send, func() error { _, err := in.Recv(); return err }, 1); err != nil {
+		return res, err
+	}
+	start := time.Now()
+	if err := pingPong(out.Send, func() error { _, err := in.Recv(); return err }, items); err != nil {
+		return res, err
+	}
+	res.Elapsed = time.Since(start)
+	res.Steps = inst.Steps() - 2
+	return res, nil
+}
+
+// pingPong moves one value end to end per iteration from a single
+// goroutine — the BenchmarkFireSteady access pattern (the Fifo1 accepts
+// a send without a pending receive, so neither operation parks).
+func pingPong(send func(any) error, recv func() error, items int) error {
+	for i := 0; i < items; i++ {
+		if err := send(i); err != nil {
+			return err
+		}
+		if err := recv(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GenJSONRows flattens measurements into the fig12-schema rows the
+// perf gate compares.
+func GenJSONRows(results []GenResult) []Fig12JSON {
+	rows := make([]Fig12JSON, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, Fig12JSON{
+			Approach:    r.Approach,
+			Connector:   "Lane",
+			N:           1,
+			StepsPerSec: r.StepsPerSec(),
+		})
+	}
+	return rows
+}
+
+// WriteGenJSON writes the measurements to path in the fig12 JSON
+// schema, for `reoc bench-compare` gating.
+func WriteGenJSON(path string, results []GenResult) error {
+	return WriteJSONRows(path, GenJSONRows(results))
+}

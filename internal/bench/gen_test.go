@@ -1,0 +1,55 @@
+package bench_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestRunGenSteadyRows pins the generated-backend sweep's row shape:
+// both approaches measured, fig12-schema keys stable (they are gated
+// against BENCH_baseline.json), rates positive, and the JSON writer
+// round-trippable by the gate's reader.
+func TestRunGenSteadyRows(t *testing.T) {
+	results, err := bench.RunGenSteady(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := bench.GenJSONRows(results)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	wantKeys := map[string]bool{
+		"interpreted/Lane/N=1": false,
+		"generated/Lane/N=1":   false,
+	}
+	for _, r := range rows {
+		if r.StepsPerSec <= 0 {
+			t.Errorf("%s/%s: non-positive rate %f", r.Approach, r.Connector, r.StepsPerSec)
+		}
+		key := bench.CompareRow{Approach: r.Approach, Connector: r.Connector, N: r.N}.Key()
+		if _, ok := wantKeys[key]; !ok {
+			t.Errorf("unexpected gate key %q", key)
+			continue
+		}
+		wantKeys[key] = true
+	}
+	for k, seen := range wantKeys {
+		if !seen {
+			t.Errorf("gate key %q missing", k)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "gen.json")
+	if err := bench.WriteGenJSON(path, results); err != nil {
+		t.Fatal(err)
+	}
+	back, err := bench.ReadCompareRows(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Errorf("gate reader got %d rows, want 2", len(back))
+	}
+}

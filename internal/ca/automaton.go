@@ -43,6 +43,15 @@ type Action struct {
 	Dst   Loc
 	Src   Loc
 	Xform func(any) any
+	// XformNames lists the registry names whose composition Xform is,
+	// outermost first (a single name for a Transformer.* primitive;
+	// longer when Simplify contracted a transformer chain into one
+	// action). The engine never reads it; the static code generator
+	// (internal/gen) uses it to re-emit the composition by name, since a
+	// func value cannot be rendered as source code. A non-nil Xform with
+	// an empty XformNames marks an anonymous transformation, which the
+	// generator rejects.
+	XformNames []string
 }
 
 // Guard is a data constraint: the transition may fire only if Pred holds
@@ -52,6 +61,13 @@ type Guard struct {
 	Pred func(any) bool
 	// Name is a diagnostic label (e.g. the registered filter name).
 	Name string
+	// XformNames lists the registered transformations Pred applies to
+	// the observed value before the named filter, outermost first —
+	// non-empty only when Simplify folded a transformer chain into the
+	// predicate. The static code generator re-emits the fold by name; a
+	// fold of anonymous transformations is marked by a single empty
+	// string, which the generator rejects.
+	XformNames []string
 }
 
 // Transition is one execution step of an automaton.

@@ -55,6 +55,14 @@ func (tb *TransitionBuilder) MoveX(dst, src Loc, xform func(any) any) *Transitio
 	return tb
 }
 
+// MoveXN adds a data action dst := xform(src) where xform came from a
+// named registration; the name travels on the action so the static code
+// generator can reference the function from generated source.
+func (tb *TransitionBuilder) MoveXN(dst, src Loc, name string, xform func(any) any) *TransitionBuilder {
+	tb.t.Acts = append(tb.t.Acts, Action{Dst: dst, Src: src, Xform: xform, XformNames: []string{name}})
+	return tb
+}
+
 // Guard adds a data constraint on the value at `in`.
 func (tb *TransitionBuilder) Guard(name string, in Loc, pred func(any) bool) *TransitionBuilder {
 	tb.t.Guards = append(tb.t.Guards, Guard{In: in, Pred: pred, Name: name})

@@ -1,0 +1,10 @@
+// Package ca implements constraint automata with data — the formal
+// semantics of Reo connectors (Baier, Sirjani, Arbab, Rutten 2006) — along
+// with the synchronous product, hiding, reachability restriction, and the
+// transition-label simplification used by the paper's "existing" compiler.
+//
+// An Automaton is a finite control structure whose transitions are labeled
+// with a synchronization set (the ports through which data flows in that
+// step, as a BitSet), a list of data guards, and a list of data actions
+// (assignments moving message values between ports and memory cells).
+package ca

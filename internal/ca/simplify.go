@@ -40,10 +40,14 @@ func Simplify(a *Automaton, visible func(PortID) bool) (*Automaton, error) {
 }
 
 // chain is a resolved data source: a root location plus the composition of
-// the transforms encountered along the contracted path.
+// the transforms encountered along the contracted path. names mirrors
+// xform for the static code generator: the registry names composed into
+// xform, outermost first, or nil when xform (if any) involves an
+// anonymous transformation.
 type chain struct {
 	root  Loc
 	xform func(any) any
+	names []string
 }
 
 func composeXform(outer, inner func(any) any) func(any) any {
@@ -54,6 +58,23 @@ func composeXform(outer, inner func(any) any) func(any) any {
 		return outer
 	}
 	return func(v any) any { return outer(inner(v)) }
+}
+
+// composeNames composes the registry-name mirrors of two transforms,
+// outermost first. A non-nil func with no names is anonymous and
+// poisons the composition (nil result despite a non-nil composed func),
+// so the code generator can detect and reject it.
+func composeNames(outer func(any) any, outerNames []string, inner func(any) any, innerNames []string) []string {
+	if outer != nil && len(outerNames) == 0 {
+		return nil
+	}
+	if inner != nil && len(innerNames) == 0 {
+		return nil
+	}
+	if len(outerNames) == 0 {
+		return innerNames
+	}
+	return append(append([]string(nil), outerNames...), innerNames...)
 }
 
 func simplifyTransition(t *Transition, visible func(PortID) bool) (Transition, error) {
@@ -91,7 +112,11 @@ func simplifyTransition(t *Transition, visible func(PortID) bool) (Transition, e
 		if err != nil {
 			return chain{}, err
 		}
-		c = chain{root: c.root, xform: composeXform(def.Xform, c.xform)}
+		c = chain{
+			root:  c.root,
+			xform: composeXform(def.Xform, c.xform),
+			names: composeNames(def.Xform, def.XformNames, c.xform, c.names),
+		}
 		memo[l.Port] = c
 		return c, nil
 	}
@@ -104,9 +129,16 @@ func simplifyTransition(t *Transition, visible func(PortID) bool) (Transition, e
 			return Transition{}, err
 		}
 		if c.xform != nil {
-			// Fold the chain's transform into the predicate.
+			// Fold the chain's transform into the predicate, recording
+			// the composed registry names (an anonymous fold is marked
+			// with a single empty name so the code generator rejects it).
 			pred, xf := g.Pred, c.xform
 			g.Pred = func(v any) bool { return pred(xf(v)) }
+			if len(c.names) > 0 {
+				g.XformNames = c.names
+			} else {
+				g.XformNames = []string{""}
+			}
 		}
 		g.In = c.root
 		nt.Guards = append(nt.Guards, g)
@@ -121,6 +153,7 @@ func simplifyTransition(t *Transition, visible func(PortID) bool) (Transition, e
 			return Transition{}, err
 		}
 		act.Src = c.root
+		act.XformNames = composeNames(act.Xform, act.XformNames, c.xform, c.names)
 		act.Xform = composeXform(act.Xform, c.xform)
 		nt.Acts = append(nt.Acts, act)
 	}

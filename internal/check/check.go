@@ -1,18 +1,3 @@
-// Package check is an explicit-state model checker for composed
-// connectors, playing the role the Reo model checkers play in the paper's
-// workflow (§II: "connectors can subsequently be formally verified through
-// model checking, e.g., to prove deadlock freedom, fully automatically").
-//
-// The analysis explores the reachable composite state space under the
-// may-semantics assumption that every boundary port is always willing to
-// interact and every data guard may hold. It reports:
-//
-//   - hard deadlocks: reachable composite states with no outgoing global
-//     step at all;
-//   - dead boundary ports: ports that appear in no reachable transition
-//     (they could never complete an operation);
-//   - unreachable constituent states (per constituent, as a coverage
-//     diagnostic).
 package check
 
 import (

@@ -1,0 +1,13 @@
+// Package compile implements the paper's parametrized compilation
+// (§IV-C): a flattened, normalized connector definition is translated into
+// a Template — the analogue of the generated Connector class of Fig. 10.
+//
+// Work that does not depend on array lengths is done here, at compile
+// time: the constituents of each section are built as automata over a
+// private template universe and composed into a "medium automaton"
+// (with private vertices hidden and, optionally, transition labels
+// simplified). Work that depends on lengths — loop unrolling, conditional
+// selection, port binding — is recorded as instantiation nodes and
+// deferred to Template.Instantiate, which runs when the number of tasks
+// is known (§IV-D).
+package compile

@@ -1,8 +1,3 @@
-// Package connlib defines the eighteen parametrizable benchmark
-// connectors of experiment E1 (the paper's §V-B suite: a comprehensive
-// selection covering the major examples of parametrizable connectors in
-// the Reo literature), together with driver metadata used by the
-// benchmark harness and the test suite.
 package connlib
 
 import (

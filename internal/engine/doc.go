@@ -1,0 +1,22 @@
+// Package engine executes composed connectors at run time.
+//
+// An Engine is the reactive state machine of §III-B: tasks register
+// pending send/receive operations on boundary ports; whenever an operation
+// arrives, the engine checks whether some global transition of the
+// composite automaton is enabled (all ports in its synchronization set
+// have matching pending operations and all data guards hold), fires it,
+// distributes data, and completes the involved operations.
+//
+// The composite automaton is never materialized as a whole unless asked:
+// the engine keeps the constituent ("medium") automata and a cache of
+// expanded composite states. Ahead-of-time composition (§IV-D) expands the
+// full reachable space at construction; just-in-time composition expands a
+// composite state the first time it is visited. The cache may be bounded,
+// with an eviction policy, implementing the future-work extension of §V-B.
+//
+// Expansion compiles every joint transition into a ca.Plan (pre-resolved
+// guard/action steps with preallocated scratch) and builds a port index
+// over the expanded state, so the steady-state firing path is
+// allocation-free and proportional to the transitions a newly pended port
+// can actually enable — not to the state's out-degree.
+package engine

@@ -1,24 +1,3 @@
-// Package engine executes composed connectors at run time.
-//
-// An Engine is the reactive state machine of §III-B: tasks register
-// pending send/receive operations on boundary ports; whenever an operation
-// arrives, the engine checks whether some global transition of the
-// composite automaton is enabled (all ports in its synchronization set
-// have matching pending operations and all data guards hold), fires it,
-// distributes data, and completes the involved operations.
-//
-// The composite automaton is never materialized as a whole unless asked:
-// the engine keeps the constituent ("medium") automata and a cache of
-// expanded composite states. Ahead-of-time composition (§IV-D) expands the
-// full reachable space at construction; just-in-time composition expands a
-// composite state the first time it is visited. The cache may be bounded,
-// with an eviction policy, implementing the future-work extension of §V-B.
-//
-// Expansion compiles every joint transition into a ca.Plan (pre-resolved
-// guard/action steps with preallocated scratch) and builds a port index
-// over the expanded state, so the steady-state firing path is
-// allocation-free and proportional to the transitions a newly pended port
-// can actually enable — not to the state's out-degree.
 package engine
 
 import (
@@ -168,6 +147,7 @@ type Engine struct {
 	steps      atomic.Int64
 	expansions atomic.Int64
 	guardEvals atomic.Int64
+	registered atomic.Int64
 }
 
 // New builds an engine over the constituent automata, which must all
@@ -515,6 +495,7 @@ func (e *Engine) register(p ca.PortID, o *op) ([]*Engine, error) {
 	}
 	e.pend[p] = o
 	e.pendMask.Set(p)
+	e.registered.Add(1)
 	e.fireLoop(p)
 	nudges := e.outNudges
 	e.outNudges = nil
@@ -853,6 +834,12 @@ func (e *Engine) Expansions() int64 { return e.expansions.Load() }
 // evaluated — the dispatch work of the engine. With port-indexed dispatch
 // this is proportional to affected transitions, not state out-degree.
 func (e *Engine) GuardEvals() int64 { return e.guardEvals.Load() }
+
+// OpsRegistered returns how many port operations have ever been accepted
+// for pending (a monotonic count; completed operations stay counted).
+// Deterministic test drivers use it to sequence op arrival order across
+// goroutines without sleeping.
+func (e *Engine) OpsRegistered() int64 { return e.registered.Load() }
 
 // CachedStates returns the number of composite states currently retained.
 func (e *Engine) CachedStates() int {

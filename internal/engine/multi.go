@@ -228,3 +228,12 @@ func (m *Multi) GuardEvals() int64 {
 	}
 	return n
 }
+
+// OpsRegistered sums accepted-operation counts across partitions.
+func (m *Multi) OpsRegistered() int64 {
+	var n int64
+	for _, e := range m.engines {
+		n += e.OpsRegistered()
+	}
+	return n
+}

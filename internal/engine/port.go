@@ -20,6 +20,9 @@ type Coordinator interface {
 	// GuardEvals reports how many candidate transitions had their guards
 	// evaluated while dispatching — the engine's per-step matching work.
 	GuardEvals() int64
+	// OpsRegistered reports how many port operations have ever been
+	// accepted for pending (monotonic; completions do not decrement).
+	OpsRegistered() int64
 }
 
 var (

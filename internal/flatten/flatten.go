@@ -1,14 +1,3 @@
-// Package flatten expands composite connector definitions in-line
-// (§IV-C, first compilation step): every non-primitive constituent is
-// recursively replaced by its body, with parameters substituted by the
-// invocation's arguments and local vertices hygienically renamed.
-//
-// A local vertex of an in-lined body that sits under enclosing `prod`
-// iterations at the invocation site becomes an array indexed by the
-// enclosing iteration variables: each instantiated body gets its own
-// private vertices, as the paper's in-lining semantics requires. Local
-// vertices of the *top-level* definition itself are single vertices with
-// static scope, shared across iterations.
 package flatten
 
 import (

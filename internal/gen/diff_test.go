@@ -1,0 +1,303 @@
+package gen_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	reo "repro"
+	"repro/internal/connlib"
+	"repro/internal/gen"
+	"repro/internal/gen/gendrv"
+	"repro/internal/genlib/lane"
+)
+
+// The differential acceptance test of the code-generation backend: for
+// every connlib connector (plus a guard/transformer connector), the
+// generated package and the interpreted engine run the same
+// deterministic gendrv schedule with the same seed, and must agree on
+// every per-port value sequence, on Steps, and on GuardEvals. The
+// generated side runs in a subprocess built from a throwaway module
+// (generated packages are self-contained and cannot live inside this
+// module's test binary), with the gendrv source embedded verbatim so
+// both sides share one schedule implementation.
+
+const (
+	diffN      = 3
+	diffRounds = 6
+	diffSeed   = 7
+)
+
+// funcConns exercise inlined guards and named transformations, all
+// driven as one2many connectors at n=1 (lossy ones leave the receiver
+// short, released by close). They pin the simplification interactions
+// individually: FilterChain a guard plus a transform, XformChain two
+// chained transforms composed into one action by simplification (inc
+// and double do not commute, so composition order is observable),
+// XformFifo a transform folded into a buffer's cell fill, and
+// GuardFold a transform folded into a filter's predicate.
+var funcConns = []struct {
+	name, src string
+}{
+	{"FilterChain", `FilterChain(in;out) = Filter.even(in;m) mult Transformer.double(m;out)`},
+	{"XformChain", `XformChain(in;out) = Transformer.inc(in;m) mult Transformer.double(m;out)`},
+	{"XformFifo", `XformFifo(in;out) = Transformer.double(in;m) mult Fifo1(m;out)`},
+	{"GuardFold", `GuardFold(in;out) = Transformer.inc(in;m) mult Filter.even(m;out)`},
+}
+
+// kindName maps connlib boundary shapes to gendrv schedule kinds.
+func kindName(k connlib.Kind) string {
+	switch k {
+	case connlib.ManyToOne:
+		return "many2one"
+	case connlib.OneToMany:
+		return "one2many"
+	case connlib.ManyToMany:
+		return "many2many"
+	case connlib.ClientsOnly:
+		return "clients"
+	case connlib.ReceiversOnly:
+		return "receivers"
+	case connlib.AcquireRelease:
+		return "acqrel"
+	case connlib.GatedManyToMany:
+		return "gated"
+	}
+	return "unknown"
+}
+
+func TestGenDifferentialConnlib(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available; the CI gen smoke job runs this")
+	}
+
+	// Assemble the throwaway module: gendrv + one generated package per
+	// connector + the emitted harness main.
+	dir := t.TempDir()
+	writeFile := func(rel string, data []byte) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("go.mod", []byte("module gentest\n\ngo 1.24\n"))
+	writeFile("gendrv/gendrv.go", gen.GendrvSource())
+
+	var conns []gen.HarnessConn
+	for i, d := range connlib.All() {
+		pkg := fmt.Sprintf("c%02d%s", i, lowerAlnum(d.Name))
+		g, err := gen.Generate(d.Src, gen.Config{
+			Connector: d.DefName(),
+			Package:   pkg,
+			Lengths:   d.Lengths(diffN),
+		})
+		if err != nil {
+			t.Fatalf("generate %s: %v", d.Name, err)
+		}
+		writeFile(filepath.Join(pkg, pkg+"_gen.go"), g.File)
+		conns = append(conns, gen.HarnessConn{
+			Pkg: pkg, Name: d.Name, Kind: kindName(d.Kind),
+			N: diffN, Rounds: diffRounds, Seed: diffSeed,
+		})
+	}
+	// The guard/transformer connectors ride along in the same build.
+	for _, fc := range funcConns {
+		pkg := "c" + lowerAlnum(fc.name)
+		g, err := gen.Generate(fc.src, gen.Config{
+			Connector: fc.name,
+			Package:   pkg,
+			Funcs:     reo.Funcs{Filters: gendrv.TestFilters(), Transformers: gendrv.TestXforms()},
+		})
+		if err != nil {
+			t.Fatalf("generate %s: %v", fc.name, err)
+		}
+		writeFile(filepath.Join(pkg, pkg+"_gen.go"), g.File)
+		conns = append(conns, gen.HarnessConn{
+			Pkg: pkg, Name: fc.name, Kind: "one2many",
+			N: 1, Rounds: diffRounds, Seed: diffSeed, Funcs: true,
+		})
+	}
+	writeFile("main.go", gen.EmitHarnessMain("gentest", conns))
+
+	harness := filepath.Join(dir, "harness")
+	build := exec.Command(goBin, "build", "-o", harness, ".")
+	build.Dir = dir
+	build.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=-mod=mod")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building generated module: %v\n%s", err, out)
+	}
+	runCmd := exec.Command(harness)
+	runCmd.Stderr = os.Stderr
+	out, err := runCmd.Output()
+	if err != nil {
+		t.Fatalf("running generated harness: %v", err)
+	}
+	var generated []*gendrv.Result
+	if err := json.Unmarshal(out, &generated); err != nil {
+		t.Fatalf("decoding harness output: %v\n%s", err, out)
+	}
+	if len(generated) != len(conns) {
+		t.Fatalf("harness returned %d results, want %d", len(generated), len(conns))
+	}
+
+	// Interpreted twin runs, in-process, through the identical driver.
+	for i, c := range conns {
+		c, genRes := c, generated[i]
+		t.Run(c.Name, func(t *testing.T) {
+			var backend reo.Backend
+			if src := funcConnSrc(c.Name); src != "" {
+				prog, err := reo.Compile(src,
+					reo.WithFuncs(reo.Funcs{Filters: gendrv.TestFilters(), Transformers: gendrv.TestXforms()}))
+				if err != nil {
+					t.Fatal(err)
+				}
+				inst, err := prog.MustConnector(c.Name).Connect(nil, reo.WithSeed(diffSeed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				backend = inst.Backend()
+			} else {
+				d, err := connlib.ByName(c.Name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inst, err := d.Connect(c.N, reo.WithSeed(diffSeed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				backend = inst.Backend()
+			}
+			want, err := gendrv.Drive(backend, c.Kind, c.N, c.Rounds)
+			if err != nil {
+				t.Fatalf("interpreted drive: %v", err)
+			}
+			if !reflect.DeepEqual(want.Seqs, genRes.Seqs) {
+				t.Errorf("per-port sequences differ\ninterpreted: %v\ngenerated:   %v", want.Seqs, genRes.Seqs)
+			}
+			if want.Steps != genRes.Steps {
+				t.Errorf("steps differ: interpreted %d, generated %d", want.Steps, genRes.Steps)
+			}
+			if want.GuardEvals != genRes.GuardEvals {
+				t.Errorf("guard evals differ: interpreted %d, generated %d", want.GuardEvals, genRes.GuardEvals)
+			}
+		})
+	}
+}
+
+// TestGenDifferentialLaneInProcess pins the checked-in generated lane
+// (internal/genlib/lane) against the interpreted engine without a
+// subprocess: identical scalar ping-pong sequences, identical batched
+// sequences (exercising the generated copy-fused path), identical
+// Steps and GuardEvals.
+func TestGenDifferentialLaneInProcess(t *testing.T) {
+	const items = 40
+
+	type run struct {
+		seq              []string
+		steps, guardEval int64
+	}
+	drive := func(b reo.Backend) run {
+		t.Helper()
+		var r run
+		// Scalar phase: one value in flight at a time.
+		for i := 0; i < items; i++ {
+			if err := b.Send("a", i); err != nil {
+				t.Fatal(err)
+			}
+			v, err := b.Recv("b")
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.seq = append(r.seq, fmt.Sprint(v))
+		}
+		// Batched phase, ragged sizes included. The sender's registration
+		// is confirmed through OpsRegistered before the receive registers,
+		// so both backends see the identical arrival order (and therefore
+		// identical dispatch-scan counts).
+		for _, k := range []int{1, 3, 8} {
+			vs := make([]any, k)
+			for j := range vs {
+				vs[j] = fmt.Sprintf("b%d-%d", k, j)
+			}
+			base := b.OpsRegistered()
+			done := make(chan error, 1)
+			go func() {
+				_, err := b.SendBatch("a", vs)
+				done <- err
+			}()
+			for b.OpsRegistered() < base+1 {
+			}
+			buf := make([]any, k)
+			got, err := b.RecvBatch("b", buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range buf[:got] {
+				r.seq = append(r.seq, fmt.Sprint(v))
+			}
+		}
+		r.steps, r.guardEval = b.Steps(), b.GuardEvals()
+		b.Close()
+		return r
+	}
+
+	prog := reo.MustCompile(`Lane(a;b) = Fifo1(a;b)`)
+	inst, err := prog.MustConnector("Lane").Connect(nil, reo.WithSeed(diffSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drive(inst.Backend())
+
+	gi, err := lane.New(lane.WithSeed(diffSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drive(gi)
+
+	if !reflect.DeepEqual(want.seq, got.seq) {
+		t.Errorf("sequences differ\ninterpreted: %v\ngenerated:   %v", want.seq, got.seq)
+	}
+	if want.steps != got.steps {
+		t.Errorf("steps differ: interpreted %d, generated %d", want.steps, got.steps)
+	}
+	if want.guardEval != got.guardEval {
+		t.Errorf("guard evals differ: interpreted %d, generated %d", want.guardEval, got.guardEval)
+	}
+}
+
+// funcConnSrc returns the source of a guard/transformer differential
+// connector, or "" for connlib names.
+func funcConnSrc(name string) string {
+	for _, fc := range funcConns {
+		if fc.name == name {
+			return fc.src
+		}
+	}
+	return ""
+}
+
+// lowerAlnum lowers a name to package-name-safe characters.
+func lowerAlnum(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			out = append(out, r)
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r+('a'-'A'))
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,31 @@
+// Package gen is the static code-generation backend of the compiler:
+// `reoc gen` runs the ordinary front-end pipeline
+// (lexer→parser→sema→flatten→compile→instantiate) for one connector at
+// concrete array lengths, expands the reachable composite state space
+// ahead of time — the same joint expansion the engine performs lazily —
+// and emits a self-contained Go package in which every joint transition
+// is a specialized function: synchronization-set checks become pointer
+// tests against a pending-operation table, data guards become inlined
+// conditionals, cell moves become direct assignments, and pure-flow
+// transitions fuse whole batches into `copy` loops. The emitted package
+// depends only on the standard library and implements the same
+// name-addressed runtime contract as the interpreted engine
+// (engine.Backend), so the two are drop-in interchangeable.
+//
+// The generated dispatch loop replicates the interpreted engine's
+// observable semantics exactly — candidate enumeration order, the
+// seeded choice among enabled transitions, batched-operation cursor
+// advancement, the fused pure-flow fast path, and the Steps/GuardEvals
+// accounting — so that for a fixed operation arrival order the two
+// backends produce identical per-port sequences (pinned by the
+// differential tests in this package). What changes is the cost per
+// step: there is no composite-state cache, no bitset algebra, and no
+// plan walking at run time; the whole automaton is resident as Go
+// control flow.
+//
+// Like the paper's pre-parametrization compiler, this trades
+// generality for speed: generation materializes the reachable state
+// space and fails with an ErrTooLarge-style error when it exceeds
+// Config.MaxStates, where the interpreted JIT engine would simply
+// expand states on demand.
+package gen

@@ -1,0 +1,38 @@
+package gen_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestGoldenLane pins the generator's output byte-for-byte against the
+// checked-in internal/genlib/lane package: the golden file doubles as
+// the generated backend used by in-process tests and benchmarks, so
+// this test guarantees the checked-in code can never drift from what
+// `go generate ./internal/genlib` (reoc gen) produces today.
+func TestGoldenLane(t *testing.T) {
+	srcPath := filepath.Join("..", "genlib", "lane.reo")
+	goldenPath := filepath.Join("..", "genlib", "lane", "lane_gen.go")
+	src, err := os.ReadFile(srcPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.Generate(string(src), gen.Config{Connector: "Lane", Package: "lane"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(g.File, golden) {
+		t.Errorf("generated output differs from %s; run `go generate ./internal/genlib` and commit the result", goldenPath)
+	}
+	if g.States != 2 || g.Transitions != 2 {
+		t.Errorf("lane expanded to %d states / %d transitions, want 2/2", g.States, g.Transitions)
+	}
+}

@@ -1,0 +1,94 @@
+package gen
+
+import (
+	_ "embed"
+	"fmt"
+	"strings"
+)
+
+// The differential harness: the test (and the CI smoke step) assembles
+// a throwaway Go module containing the generated connector packages,
+// a verbatim copy of the gendrv driver, and a main emitted by
+// EmitHarnessMain that runs every connector under the deterministic
+// schedule and prints the per-port sequences as JSON. The same gendrv
+// source drives the interpreted engine in-process, so any divergence
+// between the backends is a real semantic difference, not harness
+// drift.
+
+//go:embed gendrv/gendrv.go
+var gendrvSource []byte
+
+// GendrvSource returns the differential driver's source, for writing
+// into a generated test module as package gendrv.
+func GendrvSource() []byte { return append([]byte(nil), gendrvSource...) }
+
+// HarnessConn describes one connector entry of an emitted harness.
+type HarnessConn struct {
+	// Pkg is both the module-relative import directory and the package
+	// name of the generated connector.
+	Pkg string
+	// Name is the connector's display name in the JSON output.
+	Name string
+	// Kind is the gendrv schedule kind.
+	Kind string
+	// N and Rounds parametrize the schedule; Seed resolves choice.
+	N, Rounds int
+	Seed      int64
+	// Funcs passes gendrv's shared test filters/transformations to New
+	// (for connectors referencing Filter.*/Transformer.* primitives).
+	Funcs bool
+}
+
+// EmitHarnessMain renders the harness main for a module named module
+// containing the given connector packages.
+func EmitHarnessMain(module string, conns []HarnessConn) []byte {
+	var sb strings.Builder
+	p := func(format string, args ...any) {
+		fmt.Fprintf(&sb, format, args...)
+		sb.WriteByte('\n')
+	}
+	p("// Generated differential harness; runs every generated connector")
+	p("// under the deterministic gendrv schedule and prints JSON results.")
+	p("package main")
+	p("")
+	p("import (")
+	p("\t\"encoding/json\"")
+	p("\t\"fmt\"")
+	p("\t\"os\"")
+	p("")
+	p("\t%q", module+"/gendrv")
+	for _, c := range conns {
+		p("\t%q", module+"/"+c.Pkg)
+	}
+	p(")")
+	p("")
+	p("func main() {")
+	p("\tvar out []*gendrv.Result")
+	p("\tfail := func(name string, err error) {")
+	p("\t\tfmt.Fprintf(os.Stderr, \"%%s: %%v\\n\", name, err)")
+	p("\t\tos.Exit(1)")
+	p("\t}")
+	for _, c := range conns {
+		opts := fmt.Sprintf("%s.WithSeed(%d)", c.Pkg, c.Seed)
+		if c.Funcs {
+			opts += fmt.Sprintf(", %s.WithFuncs(gendrv.TestFilters(), gendrv.TestXforms())", c.Pkg)
+		}
+		p("\t{")
+		p("\t\tinst, err := %s.New(%s)", c.Pkg, opts)
+		p("\t\tif err != nil {")
+		p("\t\t\tfail(%q, err)", c.Name)
+		p("\t\t}")
+		p("\t\tres, err := gendrv.Drive(inst, %q, %d, %d)", c.Kind, c.N, c.Rounds)
+		p("\t\tif err != nil {")
+		p("\t\t\tfail(%q, err)", c.Name)
+		p("\t\t}")
+		p("\t\tres.Connector = %q", c.Name)
+		p("\t\tout = append(out, res)")
+		p("\t}")
+	}
+	p("\tif err := json.NewEncoder(os.Stdout).Encode(out); err != nil {")
+	p("\t\tfail(\"encode\", err)")
+	p("\t}")
+	p("}")
+	return []byte(sb.String())
+}

@@ -1,0 +1,19 @@
+// Package genlib holds checked-in output of the static code-generation
+// backend (`reoc gen`), so that in-process tests and benchmarks can run
+// a generated connector next to its interpreted twin without invoking
+// the Go toolchain at test time.
+//
+// Each subdirectory is one emitted package, produced from the .reo
+// source checked in beside this file. The golden test in internal/gen
+// regenerates every entry and fails on any byte difference, so the
+// checked-in output can never drift from the generator; regenerate
+// with `go generate ./internal/genlib` after changing the generator or
+// a source.
+//
+// internal/genlib/lane (from lane.reo) is the single Fifo1 lane of
+// BenchmarkFireSteady: the root benchmark drives the interpreted and
+// generated backends through the identical workload, and
+// `reoc bench-gen` turns that comparison into perf-gate rows.
+package genlib
+
+//go:generate go run repro/cmd/reoc gen lane.reo Lane -o lane -pkg lane -force

@@ -1,0 +1,6 @@
+// Package graph implements Reo's graphical representation of connectors —
+// a directed hypergraph of vertices and typed (hyper)arcs (§III-A) — and
+// the graph-to-text translator of the paper's toolchain (Fig. 11): a
+// drawn, nonparametrized connector is translated to the textual syntax,
+// which can then be parametrized by hand.
+package graph

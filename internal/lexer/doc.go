@@ -1,0 +1,10 @@
+// Package lexer tokenizes the textual connector language: identifiers
+// (connector and vertex names, `Prim.attr` qualified primitives),
+// integer literals, the operator/punctuation set of the syntax
+// (`= ; , ( ) [ ] { } # .. + - * / %` and comparisons), and the
+// keywords (`mult`, `prod`, `if`, `else`, `main`, `among`, `forall`,
+// `and`). Line comments run from `//` to end of line and block
+// comments from `/*` to `*/`. The parser
+// (internal/parser) consumes the token stream; positions survive into
+// every later stage's error messages.
+package lexer

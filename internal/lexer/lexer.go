@@ -1,4 +1,3 @@
-// Package lexer tokenizes the textual connector language.
 package lexer
 
 import (

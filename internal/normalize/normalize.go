@@ -1,9 +1,3 @@
-// Package normalize rewrites flattened connector expressions into the
-// normal form of §IV-C: from left to right, first a section with only
-// (primitive) constituents, then a section with only iteration
-// expressions, and finally a section with only conditional expressions —
-// recursively inside iteration bodies and conditional branches. The
-// reordering is sound because mult (×) is associative and commutative.
 package normalize
 
 import "repro/internal/ast"

@@ -1,0 +1,17 @@
+// Package npb is a from-scratch Go implementation of the NAS Parallel
+// Benchmarks in the master–slaves organization of the paper's §V-C
+// experiments: seven programs (EP, IS, CG, MG, FT kernels-style; LU, BT,
+// SP application-style), each in three variants —
+//
+//   - Serial: the reference computation;
+//   - Orig: hand-written coordination with Go channels (the "original
+//     programs" of Fig. 13);
+//   - Reo: tasks stripped of all synchronization and communication,
+//     coordinated through connector-generated ports (the "Reo-based
+//     variants").
+//
+// Problem classes S, W, A, B, C follow NPB's naming with sizes scaled to
+// laptop time budgets (documented per program); the communication
+// structures — scatter/gather per iteration, plus a slave pipeline in LU —
+// reproduce the paper's setup exactly.
+package npb

@@ -1,22 +1,3 @@
-// Package parser builds the AST of the textual connector language.
-//
-// Grammar (EBNF, '||'-style alternatives):
-//
-//	file     = { conndef | maindef } ;
-//	conndef  = IDENT "(" params ";" params ")" "=" expr ;
-//	param    = IDENT [ "[" "]" ] ;
-//	expr     = term { "mult" term } ;
-//	term     = invoke | prod | if | "(" expr ")" | "{" expr "}" ;
-//	invoke   = IDENT [ "." (IDENT | INT) ] "(" portargs ";" portargs ")" ;
-//	prod     = "prod" "(" IDENT ":" intexpr ".." intexpr ")" term ;
-//	if       = "if" "(" boolexpr ")" "{" expr "}"
-//	             [ "else" ( "{" expr "}" | if ) ] ;
-//	portarg  = IDENT { "[" intexpr [ ".." intexpr ] "]" } ;
-//	maindef  = "main" [ "(" [ IDENT { "," IDENT } ] ")" ] "="
-//	             invoke { "mult" invoke } "among" taskitem { "and" taskitem } ;
-//	taskitem = "forall" "(" IDENT ":" intexpr ".." intexpr ")"
-//	             ( taskitem | "{" taskitem { "and" taskitem } "}" )
-//	         | IDENT [ "." IDENT ] "(" [ portarg { "," portarg } ] ")" ;
 package parser
 
 import (

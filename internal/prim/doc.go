@@ -1,0 +1,9 @@
+// Package prim builds the constraint automata of Reo's primitive
+// connectors (§III-A, Fig. 6 of the paper, plus the further standard
+// primitives from the Reo literature used by the benchmark connectors).
+//
+// Constructors take the universe and the vertex IDs the primitive is
+// attached to, and return the automaton implementing its local semantics.
+// Direction bookkeeping (which vertices are boundary source/sink ports)
+// belongs to connector assembly, not to primitives.
+package prim

@@ -1,11 +1,3 @@
-// Package prim builds the constraint automata of Reo's primitive
-// connectors (§III-A, Fig. 6 of the paper, plus the further standard
-// primitives from the Reo literature used by the benchmark connectors).
-//
-// Constructors take the universe and the vertex IDs the primitive is
-// attached to, and return the automaton implementing its local semantics.
-// Direction bookkeeping (which vertices are boundary source/sink ports)
-// belongs to connector assembly, not to primitives.
 package prim
 
 import (
@@ -119,10 +111,12 @@ func Filter(u *ca.Universe, a, b ca.PortID, name string, pred func(any) bool) *c
 		Build()
 }
 
-// Transformer: a message flows from a to b transformed by f.
+// Transformer: a message flows from a to b transformed by f. The name is
+// recorded on the action so the static code generator can reference the
+// registered function from emitted source.
 func Transformer(u *ca.Universe, a, b ca.PortID, name string, f func(any) any) *ca.Automaton {
 	return ca.NewBuilder(u, "Transformer<"+name+">", 1, 0).
-		T(0, 0).Sync(a, b).MoveX(ca.PortLoc(b), ca.PortLoc(a), f).Done().
+		T(0, 0).Sync(a, b).MoveXN(ca.PortLoc(b), ca.PortLoc(a), name, f).Done().
 		Build()
 }
 

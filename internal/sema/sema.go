@@ -1,7 +1,3 @@
-// Package sema performs name resolution and static checking of parsed
-// connector programs: signature arity, array/scalar usage consistency,
-// iteration-variable scoping, #-length validity, and recursion detection
-// among composite definitions.
 package sema
 
 import (

@@ -94,6 +94,7 @@ const (
 	Static
 )
 
+// String renders the mode as its lower-case CLI name.
 func (m Mode) String() string {
 	switch m {
 	case JIT:
@@ -259,6 +260,7 @@ const (
 	PartitionRegions
 )
 
+// String renders the partition mode as its lower-case CLI name.
 func (m PartitionMode) String() string {
 	switch m {
 	case PartitionComponents:
@@ -599,6 +601,34 @@ func (i *Instance) SetTracer(fn func(string)) {
 		return
 	}
 	tr.SetTracer(func(e engine.TraceEvent) { fn(e.String()) })
+}
+
+// Backend is the name-addressed runtime contract shared by interpreted
+// instances and the packages emitted by `reoc gen`: Send/Recv and their
+// batched forms keyed by boundary vertex name, parameter-to-vertex
+// lookup, and the Steps/GuardEvals/OpsRegistered statistics. Code
+// written against Backend runs unchanged on either backend — pass it
+// Instance.Backend() or a generated package's New() result.
+type Backend = engine.Backend
+
+// Backend adapts the instance to the shared backend contract, for code
+// that must run interchangeably on the interpreted engine and on
+// statically generated connectors (differential tests, benchmarks, the
+// quickstart walkthrough).
+func (i *Instance) Backend() Backend {
+	sources := make(map[string][]engine.NamedPort)
+	for param, ps := range i.outs {
+		for _, p := range ps {
+			sources[param] = append(sources[param], engine.NamedPort{Name: p.Name(), ID: int32(p.ID())})
+		}
+	}
+	sinks := make(map[string][]engine.NamedPort)
+	for param, ps := range i.ins {
+		for _, p := range ps {
+			sinks[param] = append(sinks[param], engine.NamedPort{Name: p.Name(), ID: int32(p.ID())})
+		}
+	}
+	return engine.NewNamed(i.coord, sources, sinks)
 }
 
 // Universe exposes the instance universe (diagnostics, cmd/reoc).
