@@ -1,6 +1,7 @@
 package reo_test
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -150,5 +151,68 @@ func TestAOTModeEndToEnd(t *testing.T) {
 	})
 	if inst.Expansions() != pre {
 		t.Errorf("AOT expanded %d more states at run time", inst.Expansions()-pre)
+	}
+}
+
+// TestConnectOptionValidation: incompatible or out-of-range options
+// must fail eagerly at Connect with a typed *reo.OptionError wrapping
+// reo.ErrInvalidOption — not be silently ignored.
+func TestConnectOptionValidation(t *testing.T) {
+	prog := reo.MustCompile(`Lane(a;b) = Fifo1(a;b)`)
+	conn, err := prog.Connector("Lane")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		option string // the option the error must name
+		opts   []reo.ConnectOption
+	}{
+		{"workers without regions", "WithWorkers",
+			[]reo.ConnectOption{reo.WithPartitioning(reo.PartitionOff), reo.WithWorkers(2)}},
+		{"workers with components", "WithWorkers",
+			[]reo.ConnectOption{reo.WithPartitioning(reo.PartitionComponents), reo.WithWorkers(2)}},
+		{"runtime without regions", "WithRuntime",
+			[]reo.ConnectOption{reo.WithRuntime(nil)}},
+		{"runtime plus workers", "WithRuntime",
+			[]reo.ConnectOption{reo.WithPartitioning(reo.PartitionRegions), reo.WithRuntime(nil), reo.WithWorkers(2)}},
+		{"reuse plus workers", "WithReuse",
+			[]reo.ConnectOption{reo.WithPartitioning(reo.PartitionRegions), reo.WithWorkers(2), reo.WithReuse(true)}},
+		{"negative state cache", "WithStateCache",
+			[]reo.ConnectOption{reo.WithStateCache(-1, reo.LRU)}},
+		{"negative max states", "WithMaxStates",
+			[]reo.ConnectOption{reo.WithMaxStates(-4)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inst, err := conn.Connect(nil, tc.opts...)
+			if err == nil {
+				inst.Close()
+				t.Fatal("Connect accepted an invalid option combination")
+			}
+			if !errors.Is(err, reo.ErrInvalidOption) {
+				t.Errorf("errors.Is(err, ErrInvalidOption) = false for %v", err)
+			}
+			var oe *reo.OptionError
+			if !errors.As(err, &oe) {
+				t.Fatalf("error %v is not an *OptionError", err)
+			}
+			if oe.Option != tc.option {
+				t.Errorf("OptionError.Option = %q, want %q (%v)", oe.Option, tc.option, err)
+			}
+		})
+	}
+
+	// The valid combinations still connect.
+	for _, opts := range [][]reo.ConnectOption{
+		{reo.WithPartitioning(reo.PartitionRegions), reo.WithWorkers(2)},
+		{reo.WithPartitioning(reo.PartitionRegions), reo.WithRuntime(nil), reo.WithReuse(true)},
+		{reo.WithStateCache(0, reo.LRU)},
+	} {
+		inst, err := conn.Connect(nil, opts...)
+		if err != nil {
+			t.Fatalf("valid options rejected: %v", err)
+		}
+		inst.Close()
 	}
 }

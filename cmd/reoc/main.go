@@ -15,6 +15,7 @@
 //	reoc bench-compare baseline.json current.json... [-threshold 0.25]
 //	reoc bench-batch out.json [-stages S] [-items I] [-batches 1,8,64,512] [-reps R]
 //	reoc bench-gen out.json [-items I] [-reps R]
+//	reoc bench-instances out.json [-cycles C] [-instances K] [-rounds P] [-reps R]
 package main
 
 import (
@@ -55,6 +56,10 @@ func main() {
 	}
 	if cmd == "bench-gen" {
 		benchGen(file, rest)
+		return
+	}
+	if cmd == "bench-instances" {
+		benchInstances(file, rest)
 		return
 	}
 	if cmd == "gen" {
@@ -220,6 +225,9 @@ func benchCompare(baselinePath string, rest []string) {
 	regs := bench.CompareRates(baseline, current, *threshold)
 	fmt.Printf("bench-compare: %d baseline cells vs %s (threshold %.0f%% drop)\n",
 		len(bench.BestRates(baseline)), strings.Join(currentPaths, "+"), 100**threshold)
+	if ratio, cells := bench.GeomeanRatio(baseline, current); cells > 0 {
+		fmt.Printf("bench-compare: geomean current/baseline = %.3fx over %d cells\n", ratio, cells)
+	}
 	if len(regs) == 0 {
 		fmt.Println("bench-compare: OK — no cell regressed")
 		return
@@ -310,6 +318,52 @@ func benchGen(outPath string, rest []string) {
 	}
 }
 
+// benchInstances runs the multi-instance serving cells — InstanceChurn
+// (full Connect/fire/Close cycles, dedicated pool vs shared runtime
+// with pooled reuse) and ManyInstances (round-robin fires across many
+// live instances on the shared runtime) — and writes perf-gate rows,
+// best of -reps runs per cell.
+func benchInstances(outPath string, rest []string) {
+	fs := flag.NewFlagSet("bench-instances", flag.ExitOnError)
+	cycles := fs.Int("cycles", 2000, "Connect/fire/Close cycles per churn measurement")
+	instances := fs.Int("instances", 10000, "live instances for the many-instances cell")
+	rounds := fs.Int("rounds", 10, "round-robin passes over the live instances")
+	reps := fs.Int("reps", 3, "repetitions per cell (best run reported; use >= 3 for CI gating)")
+	fs.Parse(rest)
+	if *reps < 1 {
+		*reps = 1
+	}
+
+	run := func(f func() (bench.InstanceResult, error)) bench.InstanceResult {
+		best, err := f()
+		if err != nil {
+			fatal(err)
+		}
+		for r := 1; r < *reps; r++ {
+			res, err := f()
+			if err != nil {
+				fatal(err)
+			}
+			if res.Elapsed < best.Elapsed {
+				best = res
+			}
+		}
+		return best
+	}
+	results := []bench.InstanceResult{
+		run(func() (bench.InstanceResult, error) { return bench.RunInstanceChurn(*cycles, false) }),
+		run(func() (bench.InstanceResult, error) { return bench.RunInstanceChurn(*cycles, true) }),
+		run(func() (bench.InstanceResult, error) { return bench.RunManyInstances(*instances, *rounds) }),
+	}
+	for _, r := range results {
+		fmt.Printf("bench-instances: %-15s instances=%-6d %12.0f ops/s\n",
+			r.Approach, r.Instances, r.OpsPerSec())
+	}
+	if err := bench.WriteInstanceJSON(outPath, results); err != nil {
+		fatal(err)
+	}
+}
+
 // connectInstance compiles the named connector and instantiates every
 // array parameter at length n.
 func connectInstance(src, name string, n int) *reo.Instance {
@@ -379,6 +433,7 @@ func usage() {
   reoc verify   file.reo Connector [-n N]
   reoc bench-compare baseline.json current.json... [-threshold 0.25] [-min-rows K]
   reoc bench-batch out.json [-stages S] [-items I] [-batches 1,8,64,512] [-reps R]
-  reoc bench-gen out.json [-items I] [-reps R]`)
+  reoc bench-gen out.json [-items I] [-reps R]
+  reoc bench-instances out.json [-cycles C] [-instances K] [-rounds P] [-reps R]`)
 	os.Exit(2)
 }

@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strings"
@@ -139,6 +140,29 @@ func CompareRates(baseline, current []CompareRow, threshold float64) []Regressio
 		}
 	}
 	return out
+}
+
+// GeomeanRatio returns the geometric mean of current/baseline rate
+// ratios over the cells both runs measured (and the count of such
+// cells) — a single scalar summarizing whether a change was a net
+// speedup (>1) or slowdown (<1) across the whole suite. Cells missing
+// from either side are excluded; 0 cells yields ratio 1.
+func GeomeanRatio(baseline, current []CompareRow) (float64, int) {
+	base, cur := BestRates(baseline), BestRates(current)
+	var logSum float64
+	n := 0
+	for k, b := range base {
+		c, ok := cur[k]
+		if !ok || b <= 0 || c <= 0 {
+			continue
+		}
+		logSum += math.Log(c / b)
+		n++
+	}
+	if n == 0 {
+		return 1, 0
+	}
+	return math.Exp(logSum / float64(n)), n
 }
 
 // Fig13JSON is one machine-readable Fig. 13 result row — the NPB

@@ -1,6 +1,7 @@
 package bench_test
 
 import (
+	"math"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -195,5 +196,40 @@ func TestBatchThroughputJSONRoundTrips(t *testing.T) {
 	}
 	if rows[1].Rate() <= 0 {
 		t.Errorf("rate = %v, want > 0", rows[1].Rate())
+	}
+}
+
+// TestGeomeanRatio: the summary scalar must be the geometric mean of
+// per-cell current/baseline ratios over shared cells only.
+func TestGeomeanRatio(t *testing.T) {
+	baseline := []bench.CompareRow{
+		{Approach: "a", Connector: "X", N: 1, StepsPerSec: 100},
+		{Approach: "b", Connector: "X", N: 1, StepsPerSec: 200},
+		{Approach: "c", Connector: "X", N: 1, StepsPerSec: 50}, // missing from current
+	}
+	current := []bench.CompareRow{
+		{Approach: "a", Connector: "X", N: 1, StepsPerSec: 200}, // 2x
+		{Approach: "b", Connector: "X", N: 1, StepsPerSec: 100}, // 0.5x
+		{Approach: "d", Connector: "X", N: 1, StepsPerSec: 999}, // not in baseline
+	}
+	ratio, cells := bench.GeomeanRatio(baseline, current)
+	if cells != 2 {
+		t.Fatalf("cells = %d, want 2 (only shared cells count)", cells)
+	}
+	if math.Abs(ratio-1) > 1e-9 { // sqrt(2 * 0.5) = 1
+		t.Errorf("ratio = %v, want 1.0", ratio)
+	}
+	// Repetition folding applies before the ratio: the best rep wins.
+	current = append(current, bench.CompareRow{Approach: "b", Connector: "X", N: 1, StepsPerSec: 400})
+	ratio, cells = bench.GeomeanRatio(baseline, current)
+	if cells != 2 {
+		t.Fatalf("cells = %d, want 2", cells)
+	}
+	if want := math.Sqrt(2 * 2); math.Abs(ratio-want) > 1e-9 {
+		t.Errorf("ratio = %v, want %v", ratio, want)
+	}
+	// No shared cells: ratio defaults to 1 over 0 cells.
+	if r, c := bench.GeomeanRatio(baseline[2:], current[:1]); r != 1 || c != 0 {
+		t.Errorf("disjoint runs: ratio = %v cells = %d, want 1, 0", r, c)
 	}
 }

@@ -1,10 +1,12 @@
 package engine
 
 import (
-	"math/rand"
-
 	"repro/internal/ca"
 )
+
+// intner is the pick randomness jointCache needs (RandomEvict);
+// satisfied by both *rand.Rand and the engine's pickRNG.
+type intner interface{ Intn(n int) int }
 
 // EvictionPolicy selects which expanded composite state to discard when a
 // bounded state cache is full (the §V-B future-work extension).
@@ -47,11 +49,11 @@ type jointCache struct {
 	head      *centry // most recent (LRU) / newest (FIFO)
 	tail      *centry // eviction candidate
 	entries   []*centry
-	rng       *rand.Rand
+	rng       intner
 	evictions int64
 }
 
-func newJointCache(capacity int, policy EvictionPolicy, rng *rand.Rand) *jointCache {
+func newJointCache(capacity int, policy EvictionPolicy, rng intner) *jointCache {
 	return &jointCache{cap: capacity, policy: policy, m: make(map[ca.StateKey]*centry), rng: rng}
 }
 

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 
@@ -48,12 +47,18 @@ type Options struct {
 	MaxStates int
 	// MaxTauBurst bounds consecutive internal steps (0 = 1<<20).
 	MaxTauBurst int
-	// Workers selects the concurrent runtime for NewMultiRegions: the
-	// number of scheduler workers region engines fire on (capped at the
-	// region count), with cross-region nudges posted as wake-ups. 0 runs
-	// the synchronous nudge-draining path on the callers' goroutines;
-	// negative means GOMAXPROCS. Ignored outside region partitioning.
+	// Workers selects the dedicated concurrent runtime for
+	// NewMultiRegions: the number of pool workers region engines fire on
+	// (capped at the region count), with cross-region nudges posted as
+	// wake-ups. 0 runs the synchronous nudge-draining path on the
+	// callers' goroutines; negative means GOMAXPROCS. Ignored outside
+	// region partitioning, and mutually exclusive with Runtime.
 	Workers int
+	// Runtime attaches the region engines to a shared worker pool
+	// (runtime.go) instead of starting a dedicated one: many instances
+	// multiplex over its fixed workers, and Close detaches rather than
+	// tearing the pool down. Only meaningful for NewMultiRegions.
+	Runtime *Runtime
 }
 
 // op is one pending port operation. Every op is a batch: vals holds the
@@ -88,11 +93,14 @@ type Engine struct {
 	auts []*ca.Automaton
 	opts Options
 
-	mu       sync.Mutex
-	state    []int32
-	cells    []any
-	pend     []*op
-	pendMask ca.BitSet
+	mu    sync.Mutex
+	state []int32
+	cells []any
+	// initCells snapshots the initial cell values so Reset can restore
+	// them without allocating.
+	initCells []any
+	pend      []*op
+	pendMask  ca.BitSet
 	// boundary marks ports with a task attached (source or sink).
 	// Ports outside it are internal vertices: they appear in
 	// synchronization sets purely to couple constituents and require no
@@ -101,7 +109,7 @@ type Engine struct {
 	dirs     []ca.Dir
 	cache    *jointCache
 	packer   *ca.StatePacker
-	rng      *rand.Rand
+	rng      pickRNG
 	closed   bool
 	broken   error
 	tracer   Tracer
@@ -129,20 +137,26 @@ type Engine struct {
 	outNudges []*Engine
 	group     *regionGroup
 
-	// Worker-scheduler support (scheduler.go). sched is non-nil when the
-	// engine is a region of a coordinator built with Options.Workers !=
-	// 0; nudges are then posted to it as wake-ups instead of drained
+	// Worker-runtime support (runtime.go). sched is non-nil when the
+	// engine is a region of a coordinator attached to a Runtime
+	// (dedicated via Options.Workers, or shared via Options.Runtime);
+	// nudges are then posted to it as wake-ups instead of drained
 	// inline. schedState is the engine's run state (idle/queued/running/
-	// dirty) advanced by CAS; homeWorker the static queue assignment.
-	// fireCompleted/fireLinkActive report, per fireLoop call (under mu),
-	// whether the pass moved any boundary operation forward (a batched
-	// operation's item progress counts, and a fused k-step is k items of
-	// progress) / touched any link — the scheduler's τ-budget signals.
-	sched          *scheduler
+	// dirty) advanced by CAS; homeWorker the queue assignment of the
+	// current attach. fireCompleted/fireLinkActive report, per fireLoop
+	// call (under mu), whether the pass moved any boundary operation
+	// forward (a batched operation's item progress counts, and a fused
+	// k-step is k items of progress) / touched any link — the runtime's
+	// τ-budget signals. linkBurst/lastSeen are the engine's τ-burst
+	// accounting against its group's completion counter (one worker runs
+	// an engine at a time; both are touched only under mu).
+	sched          *Runtime
 	schedState     atomic.Int32
 	homeWorker     int32
 	fireCompleted  bool
 	fireLinkActive bool
+	linkBurst      int
+	lastSeen       int64
 
 	steps      atomic.Int64
 	expansions atomic.Int64
@@ -186,18 +200,19 @@ func newEngine(u *ca.Universe, auts []*ca.Automaton, opts Options) (*Engine, err
 		opts.MaxStates = 1 << 20
 	}
 	e := &Engine{
-		u:        u,
-		auts:     auts,
-		opts:     opts,
-		state:    make([]int32, len(auts)),
-		cells:    u.InitialCells(),
-		pend:     make([]*op, u.NumPorts()),
-		pendMask: u.NewSet(),
-		boundary: u.NewSet(),
-		dirs:     make([]ca.Dir, u.NumPorts()),
-		packer:   ca.NewStatePacker(auts),
-		rng:      rand.New(rand.NewSource(opts.Seed)),
+		u:         u,
+		auts:      auts,
+		opts:      opts,
+		state:     make([]int32, len(auts)),
+		cells:     u.InitialCells(),
+		initCells: u.InitialCells(),
+		pend:      make([]*op, u.NumPorts()),
+		pendMask:  u.NewSet(),
+		boundary:  u.NewSet(),
+		dirs:      make([]ca.Dir, u.NumPorts()),
+		packer:    ca.NewStatePacker(auts),
 	}
+	e.rng.reseed(opts.Seed)
 	for p := range e.dirs {
 		e.dirs[p] = u.DirOf(ca.PortID(p))
 		if e.dirs[p] != ca.DirNone {
@@ -211,7 +226,7 @@ func newEngine(u *ca.Universe, auts []*ca.Automaton, opts Options) (*Engine, err
 	if opts.Composition == AOT {
 		cacheSize = 0 // AOT requires the full space retained
 	}
-	e.cache = newJointCache(cacheSize, opts.Policy, e.rng)
+	e.cache = newJointCache(cacheSize, opts.Policy, &e.rng)
 	return e, nil
 }
 
@@ -497,6 +512,16 @@ func (e *Engine) register(p ca.PortID, o *op) ([]*Engine, error) {
 	e.pendMask.Set(p)
 	e.registered.Add(1)
 	e.fireLoop(p)
+	if e.sched != nil {
+		// Runtime mode: post the wake-ups right here, while still holding
+		// the lock (safe — wake never takes an engine lock) and reusing
+		// the nudge buffer, and feed the group completion counter the
+		// livelock guard measures throughput by. The caller has nothing
+		// left to deliver.
+		e.noteCompletion()
+		e.flushWakes()
+		return nil, nil
+	}
 	nudges := e.outNudges
 	e.outNudges = nil
 	return nudges, nil
@@ -797,7 +822,15 @@ func (e *Engine) break_(err error) {
 		o.done <- struct{}{}
 	}
 	if e.group != nil {
-		go e.group.breakOthers(e, err)
+		// The goroutine is joined by the group's WaitGroup: instance
+		// recycling must not reset an engine a stale break is still
+		// about to touch.
+		e.group.breakWG.Add(1)
+		g := e.group
+		go func() {
+			defer g.breakWG.Done()
+			g.breakOthers(e, err)
+		}()
 	}
 }
 
@@ -819,6 +852,39 @@ func (e *Engine) Close() error {
 		e.pendMask.Clear(ca.PortID(p))
 		o.done <- struct{}{}
 	}
+	return nil
+}
+
+// Reset returns a closed (or broken) engine to its initial state so the
+// instance can be recycled instead of reallocated: automaton states,
+// cells, counters, and the choice stream are restored exactly as after
+// construction, while warm structures — the expanded-state cache, the
+// op pool, the candidate and nudge buffers — are retained. A recycled
+// engine therefore replays the same per-seed choice sequence as a
+// fresh one (Expansions may read lower, since the cache is already
+// warm). Fails if the engine is still open. Link queues are the
+// coordinator's to reset (Multi.Reset); a plain engine has none.
+func (e *Engine) Reset() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.closed && e.broken == nil {
+		return errors.New("engine: reset of an open engine")
+	}
+	for i, a := range e.auts {
+		e.state[i] = a.Initial
+	}
+	copy(e.cells, e.initCells)
+	e.closed = false
+	e.broken = nil
+	e.rng.reseed(e.opts.Seed)
+	e.enabledBuf = e.enabledBuf[:0]
+	e.outNudges = e.outNudges[:0]
+	e.fireCompleted, e.fireLinkActive = false, false
+	e.linkBurst, e.lastSeen = 0, 0
+	e.steps.Store(0)
+	e.expansions.Store(0)
+	e.guardEvals.Store(0)
+	e.registered.Store(0)
 	return nil
 }
 

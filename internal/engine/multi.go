@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/ca"
 )
@@ -31,8 +32,14 @@ type Multi struct {
 	plan    *ca.RegionPlan
 	links   []*link
 	// sched is the worker pool regions fire on (nil in synchronous
-	// mode; see scheduler.go).
-	sched *scheduler
+	// mode): a dedicated pool owned by this coordinator, or a shared
+	// Runtime multiplexing many coordinators (see runtime.go).
+	sched *Runtime
+
+	// closeMu serializes Close and Reset; closed makes Close idempotent
+	// (and safe to race), which instance pooling relies on.
+	closeMu sync.Mutex
+	closed  bool
 }
 
 // NewMulti partitions the constituents and builds one engine per
@@ -97,8 +104,12 @@ func (m *Multi) Workers() int {
 	if m.sched == nil {
 		return 0
 	}
-	return m.sched.workers()
+	return m.sched.Workers()
 }
+
+// Runtime returns the worker pool the coordinator's regions fire on
+// (nil in synchronous mode).
+func (m *Multi) Runtime() *Runtime { return m.sched }
 
 // RegionPartitioned reports whether the coordinator was built by
 // NewMultiRegions (buffer-boundary cut) rather than NewMulti
@@ -188,16 +199,79 @@ func (m *Multi) RecvBatch(p ca.PortID, buf []any) (int, error) {
 	return e.RecvBatch(p, buf)
 }
 
-// Close closes all partitions, then stops the worker pool (if any) and
-// waits for the workers to exit: pending operations in every region
+// Close closes all partitions, then quiesces the worker pool (if any):
+// a dedicated pool is shut down and its workers joined; a shared
+// Runtime has the regions detached from it instead, leaving the pool
+// running for its other instances. Pending operations in every region
 // fail with ErrClosed first, so no in-flight fire pass can complete new
-// work after Close returns.
+// work after Close returns. Idempotent and safe to call concurrently:
+// every call returns only after the coordinator is fully closed.
 func (m *Multi) Close() error {
+	m.closeMu.Lock()
+	defer m.closeMu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
 	for _, e := range m.engines {
 		e.Close()
 	}
 	if m.sched != nil {
-		m.sched.shutdown()
+		if m.sched.dedicated {
+			m.sched.shutdown()
+		} else {
+			m.sched.detach(m.engines)
+		}
+	}
+	return nil
+}
+
+// Reset returns a closed coordinator to its as-constructed state so the
+// instance can be recycled instead of rebuilt: engines are reset (see
+// Engine.Reset), link queues emptied and re-seeded from the region
+// plan, and the regions re-settled — re-attached to the shared Runtime,
+// or settled synchronously. Fails if the coordinator is still open, or
+// if it owns a dedicated worker pool (that pool was torn down by Close;
+// use a shared Runtime for instances meant to be recycled).
+func (m *Multi) Reset() error {
+	m.closeMu.Lock()
+	defer m.closeMu.Unlock()
+	if !m.closed {
+		return errors.New("engine: reset of an open coordinator")
+	}
+	if m.sched != nil && m.sched.dedicated {
+		return errors.New("engine: reset of a dedicated-runtime coordinator")
+	}
+	if len(m.engines) > 0 {
+		if g := m.engines[0].group; g != nil {
+			// Join stale break-propagation goroutines and zero the
+			// τ-budget completion counter before touching any engine.
+			g.breakWG.Wait()
+			g.completions.Store(0)
+		}
+	}
+	for _, e := range m.engines {
+		if err := e.Reset(); err != nil {
+			return err
+		}
+	}
+	for i, l := range m.links {
+		l.reset(m.plan.Links[i])
+	}
+	for _, e := range m.engines {
+		e.mu.Lock()
+		if e.linkGate != nil {
+			e.refreshLinks()
+		}
+		e.mu.Unlock()
+	}
+	m.closed = false
+	if m.sched != nil {
+		m.sched.attach(m.engines)
+	} else {
+		for _, e := range m.engines {
+			e.settle()
+		}
 	}
 	return nil
 }

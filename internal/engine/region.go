@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/ca"
@@ -125,6 +126,25 @@ func (l *link) commitPops() {
 	l.pendPop = 0
 }
 
+// reset empties the queue and re-seeds it from the plan's link spec,
+// returning it to its as-constructed state for instance recycling. Both
+// sides must be quiescent: the owning coordinator is closed and its
+// engines detached from any runtime, so the plain stores cannot race
+// (the next attach publishes them, as construction does).
+func (l *link) reset(spec ca.RegionLink) {
+	for i := range l.buf {
+		l.buf[i] = nil
+	}
+	l.pendPop, l.pendPush = 0, 0
+	l.head.Store(0)
+	if spec.Full {
+		l.buf[0] = spec.Initial
+		l.tail.Store(1)
+	} else {
+		l.tail.Store(0)
+	}
+}
+
 // peek returns the value the link currently offers: the head shifted
 // past any deferred pops. Consumer side only: the slot is stable until
 // the consuming region itself commits, and the consumer observed
@@ -161,10 +181,20 @@ func (l *link) full() bool {
 }
 
 // regionGroup ties the regions of one connector together for error
-// propagation: a broken region breaks its siblings, since the connector
-// as a whole can no longer honor its protocol.
+// propagation — a broken region breaks its siblings, since the
+// connector as a whole can no longer honor its protocol — and for the
+// τ-livelock budget: completions counts fire passes anywhere in the
+// group that moved a boundary operation forward. Scoping the counter to
+// the instance (rather than to the worker pool) keeps livelock
+// detection sound on a shared runtime, where another instance's healthy
+// throughput must not mask this one's closed relay cycle.
 type regionGroup struct {
-	engines []*Engine
+	engines     []*Engine
+	completions atomic.Int64
+	// breakWG joins the asynchronous break_ propagation goroutines, so
+	// instance recycling cannot reset an engine a stale break is still
+	// about to touch.
+	breakWG sync.WaitGroup
 }
 
 func (g *regionGroup) breakOthers(src *Engine, err error) {
@@ -427,17 +457,18 @@ func (e *Engine) processNudges(work []*Engine) {
 	}
 }
 
-// deliverNudges hands the cross-region wake-ups captured by a register
-// call to whichever runtime the coordinator uses: posted to the
-// scheduler in worker mode (the caller returns to parking on its op
-// immediately), drained inline otherwise. Must be called WITHOUT mu
-// held.
+// deliverNudges drains the cross-region wake-ups captured by a register
+// call inline. In runtime mode register already posted them as wake-ups
+// under the engine lock (flushWakes) and returned nil, so this only
+// ever walks in synchronous mode. Must be called WITHOUT mu held.
 func (e *Engine) deliverNudges(nudges []*Engine) {
 	if len(nudges) == 0 {
 		return
 	}
-	if e.sched != nil {
-		e.sched.wakeAll(nudges)
+	if rt := e.sched; rt != nil {
+		for _, t := range nudges {
+			rt.wake(t)
+		}
 		return
 	}
 	e.processNudges(nudges)
@@ -541,15 +572,21 @@ func NewMultiRegions(u *ca.Universe, auts []*ca.Automaton, opts Options) (*Multi
 			return nil, err
 		}
 	}
-	if opts.Workers != 0 {
-		// Concurrent runtime (scheduler.go): regions fire on a worker
-		// pool, and cross-region nudges become scheduler wake-ups. The
-		// initial wake of every region replaces the synchronous settle —
-		// relay fires enabled by initially full links happen on the
-		// workers before (or concurrently with) the first Send/Recv,
-		// which parks until a fire completes its operation either way.
-		m.sched = newScheduler(opts.Workers, m.engines, opts.MaxTauBurst)
-	} else {
+	switch {
+	case opts.Runtime != nil:
+		// Shared runtime: the regions multiplex over an existing
+		// process-wide pool. attach posts the initial wake of every
+		// region, replacing the synchronous settle — relay fires enabled
+		// by initially full links happen on the workers before (or
+		// concurrently with) the first Send/Recv, which parks until a
+		// fire completes its operation either way.
+		m.sched = opts.Runtime
+		m.sched.attach(m.engines)
+	case opts.Workers != 0:
+		// Dedicated runtime (runtime.go): a worker pool owned by this
+		// coordinator, sized by the caller and torn down at Close.
+		m.sched = newDedicatedRuntime(opts.Workers, m.engines)
+	default:
 		// Settle initially full links (Fifo1Full seeds) so relay fires
 		// that need no task operation happen before the first Send/Recv.
 		for _, e := range m.engines {

@@ -254,3 +254,190 @@ func TestWorkersSchedulerDrainRace(t *testing.T) {
 		t.Error("no steps fired before Close")
 	}
 }
+
+// --- shared-runtime tests ---------------------------------------------
+// The tests below run coordinators on an explicit shared Runtime (the
+// engine.Options.Runtime path Connect's WithRuntime uses), where Close
+// detaches the instance instead of tearing the pool down.
+
+// TestSharedRuntimeTwoInstances interleaves traffic over two
+// coordinators multiplexed on one 2-worker runtime, then closes one and
+// checks the other is unaffected.
+func TestSharedRuntimeTwoInstances(t *testing.T) {
+	rt := engine.NewRuntime(2)
+	defer rt.Close()
+	m1, a1, b1 := regionChain(t, engine.Options{Runtime: rt})
+	m2, a2, b2 := regionChain(t, engine.Options{Runtime: rt})
+	defer m2.Close()
+	if m1.Workers() != 2 || m2.Workers() != 2 {
+		t.Fatalf("Workers() = %d/%d, want 2/2", m1.Workers(), m2.Workers())
+	}
+	if got := rt.Attached(); got != 4 {
+		t.Fatalf("Attached() = %d, want 4 (2 regions x 2 instances)", got)
+	}
+	const rounds = 100
+	for i := 0; i < rounds; i++ {
+		if err := m1.Send(a1, i); err != nil {
+			t.Fatal(err)
+		}
+		if err := m2.Send(a2, -i); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := m2.Recv(b2); err != nil || v != -i {
+			t.Fatalf("m2 recv %d = %v, %v", i, v, err)
+		}
+		if v, err := m1.Recv(b1); err != nil || v != i {
+			t.Fatalf("m1 recv %d = %v, %v", i, v, err)
+		}
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Attached(); got != 2 {
+		t.Errorf("Attached() after close = %d, want 2", got)
+	}
+	// The survivor keeps flowing on the still-running pool.
+	if err := m2.Send(a2, "after"); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := m2.Recv(b2); err != nil || v != "after" {
+		t.Fatalf("m2 recv after close = %v, %v", v, err)
+	}
+}
+
+// TestSharedRuntimeDoubleClose: Close must be idempotent on a shared
+// runtime — the second call must not detach (or disturb) anything.
+func TestSharedRuntimeDoubleClose(t *testing.T) {
+	rt := engine.NewRuntime(1)
+	defer rt.Close()
+	m, a, b := regionChain(t, engine.Options{Runtime: rt})
+	m2, a2, b2 := regionChain(t, engine.Options{Runtime: rt})
+	defer m2.Close()
+	go m.Send(a, 1)
+	if v, err := m.Recv(b); err != nil || v != 1 {
+		t.Fatalf("recv = %v, %v", v, err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Send(a, 2); err != engine.ErrClosed {
+		t.Errorf("send after close = %v, want ErrClosed", err)
+	}
+	go m2.Send(a2, 3)
+	if v, err := m2.Recv(b2); err != nil || v != 3 {
+		t.Fatalf("sibling recv after double close = %v, %v", v, err)
+	}
+}
+
+// TestSharedRuntimeConcurrentClose races many Close calls against each
+// other and against parked operations: every call must return only
+// after the coordinator is fully closed, and the parked ops must fail
+// with ErrClosed.
+func TestSharedRuntimeConcurrentClose(t *testing.T) {
+	rt := engine.NewRuntime(2)
+	defer rt.Close()
+	for round := 0; round < 20; round++ {
+		m, a, b := regionChain(t, engine.Options{Runtime: rt})
+		parked := make(chan error, 2)
+		go func() {
+			_, err := m.Recv(b)
+			parked <- err
+		}()
+		go func() {
+			// Fill the buffer, then park a second send on the full lane.
+			if err := m.Send(a, 0); err != nil {
+				parked <- err
+				return
+			}
+			parked <- m.Send(a, 1)
+		}()
+		var wg sync.WaitGroup
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := m.Close(); err != nil {
+					t.Errorf("concurrent close = %v", err)
+				}
+			}()
+		}
+		wg.Wait()
+		for i := 0; i < 2; i++ {
+			err := waitForErr(t, parked, 5*time.Second, "parked op after close")
+			if err != nil && err != engine.ErrClosed {
+				t.Errorf("parked op error = %v, want nil or ErrClosed", err)
+			}
+		}
+		if rt.Attached() != 0 {
+			t.Fatalf("round %d: Attached() = %d after close, want 0", round, rt.Attached())
+		}
+	}
+}
+
+// TestSharedRuntimeCloseDuringParkedSend: a send parked on a full
+// buffer must fail with ErrClosed when the instance detaches from the
+// shared pool (the close-while-parked-send path the instance pool
+// recycles through).
+func TestSharedRuntimeCloseDuringParkedSend(t *testing.T) {
+	rt := engine.NewRuntime(2)
+	defer rt.Close()
+	m, a, _ := regionChain(t, engine.Options{Runtime: rt})
+	if err := m.Send(a, 1); err != nil { // fills the Fifo1
+		t.Fatal(err)
+	}
+	parked := make(chan error, 1)
+	go func() {
+		parked <- m.Send(a, 2) // buffer full: parks
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitForErr(t, parked, 2*time.Second, "parked send"); err != engine.ErrClosed {
+		t.Errorf("parked send error = %v, want ErrClosed", err)
+	}
+}
+
+// TestSharedRuntimeLivelockIsolation: a τ-livelock in one instance must
+// break only that instance's group — a sibling instance sharing the
+// same runtime keeps serving.
+func TestSharedRuntimeLivelockIsolation(t *testing.T) {
+	rt := engine.NewRuntime(2)
+	defer rt.Close()
+	healthy, a, b := regionChain(t, engine.Options{Runtime: rt})
+	defer healthy.Close()
+
+	u := ca.NewUniverse()
+	x, y := u.Port("x"), u.Port("y")
+	ia, ib := u.Port("ia"), u.Port("ib")
+	u.SetDir(ia, ca.DirSource)
+	u.SetDir(ib, ca.DirSink)
+	auts := []*ca.Automaton{
+		prim.Fifo1Full(u, x, y, prim.Token{}), // token cycle with no task:
+		prim.Fifo1(u, y, x),                   // spins until the τ budget fires
+		prim.Fifo1(u, ia, ib),
+	}
+	sick, err := engine.NewMultiRegions(u, auts, engine.Options{Runtime: rt, MaxTauBurst: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sick.Close()
+	recvErr := make(chan error, 1)
+	go func() {
+		_, err := sick.Recv(ib)
+		recvErr <- err
+	}()
+	if err := waitForErr(t, recvErr, 10*time.Second, "livelock propagation"); !errors.Is(err, engine.ErrLivelock) {
+		t.Errorf("sick recv error = %v, want ErrLivelock", err)
+	}
+	// The healthy instance on the same pool is untouched.
+	for i := 0; i < 50; i++ {
+		go healthy.Send(a, i)
+		if v, err := healthy.Recv(b); err != nil || v != i {
+			t.Fatalf("healthy recv %d = %v, %v", i, v, err)
+		}
+	}
+}

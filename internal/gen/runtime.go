@@ -33,6 +33,30 @@ type op struct {
 
 func (o *op) remaining() int { return len(o.vals) - o.cur }
 
+// pickRNG is the nondeterministic-choice stream: the same xorshift64*
+// generator (with splitmix64 seeding) as the interpreted engine, so the
+// two backends make identical choice sequences for identical seeds.
+type pickRNG struct{ s uint64 }
+
+func (r *pickRNG) reseed(seed int64) {
+	z := uint64(seed) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9E3779B97F4A7C15
+	}
+	r.s = z
+}
+
+func (r *pickRNG) intn(n int) int {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	x := r.s * 0x2545F4914F6CDD1D
+	return int((x >> 32) % uint64(n))
+}
+
 // config collects instance options.
 type config struct {
 	seed    int64
@@ -71,7 +95,7 @@ type Instance struct {
 	cells   [numCells]any
 	pend    [numPorts]*op
 	enabled []int32
-	rng     *rand.Rand
+	rng     pickRNG
 	closed  bool
 	broken  error
 	workers int
@@ -93,9 +117,9 @@ func New(opts ...Option) (*Instance, error) {
 	m := &Instance{
 		state:   initialState,
 		cells:   initialCells(),
-		rng:     rand.New(rand.NewSource(cfg.seed)),
 		workers: cfg.workers,
 	}
+	m.rng.reseed(cfg.seed)
 	for i, name := range filterNames {
 		f := cfg.filters[name]
 		if f == nil {
@@ -339,7 +363,7 @@ func (m *Instance) fireLoop(trigger int32) {
 		}
 		pick := 0
 		if len(m.enabled) > 1 {
-			pick = m.rng.Intn(len(m.enabled))
+			pick = m.rng.intn(len(m.enabled))
 		}
 		t := m.enabled[pick]
 		if m.fire(t) {

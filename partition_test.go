@@ -180,9 +180,11 @@ func TestBatchedDifferential(t *testing.T) {
 		{"off", []reo.ConnectOption{reo.WithSeed(1), reo.WithPartitioning(reo.PartitionOff)}},
 		{"components", []reo.ConnectOption{reo.WithSeed(1), reo.WithPartitioning(reo.PartitionComponents)}},
 		{"regions", []reo.ConnectOption{reo.WithSeed(1), reo.WithPartitioning(reo.PartitionRegions)}},
-		{"off+workers", []reo.ConnectOption{reo.WithSeed(1), reo.WithPartitioning(reo.PartitionOff), reo.WithWorkers(-1)}},
-		{"components+workers", []reo.ConnectOption{reo.WithSeed(1), reo.WithPartitioning(reo.PartitionComponents), reo.WithWorkers(-1)}},
+		// WithWorkers outside PartitionRegions is an eager OptionError now
+		// (api_test.go); only the regions runtimes are exercised here.
 		{"regions+workers", []reo.ConnectOption{reo.WithSeed(1), reo.WithPartitioning(reo.PartitionRegions), reo.WithWorkers(-1)}},
+		{"regions+runtime", []reo.ConnectOption{reo.WithSeed(1), reo.WithPartitioning(reo.PartitionRegions), reo.WithRuntime(nil)}},
+		{"regions+runtime+reuse", []reo.ConnectOption{reo.WithSeed(1), reo.WithPartitioning(reo.PartitionRegions), reo.WithRuntime(nil), reo.WithReuse(true)}},
 	}
 	for _, m := range modes {
 		for _, batch := range []int{1, 3, 8, 64} {

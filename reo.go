@@ -27,8 +27,10 @@
 package reo
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/ca"
@@ -141,6 +143,80 @@ type Program struct {
 
 	mu        sync.Mutex
 	templates map[string]*compile.Template
+
+	// poolMu guards pools: per-template freelists of recycled instances
+	// (WithReuse), one pool per distinct (options, lengths) shape.
+	poolMu sync.Mutex
+	pools  map[string][]*instancePool
+}
+
+// instancePool is the freelist of recycled instances for one template
+// under one exact configuration: only a Connect with equal options and
+// equal lengths may receive a pooled instance, so recycling is
+// observationally invisible (per-seed choice streams replay, counters
+// restart at zero).
+type instancePool struct {
+	cfg     connectCfg
+	lengths map[string]int
+	mu      sync.Mutex
+	free    []*Instance
+}
+
+func (pl *instancePool) get() *Instance {
+	pl.mu.Lock()
+	n := len(pl.free)
+	if n == 0 {
+		pl.mu.Unlock()
+		return nil
+	}
+	inst := pl.free[n-1]
+	pl.free[n-1] = nil
+	pl.free = pl.free[:n-1]
+	pl.mu.Unlock()
+	inst.pooling.Store(false)
+	return inst
+}
+
+func (pl *instancePool) put(inst *Instance) {
+	pl.mu.Lock()
+	pl.free = append(pl.free, inst)
+	pl.mu.Unlock()
+}
+
+func sameLengths(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// poolFor finds (or creates) the instance pool for one template name +
+// configuration + lengths shape. The linear scan compares comparable
+// configs and small maps in place, so the steady-state lookup builds no
+// composite key and allocates nothing.
+func (p *Program) poolFor(name string, cfg *connectCfg, lengths map[string]int) *instancePool {
+	p.poolMu.Lock()
+	defer p.poolMu.Unlock()
+	if p.pools == nil {
+		p.pools = make(map[string][]*instancePool)
+	}
+	for _, pl := range p.pools[name] {
+		if pl.cfg == *cfg && sameLengths(pl.lengths, lengths) {
+			return pl
+		}
+	}
+	lcopy := make(map[string]int, len(lengths))
+	for k, v := range lengths {
+		lcopy[k] = v
+	}
+	pl := &instancePool{cfg: *cfg, lengths: lcopy}
+	p.pools[name] = append(p.pools[name], pl)
+	return pl
 }
 
 // Compile parses and checks a program in the textual syntax.
@@ -221,7 +297,9 @@ func (c *Connector) Name() string { return c.tmpl.Name }
 // Template exposes the compiled template (for cmd/reoc inspection).
 func (c *Connector) Template() *compile.Template { return c.tmpl }
 
-// connectCfg holds instance options.
+// connectCfg holds instance options. It stays comparable (scalars and
+// pointers only): instance pools match recycled instances by comparing
+// whole configurations.
 type connectCfg struct {
 	mode        Mode
 	partition   PartitionMode
@@ -233,6 +311,54 @@ type connectCfg struct {
 	maxStates   int
 	simplify    bool
 	simplifySet bool
+	runtime     *engine.Runtime
+	useRuntime  bool
+	reuse       bool
+}
+
+// ErrInvalidOption is the sentinel every Connect option-validation
+// error wraps: errors.Is(err, ErrInvalidOption) detects misconfigured
+// Connect calls without matching on message text.
+var ErrInvalidOption = errors.New("reo: invalid connect option")
+
+// OptionError reports an incompatible or out-of-range Connect option.
+// It wraps ErrInvalidOption.
+type OptionError struct {
+	// Option names the offending option as written ("WithWorkers").
+	Option string
+	// Reason says what about it is invalid.
+	Reason string
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("reo: invalid option %s: %s", e.Option, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrInvalidOption) hold.
+func (e *OptionError) Unwrap() error { return ErrInvalidOption }
+
+// validate rejects incompatible or out-of-range option combinations
+// eagerly, at Connect time, instead of silently ignoring them.
+func (c *connectCfg) validate() error {
+	if c.cacheSize < 0 {
+		return &OptionError{Option: "WithStateCache", Reason: fmt.Sprintf("negative cache size %d", c.cacheSize)}
+	}
+	if c.maxStates < 0 {
+		return &OptionError{Option: "WithMaxStates", Reason: fmt.Sprintf("negative state bound %d", c.maxStates)}
+	}
+	if c.workers != 0 && c.partition != PartitionRegions {
+		return &OptionError{Option: "WithWorkers", Reason: fmt.Sprintf("requires WithPartitioning(PartitionRegions), not %s", c.partition)}
+	}
+	if c.useRuntime && c.partition != PartitionRegions {
+		return &OptionError{Option: "WithRuntime", Reason: fmt.Sprintf("requires WithPartitioning(PartitionRegions), not %s", c.partition)}
+	}
+	if c.useRuntime && c.workers != 0 {
+		return &OptionError{Option: "WithRuntime", Reason: "mutually exclusive with WithWorkers (a shared runtime brings its own pool)"}
+	}
+	if c.reuse && c.workers != 0 {
+		return &OptionError{Option: "WithReuse", Reason: "incompatible with WithWorkers: a dedicated pool is torn down at Close and cannot be recycled; share a pool with WithRuntime instead"}
+	}
+	return nil
 }
 
 // ConnectOption configures a connector instance.
@@ -289,8 +415,11 @@ func WithPartitioning(mode PartitionMode) ConnectOption {
 // reproducibility (with WithSeed and deterministic task order, whole
 // runs replay exactly) and avoids pool overhead for connectors whose
 // regions are short or serial. n < 0 selects runtime.GOMAXPROCS(0).
-// The pool is capped at the region count. Ignored unless
-// WithPartitioning(PartitionRegions) is in effect.
+// The pool is capped at the region count. Connect fails with an
+// OptionError unless WithPartitioning(PartitionRegions) is in effect;
+// it is also mutually exclusive with WithRuntime (a shared runtime
+// brings its own pool) and with WithReuse (a dedicated pool is torn
+// down at Close, so the instance cannot be recycled).
 //
 // Determinism: per-port delivered sequences of deterministic protocols
 // are identical in both modes (the differential tests pin this); the
@@ -301,6 +430,56 @@ func WithPartitioning(mode PartitionMode) ConnectOption {
 // livelock guard (MaxTauBurst).
 func WithWorkers(n int) ConnectOption {
 	return func(c *connectCfg) { c.workers = n }
+}
+
+// Runtime is a shared worker pool multiplexing the regions of many
+// connector instances over one fixed set of goroutines — the
+// serving-many-instances counterpart of the per-instance pool
+// WithWorkers starts. Build one with NewRuntime, or let WithRuntime(nil)
+// use the process-global default.
+type Runtime = engine.Runtime
+
+// NewRuntime starts a shared runtime with the given number of workers
+// (<= 0 selects GOMAXPROCS). Close it only after every instance
+// attached to it has been closed.
+func NewRuntime(workers int) *Runtime { return engine.NewRuntime(workers) }
+
+// DefaultRuntime returns the process-global shared runtime backing
+// WithRuntime(nil), starting its GOMAXPROCS workers on first use. It is
+// never shut down.
+func DefaultRuntime() *Runtime { return engine.DefaultRuntime() }
+
+// WithRuntime runs the regions of a PartitionRegions instance on a
+// shared Runtime instead of a dedicated pool: the instance attaches at
+// Connect and detaches at Close, so N live instances are multiplexed
+// over one fixed set of workers — and Connect/Close churn spawns no
+// goroutines. rt == nil selects the process-global DefaultRuntime.
+//
+// Execution semantics match WithWorkers (wake-up posting, stealing,
+// per-region seeds, the τ-livelock budget — scoped per instance, so one
+// instance's throughput never masks another's livelock); only pool
+// ownership differs. Connect fails with an OptionError unless
+// WithPartitioning(PartitionRegions) is in effect, or if WithWorkers is
+// also set.
+func WithRuntime(rt *Runtime) ConnectOption {
+	return func(c *connectCfg) { c.runtime, c.useRuntime = rt, true }
+}
+
+// WithReuse pools instances per template and configuration: Close
+// resets the instance to its initial state and parks it, and the next
+// Connect of the same Connector with the same options and lengths pops
+// it instead of building a new one, so steady-state Connect/Close churn
+// costs near-zero allocations.
+//
+// The contract a recycling caller accepts: Close must be called exactly
+// once per Connect, and no port or statistics access may follow it —
+// the instance (and its ports) may already belong to another Connect
+// caller. Counters read as freshly zeroed on the recycled instance and
+// the choice stream replays from the seed; only Expansions can differ
+// from a truly fresh instance (the composite-state cache stays warm).
+// Incompatible with WithWorkers (see WithRuntime).
+func WithReuse(on bool) ConnectOption {
+	return func(c *connectCfg) { c.reuse = on }
 }
 
 // WithPartitioningEnabled carries the semantics of the pre-PartitionMode
@@ -375,6 +554,12 @@ type Instance struct {
 
 	outs map[string][]*engine.Outport
 	ins  map[string][]*engine.Inport
+
+	// pool is the freelist Close recycles the instance into (nil unless
+	// connected WithReuse); pooling guards against a double Close
+	// recycling the same instance twice.
+	pool    *instancePool
+	pooling atomic.Bool
 }
 
 // Connect instantiates the connector for the given array lengths (one
@@ -384,6 +569,21 @@ func (c *Connector) Connect(lengths map[string]int, opts ...ConnectOption) (*Ins
 	cfg := &connectCfg{simplify: true}
 	for _, o := range opts {
 		o(cfg)
+	}
+	if cfg.useRuntime && cfg.runtime == nil {
+		// Resolve before validation and pool keying, so all
+		// WithRuntime(nil) instances share one pool entry.
+		cfg.runtime = engine.DefaultRuntime()
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var pool *instancePool
+	if cfg.reuse {
+		pool = c.prog.poolFor(c.tmpl.Name, cfg, lengths)
+		if inst := pool.get(); inst != nil {
+			return inst, nil
+		}
 	}
 	asm, err := c.tmpl.Instantiate(lengths)
 	if err != nil {
@@ -398,6 +598,7 @@ func (c *Connector) Connect(lengths map[string]int, opts ...ConnectOption) (*Ins
 		asm:   asm,
 		outs:  make(map[string][]*engine.Outport),
 		ins:   make(map[string][]*engine.Inport),
+		pool:  pool,
 	}
 	for name, ports := range asm.Tails {
 		for _, p := range ports {
@@ -420,6 +621,7 @@ func buildCoordinator(asm *compile.Assembly, cfg *connectCfg) (engine.Coordinato
 		Seed:      cfg.seed,
 		MaxStates: cfg.maxStates,
 		Workers:   cfg.workers,
+		Runtime:   cfg.runtime,
 	}
 	switch cfg.mode {
 	case Static:
@@ -499,8 +701,24 @@ func (i *Instance) Inport(param string) Inport {
 	return ps[0]
 }
 
-// Close shuts the connector down; all pending and future operations fail.
-func (i *Instance) Close() error { return i.coord.Close() }
+// Close shuts the connector down; all pending and future operations
+// fail. Idempotent and safe to call concurrently. Under WithReuse,
+// Close additionally resets the instance and parks it in its template's
+// pool — see WithReuse for the exactly-once contract that implies for
+// recycling callers.
+func (i *Instance) Close() error {
+	err := i.coord.Close()
+	if i.pool != nil && i.pooling.CompareAndSwap(false, true) {
+		type resetter interface{ Reset() error }
+		if r, ok := i.coord.(resetter); ok && r.Reset() == nil {
+			i.pool.put(i)
+		}
+		// A coordinator that cannot reset is simply dropped: the next
+		// Connect builds fresh. pooling stays set so a racing Close
+		// cannot recycle twice.
+	}
+	return err
+}
 
 // Steps returns the number of global execution steps fired — the metric
 // of the paper's connector benchmarks.

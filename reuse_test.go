@@ -1,0 +1,191 @@
+// Pooled-instance reuse tests: a recycled instance (reo.WithReuse) must
+// be observationally identical to a fresh one — same per-port value
+// sequences under the deterministic gendrv schedule, same Steps and
+// GuardEvals — and the steady-state Connect/Close cycle must stay
+// alloc-cheap (the reason the pool exists).
+package reo_test
+
+import (
+	"reflect"
+	"testing"
+
+	reo "repro"
+	"repro/internal/connlib"
+	"repro/internal/gen/gendrv"
+)
+
+// reuseOpts is the serving configuration: shared process runtime,
+// pooled recycling. The seed pins the router's choices.
+func reuseOpts() []reo.ConnectOption {
+	return []reo.ConnectOption{
+		reo.WithSeed(7),
+		reo.WithPartitioning(reo.PartitionRegions),
+		reo.WithRuntime(nil),
+		reo.WithReuse(true),
+	}
+}
+
+// TestReuseDifferential drives the seeded LateAsyncRouter (a connector
+// whose rng choices are observable in which output each value lands
+// on) through the deterministic schedule, recycling the instance
+// between runs: every recycled run must reproduce the fresh run's
+// per-port sequences and counters exactly.
+func TestReuseDifferential(t *testing.T) {
+	d, err := connlib.ByName("LateAsyncRouter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, rounds = 3, 6
+	run := func() *gendrv.Result {
+		t.Helper()
+		inst, err := d.Connect(n, reuseOpts()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := gendrv.Drive(inst.Backend(), "one2many", n, rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst.Close() // recycles into the template pool
+		return res
+	}
+	fresh := run()
+	for round := 0; round < 3; round++ {
+		recycled := run()
+		if !reflect.DeepEqual(fresh.Seqs, recycled.Seqs) {
+			t.Errorf("round %d: per-port sequences differ\nfresh:    %v\nrecycled: %v",
+				round, fresh.Seqs, recycled.Seqs)
+		}
+		if fresh.Steps != recycled.Steps {
+			t.Errorf("round %d: steps differ: fresh %d, recycled %d", round, fresh.Steps, recycled.Steps)
+		}
+		if fresh.GuardEvals != recycled.GuardEvals {
+			t.Errorf("round %d: guard evals differ: fresh %d, recycled %d", round, fresh.GuardEvals, recycled.GuardEvals)
+		}
+	}
+}
+
+// TestReuseCounterResetAndStats: a recycled instance starts with zeroed
+// step counters, and the pool only serves instances of the matching
+// template and options.
+func TestReuseCounterReset(t *testing.T) {
+	prog := reo.MustCompile(`Lane(a;b) = Fifo1(a;b)`)
+	conn, err := prog.Connector("Lane")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := conn.Connect(nil, reuseOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Outport("a").Send(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Inport("b").Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Steps() == 0 {
+		t.Fatal("no steps before recycle")
+	}
+	inst.Close()
+	re, err := conn.Connect(nil, reuseOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Steps() != 0 {
+		t.Errorf("recycled Steps() = %d, want 0", re.Steps())
+	}
+	if re.GuardEvals() != 0 {
+		t.Errorf("recycled GuardEvals() = %d, want 0", re.GuardEvals())
+	}
+	// The recycled instance works end to end.
+	if err := re.Outport("a").Send("v"); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := re.Inport("b").Recv(); err != nil || v != "v" {
+		t.Fatalf("recycled recv = %v, %v", v, err)
+	}
+}
+
+// TestConnectCloseAllocs pins the steady-state serving churn: once the
+// pool is warm, a full Connect → Send → Recv → Close cycle on the
+// shared runtime must cost at most 2 allocations.
+func TestConnectCloseAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	prog := reo.MustCompile(`Lane(a;b) = Fifo1(a;b)`)
+	conn, err := prog.Connector("Lane")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := reuseOpts() // hoisted: option building is per-config, not per-cycle
+	cycle := func() {
+		inst, err := conn.Connect(nil, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Outport("a").Send(7); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := inst.Inport("b").Recv(); err != nil {
+			t.Fatal(err)
+		}
+		inst.Close()
+	}
+	cycle() // warm the pool
+	if allocs := testing.AllocsPerRun(200, cycle); allocs > 2 {
+		t.Errorf("Connect/Close cycle allocates %.1f times, want <= 2", allocs)
+	}
+}
+
+// TestManyInstancesFireAllocs pins the steady-state fire path with many
+// live instances multiplexed on the shared runtime at zero allocations
+// per op.
+func TestManyInstancesFireAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	prog := reo.MustCompile(`Lane(a;b) = Fifo1(a;b)`)
+	conn, err := prog.Connector("Lane")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const live = 64
+	type lane struct {
+		out reo.Outport
+		in  reo.Inport
+	}
+	lanes := make([]lane, live)
+	for i := range lanes {
+		inst, err := conn.Connect(nil,
+			reo.WithPartitioning(reo.PartitionRegions), reo.WithRuntime(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer inst.Close()
+		lanes[i] = lane{out: inst.Outport("a"), in: inst.Inport("b")}
+		// Warm the instance's composite states and op pool.
+		if err := lanes[i].out.Send(0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := lanes[i].in.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	next := 0
+	fire := func() {
+		l := lanes[next%live]
+		next++
+		if err := l.out.Send(7); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.in.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if allocs := testing.AllocsPerRun(1000, fire); allocs != 0 {
+		t.Errorf("steady-state fire allocates %.2f times, want 0", allocs)
+	}
+}
