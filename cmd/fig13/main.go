@@ -12,6 +12,7 @@ import (
 
 	reo "repro"
 	"repro/internal/bench"
+	"repro/internal/genlib/msfabric"
 	"repro/internal/npb"
 )
 
@@ -25,11 +26,23 @@ func main() {
 		partition = flag.String("partition", "off", "partition the Reo connectors: off, components (§V-C(3) fix), or regions (buffer-boundary cut)")
 		workers   = flag.Int("workers", 0, "scheduler workers for partition=regions (0 = synchronous, <0 = GOMAXPROCS)")
 		fullExp   = flag.Bool("full-expansion", false, "textbook joint enumeration (reproduces the §V-C(3) blow-up)")
+		backend   = flag.String("backend", "interpreted", "Reo-variant backend: interpreted (the connector engine) or generated (static parametric code, `reoc gen -parametric`)")
 		jsonPath  = flag.String("json", "", "also write machine-readable results (BENCH_fig13.json schema, fig12 -json parity) to this file")
 	)
 	flag.Parse()
 
+	reoVariant := npb.Reo
+	switch *backend {
+	case "interpreted":
+	case "generated":
+		reoVariant = npb.Gen
+	default:
+		fmt.Fprintf(os.Stderr, "fig13: bad -backend %q (interpreted|generated)\n", *backend)
+		os.Exit(2)
+	}
+
 	var opts []reo.ConnectOption
+	var genOpts []msfabric.Option
 	switch *partition {
 	case "off", "false":
 	case "components", "true":
@@ -46,7 +59,12 @@ func main() {
 	if *fullExp {
 		opts = append(opts, reo.WithFullExpansion(true))
 	}
-	npb.DefaultReoOptions = npb.ReoCommOptions{Opts: opts}
+	// The generated runtime always runs region-partitioned; of the
+	// interpreted knobs only the worker pool carries over.
+	if *workers != 0 {
+		genOpts = append(genOpts, msfabric.WithWorkers(*workers))
+	}
+	npb.DefaultReoOptions = npb.ReoCommOptions{Opts: opts, GenOpts: genOpts}
 	if *batch < 1 {
 		fmt.Fprintf(os.Stderr, "fig13: bad -batch %d (need >= 1)\n", *batch)
 		os.Exit(2)
@@ -89,7 +107,7 @@ func main() {
 	for _, p := range programs {
 		for _, c := range classList {
 			for _, n := range nList {
-				for _, v := range []npb.Variant{npb.Orig, npb.Reo} {
+				for _, v := range []npb.Variant{npb.Orig, reoVariant} {
 					best := bench.RunFig13(p, c, v, n)
 					for r := 1; r < *reps && best.Err == nil; r++ {
 						row := bench.RunFig13(p, c, v, n)

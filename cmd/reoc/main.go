@@ -10,11 +10,11 @@
 //	reoc automata file.reo Connector [-n N]
 //	reoc plan file.reo Connector [-n N]
 //	reoc regions file.reo Connector [-n N] [-workers W]
-//	reoc gen file.reo Connector [-n N] [-o dir] [-pkg name] [-force]
+//	reoc gen file.reo Connector [-n N | -parametric] [-o dir] [-pkg name] [-force]
 //	reoc verify file.reo Connector [-n N]
 //	reoc bench-compare baseline.json current.json... [-threshold 0.25]
 //	reoc bench-batch out.json [-stages S] [-items I] [-batches 1,8,64,512] [-reps R]
-//	reoc bench-gen out.json [-items I] [-reps R]
+//	reoc bench-gen out.json [-items I] [-lanes L] [-npb-slaves K] [-reps R]
 //	reoc bench-instances out.json [-cycles C] [-instances K] [-rounds P] [-reps R]
 package main
 
@@ -34,6 +34,7 @@ import (
 	"repro/internal/flatten"
 	"repro/internal/gen"
 	"repro/internal/normalize"
+	"repro/internal/npb"
 	"repro/internal/parser"
 	"repro/internal/sema"
 )
@@ -210,6 +211,17 @@ func benchCompare(baselinePath string, rest []string) {
 	if err != nil {
 		fatal(err)
 	}
+	// An empty (or all-unmeasured) baseline gates nothing: every
+	// comparison would pass vacuously, which is indistinguishable from a
+	// healthy run in CI logs. Fail loudly instead.
+	if len(baseline) == 0 {
+		fmt.Fprintf(os.Stderr, "bench-compare: baseline %s has no rows — the gate would pass vacuously; regenerate the baseline\n", baselinePath)
+		os.Exit(1)
+	}
+	if len(bench.BestRates(baseline)) == 0 {
+		fmt.Fprintf(os.Stderr, "bench-compare: baseline %s has no measured cells (every rate is 0) — the gate would pass vacuously; regenerate the baseline\n", baselinePath)
+		os.Exit(1)
+	}
 	var current []bench.CompareRow
 	for _, path := range currentPaths {
 		rows, err := bench.ReadCompareRows(path)
@@ -217,6 +229,10 @@ func benchCompare(baselinePath string, rest []string) {
 			fatal(err)
 		}
 		current = append(current, rows...)
+	}
+	if len(current) == 0 {
+		fmt.Fprintf(os.Stderr, "bench-compare: current artifacts (%s) have no rows — the benchmark run produced nothing to gate\n", strings.Join(currentPaths, "+"))
+		os.Exit(1)
 	}
 	if len(current) < *minRows {
 		fmt.Fprintf(os.Stderr, "bench-compare: current artifacts have %d rows, need >= %d\n", len(current), *minRows)
@@ -235,7 +251,14 @@ func benchCompare(baselinePath string, rest []string) {
 	for _, r := range regs {
 		fmt.Printf("  REGRESSION %s\n", r)
 	}
-	fmt.Fprintf(os.Stderr, "bench-compare: %d cell(s) regressed\n", len(regs))
+	// Name the offending cells in the error itself: CI surfaces stderr,
+	// and "3 cell(s) regressed" without the keys forces a dig through the
+	// full log to learn which approach/connector/N combination broke.
+	keys := make([]string, len(regs))
+	for i, r := range regs {
+		keys[i] = r.Key
+	}
+	fmt.Fprintf(os.Stderr, "bench-compare: %d cell(s) regressed: %s\n", len(regs), strings.Join(keys, ", "))
 	os.Exit(1)
 }
 
@@ -283,37 +306,57 @@ func benchBatch(outPath string, rest []string) {
 	}
 }
 
-// benchGen runs the generated-vs-interpreted FireSteady comparison (the
-// internal/genlib/lane connector on both backends) and writes fig12-
-// schema rows for the perf-regression gate: one "interpreted" and one
-// "generated" Lane cell, best of -reps runs each.
+// benchGen runs the generated-vs-interpreted comparisons and writes
+// fig12-schema rows for the perf-regression gate: the FireSteady lane on
+// both backends (internal/genlib/lane), the n-lane RegionScaling fabric
+// on both backends (interpreted region partitioning vs the parametric
+// internal/genlib/fabric package), and one NPB program on the generated
+// fabric — best of -reps runs each.
 func benchGen(outPath string, rest []string) {
 	fs := flag.NewFlagSet("bench-gen", flag.ExitOnError)
 	items := fs.Int("items", 1<<17, "values moved end to end per measurement")
+	lanes := fs.Int("lanes", 16, "fabric width of the RegionScaling cells")
+	fabricItems := fs.Int("fabric-items", 1<<14, "values moved per lane in the RegionScaling cells")
+	npbSlaves := fs.Int("npb-slaves", 4, "slave count of the generated NPB cell")
 	reps := fs.Int("reps", 3, "repetitions (best run reported; use >= 3 for CI gating)")
 	fs.Parse(rest)
 	if *reps < 1 {
 		*reps = 1
 	}
-	best, err := bench.RunGenSteady(*items)
-	if err != nil {
-		fatal(err)
-	}
-	for r := 1; r < *reps; r++ {
-		res, err := bench.RunGenSteady(*items)
+	bestOf := func(run func() ([]bench.GenResult, error)) []bench.GenResult {
+		best, err := run()
 		if err != nil {
 			fatal(err)
 		}
-		for i := range best {
-			if res[i].Elapsed < best[i].Elapsed {
-				best[i] = res[i]
+		for r := 1; r < *reps; r++ {
+			res, err := run()
+			if err != nil {
+				fatal(err)
+			}
+			for i := range best {
+				if res[i].Elapsed < best[i].Elapsed {
+					best[i] = res[i]
+				}
 			}
 		}
+		return best
 	}
-	for _, r := range best {
-		fmt.Printf("bench-gen: %-12s Lane %12.0f steps/s (%d items)\n", r.Approach, r.StepsPerSec(), r.Items)
+	var results []bench.GenResult
+	results = append(results, bestOf(func() ([]bench.GenResult, error) {
+		return bench.RunGenSteady(*items)
+	})...)
+	results = append(results, bestOf(func() ([]bench.GenResult, error) {
+		return bench.RunGenRegionScaling(*lanes, *fabricItems)
+	})...)
+	results = append(results, bestOf(func() ([]bench.GenResult, error) {
+		res, err := bench.RunGenNPB("EP", npb.ClassS, *npbSlaves)
+		return []bench.GenResult{res}, err
+	})...)
+	for _, r := range results {
+		fmt.Printf("bench-gen: %-12s %-8s N=%-3d %12.0f steps/s\n",
+			r.Approach, r.Connector, r.N, r.StepsPerSec())
 	}
-	if err := bench.WriteGenJSON(outPath, best); err != nil {
+	if err := bench.WriteGenJSON(outPath, results); err != nil {
 		fatal(err)
 	}
 }
@@ -429,11 +472,11 @@ func usage() {
   reoc automata file.reo Connector [-n N]
   reoc plan     file.reo Connector [-n N]
   reoc regions  file.reo Connector [-n N] [-workers W]
-  reoc gen      file.reo Connector [-n N] [-o dir] [-pkg name] [-force]
+  reoc gen      file.reo Connector [-n N | -parametric] [-o dir] [-pkg name] [-force]
   reoc verify   file.reo Connector [-n N]
   reoc bench-compare baseline.json current.json... [-threshold 0.25] [-min-rows K]
   reoc bench-batch out.json [-stages S] [-items I] [-batches 1,8,64,512] [-reps R]
-  reoc bench-gen out.json [-items I] [-reps R]
+  reoc bench-gen out.json [-items I] [-lanes L] [-npb-slaves K] [-reps R]
   reoc bench-instances out.json [-cycles C] [-instances K] [-rounds P] [-reps R]`)
 	os.Exit(2)
 }

@@ -5,7 +5,9 @@ import (
 	"time"
 
 	reo "repro"
+	"repro/internal/genlib/fabric"
 	"repro/internal/genlib/lane"
+	"repro/internal/npb"
 )
 
 // This file measures the static code-generation backend against the
@@ -23,9 +25,13 @@ const laneSrc = `Lane(a;b) = Fifo1(a;b)`
 // GenResult is one backend's measurement.
 type GenResult struct {
 	Approach string
-	Items    int
-	Steps    int64
-	Elapsed  time.Duration
+	// Connector and N identify the perf-gate cell the measurement lands
+	// in (fig12 schema: approach/connector/n).
+	Connector string
+	N         int
+	Items     int
+	Steps     int64
+	Elapsed   time.Duration
 }
 
 // StepsPerSec returns the measured firing rate.
@@ -51,7 +57,7 @@ func RunGenSteady(items int) ([]GenResult, error) {
 }
 
 func runInterpretedLane(items int) (GenResult, error) {
-	res := GenResult{Approach: "interpreted", Items: items}
+	res := GenResult{Approach: "interpreted", Connector: "Lane", N: 1, Items: items}
 	prog, err := reo.Compile(laneSrc)
 	if err != nil {
 		return res, err
@@ -80,7 +86,7 @@ func runInterpretedLane(items int) (GenResult, error) {
 }
 
 func runGeneratedLane(items int) (GenResult, error) {
-	res := GenResult{Approach: "generated", Items: items}
+	res := GenResult{Approach: "generated", Connector: "Lane", N: 1, Items: items}
 	inst, err := lane.New()
 	if err != nil {
 		return res, err
@@ -99,6 +105,131 @@ func runGeneratedLane(items int) (GenResult, error) {
 	}
 	res.Elapsed = time.Since(start)
 	res.Steps = inst.Steps() - 2
+	return res, nil
+}
+
+// --- region-scaling cells: parametric generated vs interpreted ------------
+
+// fabricSrc is the pure region-scaling shape (n independent Fifo1
+// lanes); internal/genlib/fabric is its parametric generated twin.
+const fabricSrc = `Fabric(a[];b[]) = prod (i:1..#a) Fifo1(a[i];b[i])`
+
+// RunGenRegionScaling moves `items` values through every lane of an
+// n-lane fabric on both backends — the interpreted engine under region
+// partitioning (the decomposition the generated runtime always uses)
+// and the parametric generated package — and returns one measurement
+// per approach (interpreted first). The whole per-lane stream moves as
+// one batched port operation, so the timed window is almost pure region
+// fire loop: exactly the dispatch the static code replaces.
+func RunGenRegionScaling(n, items int) ([]GenResult, error) {
+	interp, err := runFabric(n, items, func() (fabricBackend, error) {
+		prog, err := reo.Compile(fabricSrc)
+		if err != nil {
+			return nil, err
+		}
+		conn, err := prog.Connector("Fabric")
+		if err != nil {
+			return nil, err
+		}
+		inst, err := conn.Connect(map[string]int{"a": n, "b": n},
+			reo.WithPartitioning(reo.PartitionRegions))
+		if err != nil {
+			return nil, err
+		}
+		return inst.Backend(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	interp.Approach = "interpreted"
+	generated, err := runFabric(n, items, func() (fabricBackend, error) {
+		return fabric.New(n)
+	})
+	if err != nil {
+		return nil, err
+	}
+	generated.Approach = "generated"
+	return []GenResult{interp, generated}, nil
+}
+
+// fabricBackend is the string-keyed surface both fabric instances
+// share (reo.Backend and the genrun instance alike).
+type fabricBackend interface {
+	Ports(param string) []string
+	SendBatch(port string, vs []any) (int, error)
+	RecvBatch(port string, buf []any) (int, error)
+	Steps() int64
+	Close() error
+}
+
+func runFabric(n, items int, connect func() (fabricBackend, error)) (GenResult, error) {
+	res := GenResult{Connector: "Fabric", N: n, Items: items}
+	b, err := connect()
+	if err != nil {
+		return res, err
+	}
+	defer b.Close()
+	as, bs := b.Ports("a"), b.Ports("b")
+	round := func(perLane int) error {
+		vs := make([]any, perLane)
+		for i := range vs {
+			vs[i] = i
+		}
+		errc := make(chan error, 2*n)
+		for i := 0; i < n; i++ {
+			go func(p string) {
+				_, err := b.SendBatch(p, vs)
+				errc <- err
+			}(as[i])
+			go func(p string) {
+				buf := make([]any, perLane)
+				_, err := b.RecvBatch(p, buf)
+				errc <- err
+			}(bs[i])
+		}
+		for i := 0; i < 2*n; i++ {
+			if err := <-errc; err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Warm every lane (first fire pays region wake-up and slot setup).
+	if err := round(1); err != nil {
+		return res, err
+	}
+	warm := b.Steps()
+	start := time.Now()
+	if err := round(items); err != nil {
+		return res, err
+	}
+	res.Elapsed = time.Since(start)
+	res.Steps = b.Steps() - warm
+	return res, nil
+}
+
+// RunGenNPB times one NPB program on the generated fabric (the Gen
+// variant over internal/genlib/msfabric) and returns its connector
+// firing rate as a perf-gate cell: a slowdown of the generated runtime
+// under a real program's access pattern is caught even if the
+// microbenchmark cells stay healthy.
+func RunGenNPB(program string, class npb.Class, slaves int) (GenResult, error) {
+	res := GenResult{Approach: "generated", Connector: "NPB-" + program, N: slaves}
+	prog, err := npb.ProgramByName(program)
+	if err != nil {
+		return res, err
+	}
+	start := time.Now()
+	out, err := prog.Run(class, npb.Gen, slaves)
+	res.Elapsed = time.Since(start)
+	if err != nil {
+		return res, err
+	}
+	if !out.Verified {
+		return res, fmt.Errorf("bench: %s class %s on the generated fabric failed verification (checksum %g)",
+			program, class, out.Checksum)
+	}
+	res.Steps = out.Steps
 	return res, nil
 }
 
@@ -124,8 +255,8 @@ func GenJSONRows(results []GenResult) []Fig12JSON {
 	for _, r := range results {
 		rows = append(rows, Fig12JSON{
 			Approach:    r.Approach,
-			Connector:   "Lane",
-			N:           1,
+			Connector:   r.Connector,
+			N:           r.N,
 			StepsPerSec: r.StepsPerSec(),
 		})
 	}

@@ -1,0 +1,114 @@
+package ca
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CanonicalRegion renders a region automaton's structure as a canonical
+// key that is invariant under port/cell renaming: every referenced port
+// is replaced by its slot index (the position in the returned ascending
+// port list) and every referenced cell by its index in the returned
+// ascending cell list. Two solid regions with the same key differ only
+// in which concrete ports and cells they are wired to — precisely the
+// property the parametric code generator needs to emit one static
+// template per region *shape* and bind it to every instance of that
+// shape at runtime, whatever the array length.
+//
+// The key covers control structure (state count, initial state,
+// per-state transition order, targets), synchronization sets,
+// guards (registered name including any "!" negation prefix, folded
+// transformer names, observed location, an anonymous-predicate marker),
+// and actions (destination/source locations, transformer names, an
+// anonymous-transformation marker), plus the initial values of the
+// referenced cells. The automaton's Name is deliberately excluded:
+// instances of one template differ only by their instantiation prefix.
+func CanonicalRegion(a *Automaton) (key string, ports []PortID, cells []CellID) {
+	portSet := map[PortID]bool{}
+	cellSet := map[CellID]bool{}
+	a.Ports.ForEach(func(p PortID) { portSet[p] = true })
+	noteLoc := func(l Loc) {
+		switch l.Kind {
+		case LocPort:
+			portSet[l.Port] = true
+		case LocCell:
+			cellSet[l.Cell] = true
+		}
+	}
+	for _, ts := range a.Trans {
+		for i := range ts {
+			t := &ts[i]
+			t.Sync.ForEach(func(p PortID) { portSet[p] = true })
+			for j := range t.Guards {
+				noteLoc(t.Guards[j].In)
+			}
+			for j := range t.Acts {
+				noteLoc(t.Acts[j].Dst)
+				noteLoc(t.Acts[j].Src)
+			}
+		}
+	}
+	for p := range portSet {
+		ports = append(ports, p)
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	for c := range cellSet {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i] < cells[j] })
+
+	slot := make(map[PortID]int, len(ports))
+	for i, p := range ports {
+		slot[p] = i
+	}
+	cellIdx := make(map[CellID]int, len(cells))
+	for i, c := range cells {
+		cellIdx[c] = i
+	}
+	locStr := func(l Loc) string {
+		switch l.Kind {
+		case LocPort:
+			return fmt.Sprintf("p%d", slot[l.Port])
+		case LocCell:
+			return fmt.Sprintf("c%d", cellIdx[l.Cell])
+		default:
+			return fmt.Sprintf("k%#v", l.Const)
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "s%d;i%d", a.NumStates(), a.Initial)
+	for s, ts := range a.Trans {
+		fmt.Fprintf(&sb, ";st%d{", s)
+		for i := range ts {
+			t := &ts[i]
+			sb.WriteString("t[")
+			t.Sync.ForEach(func(p PortID) { fmt.Fprintf(&sb, "p%d,", slot[p]) })
+			fmt.Fprintf(&sb, "]->%d", t.Target)
+			for j := range t.Guards {
+				g := &t.Guards[j]
+				fmt.Fprintf(&sb, "[g:%s;xf:%s;in:%s", g.Name, strings.Join(g.XformNames, ","), locStr(g.In))
+				if g.Pred != nil && g.Name == "" {
+					sb.WriteString(";anon")
+				}
+				sb.WriteString("]")
+			}
+			for j := range t.Acts {
+				act := &t.Acts[j]
+				fmt.Fprintf(&sb, "[a:%s<-%s;xf:%s", locStr(act.Dst), locStr(act.Src), strings.Join(act.XformNames, ","))
+				if act.Xform != nil && len(act.XformNames) == 0 {
+					sb.WriteString(";anon")
+				}
+				sb.WriteString("]")
+			}
+			sb.WriteString(";")
+		}
+		sb.WriteString("}")
+	}
+	sb.WriteString(";cells:")
+	for _, c := range cells {
+		fmt.Fprintf(&sb, "%#v,", a.U.CellInitial(c))
+	}
+	return sb.String(), ports, cells
+}

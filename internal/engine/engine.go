@@ -150,6 +150,11 @@ type Engine struct {
 	// τ-budget signals. linkBurst/lastSeen are the engine's τ-burst
 	// accounting against its group's completion counter (one worker runs
 	// an engine at a time; both are touched only under mu).
+	// gen, when non-nil, switches the fire loop to a generated region
+	// template bound by BindGen (see gen.go). Everything outside the
+	// loop — ops, links, nudges, runtime, close/break/reset — is shared.
+	gen *genMode
+
 	sched          *Runtime
 	schedState     atomic.Int32
 	homeWorker     int32
@@ -581,6 +586,10 @@ const pumpTrigger ca.PortID = -1
 // are included for robustness. After a fire the composite state
 // and cells have changed, so subsequent iterations scan the full state.
 func (e *Engine) fireLoop(trigger ca.PortID) {
+	if e.gen != nil {
+		e.fireLoopGen(trigger)
+		return
+	}
 	e.fireCompleted, e.fireLinkActive = false, false
 	if e.broken != nil {
 		return

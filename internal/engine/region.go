@@ -510,6 +510,16 @@ func (e *Engine) linkCount() int {
 // splits connectors that are one component: any full buffer decouples
 // the consensus on its two sides.
 func NewMultiRegions(u *ca.Universe, auts []*ca.Automaton, opts Options) (*Multi, error) {
+	return NewMultiRegionsBound(u, auts, opts, nil)
+}
+
+// NewMultiRegionsBound is NewMultiRegions with a construction hook: after
+// each region's link endpoints are finalized (initLinks) and before it
+// expands any state, bind is called with the region index, its planned
+// spec, and the region engine. Generated backends use it to install
+// static templates via Engine.BindGen; a bind that declines (or fails)
+// simply leaves that region interpreted, so mixed instances are fine.
+func NewMultiRegionsBound(u *ca.Universe, auts []*ca.Automaton, opts Options, bind func(ri int, spec ca.RegionSpec, eng *Engine)) (*Multi, error) {
 	if len(auts) == 0 {
 		return nil, errors.New("engine: no constituent automata")
 	}
@@ -565,8 +575,11 @@ func NewMultiRegions(u *ca.Universe, auts []*ca.Automaton, opts Options) (*Multi
 		m.links = append(m.links, l)
 	}
 
-	for _, e := range m.engines {
+	for ri, e := range m.engines {
 		e.initLinks()
+		if bind != nil {
+			bind(ri, plan.Regions[ri], e)
+		}
 		if err := e.finish(); err != nil {
 			m.Close()
 			return nil, err

@@ -103,6 +103,49 @@ func TestCLIBadPackageName(t *testing.T) {
 	}
 }
 
+// TestCLIRejectsNonpositiveN pins the eager length check: a zero or
+// negative -n is diagnosed as such before any source file is even read,
+// instead of surfacing as a confusing instantiation failure.
+func TestCLIRejectsNonpositiveN(t *testing.T) {
+	for _, n := range []string{"0", "-2"} {
+		code, _, stderr := runCLI(t, filepath.Join(t.TempDir(), "absent.reo"), "Lane", "-n", n)
+		if code != 1 || !strings.Contains(stderr, "invalid option -n") ||
+			!strings.Contains(stderr, "must be >= 1") {
+			t.Errorf("-n %s: got code %d, stderr %q; want eager invalid-option error", n, code, stderr)
+		}
+		if strings.Contains(stderr, "absent.reo") {
+			t.Errorf("-n %s: source file was read before the length check: %q", n, stderr)
+		}
+	}
+}
+
+// TestCLIParametric runs the -parametric path end to end on an arrayed
+// connector the fixed-N path would have to expand per length.
+func TestCLIParametric(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lanes.reo")
+	if err := os.WriteFile(path, []byte("Lanes(a[];b[]) = prod (i:1..#a) Fifo1(a[i];b[i])\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := t.TempDir()
+	code, stdout, stderr := runCLI(t, path, "Lanes", "-parametric", "-o", out)
+	if code != 0 {
+		t.Fatalf("parametric generation failed: %s", stderr)
+	}
+	if !strings.Contains(stdout, "lanes_gen.go") || !strings.Contains(stdout, "1 region templates") ||
+		!strings.Contains(stdout, "any n") {
+		t.Errorf("unexpected success output %q", stdout)
+	}
+	emitted, err := os.ReadFile(filepath.Join(out, "lanes_gen.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"package lanes", "genrun.New(source, connectorName, n, templates", "func New(n int"} {
+		if !strings.Contains(string(emitted), want) {
+			t.Errorf("emitted package missing %q", want)
+		}
+	}
+}
+
 // TestGenerateStateBound pins the ErrTooLarge-style failure mode: a
 // connector whose reachable composite space exceeds MaxStates must be
 // rejected at generation time with a pointer to the JIT alternative.

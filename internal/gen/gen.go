@@ -41,8 +41,12 @@ type Generated struct {
 	// Package and Connector echo the configuration.
 	Package   string
 	Connector string
-	// States and Transitions count the expanded composite space.
+	// States and Transitions count the expanded composite space (for
+	// the parametric path: totals across the emitted region templates).
 	States, Transitions int
+	// Templates counts the distinct region shapes of a parametric run
+	// (zero for the fixed-N path).
+	Templates int
 }
 
 // model is the fully resolved form the emitter works from.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	reo "repro"
+	"repro/internal/genlib/msfabric"
 )
 
 // Comm is the coordination fabric between a master and N slaves: the only
@@ -228,6 +229,10 @@ type reoComm struct {
 // partitioning, expansion rule) — the knobs of experiments E4/E5.
 type ReoCommOptions struct {
 	Opts []reo.ConnectOption
+	// GenOpts configure the Gen variant's runtime (seed, worker pool);
+	// the interpreted knobs in Opts do not apply there because the
+	// generated fabric always runs region-partitioned.
+	GenOpts []msfabric.Option
 }
 
 // DefaultReoOptions is the engine configuration the programs' Reo
@@ -295,6 +300,73 @@ func (c *reoComm) PipeRecvUp(i int) (any, error) { return c.qi[i].Recv() }
 func (c *reoComm) Steps() int64                  { return c.inst.Steps() }
 func (c *reoComm) Close() error                  { return c.inst.Close() }
 
+// --- generated (parametric static code) implementation --------------------
+
+// genComm runs the MasterSlaves scatter/gather structure on the
+// generated backend: internal/genlib/msfabric holds the statically
+// emitted per-region code (`reoc gen -parametric` output over the same
+// connector text as masterSlavesSrc), and New(n) instantiates it at the
+// requested slave count — no per-N expansion, no interpretation of the
+// hot dispatch.
+type genComm struct {
+	inst           *msfabric.Instance
+	mo, mi, so, si []string
+}
+
+// NewGenComm builds the generated fabric for n slaves. The msfabric
+// package has no slave pipeline, so withPipe (LU's wavefront) requires
+// the interpreted Reo variant.
+func NewGenComm(n int, withPipe bool, rc ReoCommOptions) (PipeComm, error) {
+	if withPipe {
+		return nil, fmt.Errorf("npb: the generated fabric has no slave pipeline; run LU on the reo variant")
+	}
+	inst, err := msfabric.New(n, rc.GenOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return &genComm{
+		inst: inst,
+		mo:   inst.Ports("mo"),
+		mi:   inst.Ports("mi"),
+		so:   inst.Ports("so"),
+		si:   inst.Ports("si"),
+	}, nil
+}
+
+func (c *genComm) SendToSlave(i int, v any) error   { return c.inst.Send(c.mo[i], v) }
+func (c *genComm) RecvFromSlave(i int) (any, error) { return c.inst.Recv(c.mi[i]) }
+func (c *genComm) SlaveSend(i int, v any) error     { return c.inst.Send(c.so[i], v) }
+func (c *genComm) SlaveRecv(i int) (any, error)     { return c.inst.Recv(c.si[i]) }
+
+func (c *genComm) SendToSlaveBatch(i int, vs []any) error {
+	_, err := c.inst.SendBatch(c.mo[i], vs)
+	return err
+}
+func (c *genComm) RecvFromSlaveBatch(i int, buf []any) (int, error) {
+	return c.inst.RecvBatch(c.mi[i], buf)
+}
+func (c *genComm) SlaveSendBatch(i int, vs []any) error {
+	_, err := c.inst.SendBatch(c.so[i], vs)
+	return err
+}
+func (c *genComm) SlaveRecvBatch(i int, buf []any) (int, error) {
+	return c.inst.RecvBatch(c.si[i], buf)
+}
+func (c *genComm) PipeSend(i int, v any) error {
+	return fmt.Errorf("npb: generated fabric has no pipeline")
+}
+func (c *genComm) PipeRecv(i int) (any, error) {
+	return nil, fmt.Errorf("npb: generated fabric has no pipeline")
+}
+func (c *genComm) PipeSendUp(i int, v any) error {
+	return fmt.Errorf("npb: generated fabric has no pipeline")
+}
+func (c *genComm) PipeRecvUp(i int) (any, error) {
+	return nil, fmt.Errorf("npb: generated fabric has no pipeline")
+}
+func (c *genComm) Steps() int64 { return c.inst.Steps() }
+func (c *genComm) Close() error { return c.inst.Close() }
+
 // NewComm builds the fabric for a variant.
 func NewComm(variant Variant, n int, withPipe bool, rc ReoCommOptions) (PipeComm, error) {
 	switch variant {
@@ -302,6 +374,8 @@ func NewComm(variant Variant, n int, withPipe bool, rc ReoCommOptions) (PipeComm
 		return NewChanComm(n, withPipe), nil
 	case Reo:
 		return NewReoComm(n, withPipe, rc)
+	case Gen:
+		return NewGenComm(n, withPipe, rc)
 	}
 	return nil, fmt.Errorf("npb: variant %v has no comm", variant)
 }

@@ -40,6 +40,11 @@ const (
 	Serial Variant = iota
 	Orig
 	Reo
+	// Gen runs the Reo coordination structure on the generated backend:
+	// the parametric msfabric package (internal/genlib/msfabric), whose
+	// per-region code was emitted once by `reoc gen -parametric` and is
+	// instantiated at the requested slave count at run time.
+	Gen
 )
 
 func (v Variant) String() string {
@@ -48,6 +53,8 @@ func (v Variant) String() string {
 		return "serial"
 	case Orig:
 		return "orig"
+	case Gen:
+		return "gen"
 	default:
 		return "reo"
 	}

@@ -80,6 +80,71 @@ func TestAllProgramsAllVariants(t *testing.T) {
 
 // TestClassWOneProgramEach spot-checks a larger class on the two Fig. 13
 // programs.
+// TestGeneratedVariant runs the master/slaves programs on the generated
+// backend (npb.Gen: the parametric msfabric package) and requires the
+// checksum to match the interpreted Reo variant bit for bit — the two
+// backends run the same coordination structure, so the numerics cannot
+// differ. EP and IS are the acceptance pair; the rest of the non-pipeline
+// programs ride along at one slave count.
+func TestGeneratedVariant(t *testing.T) {
+	type cfg struct {
+		name string
+		ns   []int
+	}
+	cfgs := []cfg{
+		{"EP", []int{1, 2, 4}},
+		{"IS", []int{1, 2, 4}},
+		{"CG", []int{2}},
+		{"MG", []int{2}},
+		{"FT", []int{2}},
+		{"BT", []int{2}},
+		{"SP", []int{2}},
+	}
+	for _, c := range cfgs {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := npb.ProgramByName(c.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range c.ns {
+				reoRes, err := prog.Run(npb.ClassS, npb.Reo, n)
+				if err != nil {
+					t.Fatalf("reo N=%d: %v", n, err)
+				}
+				genRes, err := prog.Run(npb.ClassS, npb.Gen, n)
+				if err != nil {
+					t.Fatalf("gen N=%d: %v", n, err)
+				}
+				if !genRes.Verified {
+					t.Errorf("gen N=%d: not verified (checksum %g)", n, genRes.Checksum)
+				}
+				if genRes.Checksum != reoRes.Checksum {
+					t.Errorf("gen N=%d: checksum %g differs from interpreted %g",
+						n, genRes.Checksum, reoRes.Checksum)
+				}
+				if genRes.Steps == 0 {
+					t.Errorf("gen N=%d: no connector steps recorded", n)
+				}
+			}
+		})
+	}
+}
+
+// TestGeneratedVariantNoPipeline pins the LU restriction: the generated
+// fabric has no slave pipeline, so the wavefront program must fail with a
+// clear error instead of hanging or panicking.
+func TestGeneratedVariantNoPipeline(t *testing.T) {
+	prog, err := npb.ProgramByName("LU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Run(npb.ClassS, npb.Gen, 2); err == nil {
+		t.Fatal("LU on the generated fabric succeeded; want a no-pipeline error")
+	}
+}
+
 func TestClassWFig13Programs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("class W in -short mode")
