@@ -182,6 +182,14 @@ func TestConnectOptionValidation(t *testing.T) {
 			[]reo.ConnectOption{reo.WithStateCache(-1, reo.LRU)}},
 		{"negative max states", "WithMaxStates",
 			[]reo.ConnectOption{reo.WithMaxStates(-4)}},
+		{"remote without regions", "WithRemoteRegions",
+			[]reo.ConnectOption{reo.WithRemoteRegions(&reo.RemoteTopology{})}},
+		{"remote with components", "WithRemoteRegions",
+			[]reo.ConnectOption{reo.WithPartitioning(reo.PartitionComponents), reo.WithRemoteRegions(&reo.RemoteTopology{})}},
+		{"remote with static mode", "WithRemoteRegions",
+			[]reo.ConnectOption{reo.WithPartitioning(reo.PartitionRegions), reo.WithMode(reo.Static), reo.WithRemoteRegions(&reo.RemoteTopology{})}},
+		{"remote plus reuse", "WithRemoteRegions",
+			[]reo.ConnectOption{reo.WithPartitioning(reo.PartitionRegions), reo.WithReuse(true), reo.WithRemoteRegions(&reo.RemoteTopology{})}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -16,6 +16,7 @@
 //	reoc bench-batch out.json [-stages S] [-items I] [-batches 1,8,64,512] [-reps R]
 //	reoc bench-gen out.json [-items I] [-lanes L] [-npb-slaves K] [-reps R]
 //	reoc bench-instances out.json [-cycles C] [-instances K] [-rounds P] [-reps R]
+//	reoc bench-remote out.json [-lanes L] [-mem-items I] [-tcp-items J] [-reps R]
 package main
 
 import (
@@ -61,6 +62,10 @@ func main() {
 	}
 	if cmd == "bench-instances" {
 		benchInstances(file, rest)
+		return
+	}
+	if cmd == "bench-remote" {
+		benchRemote(file, rest)
 		return
 	}
 	if cmd == "gen" {
@@ -407,6 +412,54 @@ func benchInstances(outPath string, rest []string) {
 	}
 }
 
+// benchRemote runs the region-link transport cells — the lane connector
+// in-process (transport mem) and split across two TCP-joined instances
+// over loopback (transport tcp, at one lane and at -lanes lanes) — and
+// writes perf-gate rows, best of -reps runs per cell. The tcp cells are
+// round-trip-bound by design (a cut Fifo1 keeps its planned capacity of
+// one end to end), so their rates gate the wire path's constant
+// factors, not bulk bandwidth.
+func benchRemote(outPath string, rest []string) {
+	fs := flag.NewFlagSet("bench-remote", flag.ExitOnError)
+	lanes := fs.Int("lanes", 4, "lane count of the multi-lane cells")
+	memItems := fs.Int("mem-items", 1<<14, "items moved per mem measurement")
+	tcpItems := fs.Int("tcp-items", 1<<11, "items moved per tcp measurement (round-trip bound, keep small)")
+	reps := fs.Int("reps", 3, "repetitions per cell (best run reported; use >= 3 for CI gating)")
+	fs.Parse(rest)
+	if *reps < 1 {
+		*reps = 1
+	}
+
+	run := func(transport string, lanes, items int) bench.RemoteResult {
+		best, err := bench.RunRemoteLink(transport, lanes, items)
+		if err != nil {
+			fatal(err)
+		}
+		for r := 1; r < *reps; r++ {
+			res, err := bench.RunRemoteLink(transport, lanes, items)
+			if err != nil {
+				fatal(err)
+			}
+			if res.Elapsed < best.Elapsed {
+				best = res
+			}
+		}
+		return best
+	}
+	results := []bench.RemoteResult{
+		run("mem", *lanes, *memItems),
+		run("tcp", 1, *tcpItems / *lanes),
+		run("tcp", *lanes, *tcpItems),
+	}
+	for _, r := range results {
+		fmt.Printf("bench-remote: transport=%-4s lanes=%-3d %12.0f items/s (%d conn steps)\n",
+			r.Transport, r.Lanes, r.ItemsPerSec(), r.Steps)
+	}
+	if err := bench.WriteRemoteJSON(outPath, results); err != nil {
+		fatal(err)
+	}
+}
+
 // connectInstance compiles the named connector and instantiates every
 // array parameter at length n.
 func connectInstance(src, name string, n int) *reo.Instance {
@@ -477,6 +530,7 @@ func usage() {
   reoc bench-compare baseline.json current.json... [-threshold 0.25] [-min-rows K]
   reoc bench-batch out.json [-stages S] [-items I] [-batches 1,8,64,512] [-reps R]
   reoc bench-gen out.json [-items I] [-lanes L] [-npb-slaves K] [-reps R]
-  reoc bench-instances out.json [-cycles C] [-instances K] [-rounds P] [-reps R]`)
+  reoc bench-instances out.json [-cycles C] [-instances K] [-rounds P] [-reps R]
+  reoc bench-remote out.json [-lanes L] [-mem-items I] [-tcp-items J] [-reps R]`)
 	os.Exit(2)
 }

@@ -1,0 +1,264 @@
+// Command reod hosts one node of a distributed connector: it reads a
+// topology spec, connects its share of the region plan over TCP, drives
+// the boundary ports hosted locally with a deterministic workload, and
+// prints per-port checksums plus its step count. Running the same spec
+// with -reference executes the whole plan in one process — the output
+// of a distributed fleet, concatenated and sorted, must match it line
+// for line (STEPS lines sum to the reference's).
+//
+// Usage:
+//
+//	reod -topo cluster.json -node a        # host node "a"
+//	reod -topo cluster.json -reference     # single-process reference
+//
+// The topology spec is JSON:
+//
+//	{
+//	  "source":    "Alternator(in[];out) = ...",   // reo program text
+//	  "connector": "Alternator",
+//	  "lengths":   {"in": 4},
+//	  "seed":      7,
+//	  "nodes":     {"a": "127.0.0.1:9401", "b": "127.0.0.1:9402"},
+//	  "regions":   {"a": [0], "b": [1]},
+//	  "workload":  {"sends": {"in": 24}, "recvs": {"out": 96}}
+//	}
+//
+// workload.sends gives the number of values pushed into every port of a
+// tail parameter; workload.recvs the number of values expected from
+// every port of a head parameter. Values are deterministic functions of
+// (parameter, index, round), so checksums are comparable across runs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	reo "repro"
+	"repro/internal/ca"
+)
+
+type topoSpec struct {
+	Source    string            `json:"source"`
+	Connector string            `json:"connector"`
+	Lengths   map[string]int    `json:"lengths"`
+	Seed      int64             `json:"seed"`
+	Nodes     map[string]string `json:"nodes"`
+	Regions   map[string][]int  `json:"regions"`
+	Workload  workload          `json:"workload"`
+	// DialTimeoutSec bounds connection establishment (default 10).
+	DialTimeoutSec int `json:"dial_timeout_sec"`
+}
+
+type workload struct {
+	Sends map[string]int `json:"sends"`
+	Recvs map[string]int `json:"recvs"`
+}
+
+// sendValue is the deterministic payload for round k (1-based) of port
+// index i (0-based) of a tail parameter. The reference run and every
+// node compute the same values, so recv-side checksums are comparable.
+func sendValue(i, k int) int { return (i+1)*1_000_000 + k }
+
+// portResult is one driven port's outcome.
+type portResult struct {
+	label string
+	count int
+	sum   uint64
+	err   error
+}
+
+func main() {
+	topoPath := flag.String("topo", "", "topology spec (JSON, required)")
+	node := flag.String("node", "", "node name to host (exclusive with -reference)")
+	reference := flag.Bool("reference", false, "run the whole plan in-process instead of hosting a node")
+	linger := flag.Duration("linger", 2*time.Second, "delay before Close, so slower peers finish draining")
+	flag.Parse()
+
+	if err := run(*topoPath, *node, *reference, *linger); err != nil {
+		fmt.Fprintln(os.Stderr, "reod:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topoPath, node string, reference bool, linger time.Duration) error {
+	if topoPath == "" {
+		return fmt.Errorf("-topo is required")
+	}
+	if (node == "") == !reference {
+		return fmt.Errorf("exactly one of -node or -reference is required")
+	}
+	raw, err := os.ReadFile(topoPath)
+	if err != nil {
+		return err
+	}
+	var spec topoSpec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return fmt.Errorf("parse %s: %w", topoPath, err)
+	}
+
+	prog, err := reo.Compile(spec.Source)
+	if err != nil {
+		return fmt.Errorf("compile: %w", err)
+	}
+	conn, err := prog.Connector(spec.Connector)
+	if err != nil {
+		return err
+	}
+
+	// Port ownership: replay the region plan the engine will build and
+	// map every boundary port to the node hosting its region. The
+	// reference run hosts everything.
+	asm, err := conn.Template().Instantiate(spec.Lengths)
+	if err != nil {
+		return err
+	}
+	plan := ca.PlanRegions(asm.U, asm.Auts)
+	owner := plan.PortRegions(asm.U, asm.Auts)
+	regionNode := make([]string, len(plan.Regions))
+	for n, rs := range spec.Regions {
+		for _, ri := range rs {
+			if ri < 0 || ri >= len(regionNode) {
+				return fmt.Errorf("region %d out of range (plan has %d)", ri, len(regionNode))
+			}
+			regionNode[ri] = n
+		}
+	}
+	mine := func(p ca.PortID) bool {
+		if reference {
+			return true
+		}
+		ri := owner[p]
+		return ri >= 0 && regionNode[ri] == node
+	}
+
+	opts := []reo.ConnectOption{
+		reo.WithPartitioning(reo.PartitionRegions),
+		reo.WithSeed(spec.Seed),
+	}
+	if !reference {
+		dt := time.Duration(spec.DialTimeoutSec) * time.Second
+		opts = append(opts, reo.WithRemoteRegions(&reo.RemoteTopology{
+			Node:        node,
+			Nodes:       spec.Nodes,
+			Regions:     spec.Regions,
+			DialTimeout: dt,
+		}))
+	}
+	inst, err := conn.Connect(spec.Lengths, opts...)
+	if err != nil {
+		return err
+	}
+
+	label := func(param string, i, n int) string {
+		if n == 1 {
+			return param
+		}
+		return fmt.Sprintf("%s[%d]", param, i+1)
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		results []portResult
+	)
+	record := func(r portResult) {
+		mu.Lock()
+		results = append(results, r)
+		mu.Unlock()
+	}
+	for param, count := range spec.Workload.Sends {
+		ports := inst.Outports(param)
+		ids := asm.Tails[param]
+		if len(ports) == 0 {
+			return fmt.Errorf("workload sends on unknown tail parameter %q", param)
+		}
+		for i, port := range ports {
+			if !mine(ids[i]) {
+				continue
+			}
+			wg.Add(1)
+			go func(param string, i int, port reo.Outport) {
+				defer wg.Done()
+				h := fnv.New64a()
+				r := portResult{label: label(param, i, len(ports))}
+				for k := 1; k <= count; k++ {
+					v := sendValue(i, k)
+					if err := port.Send(v); err != nil {
+						r.err = fmt.Errorf("send %s round %d: %w", r.label, k, err)
+						break
+					}
+					fmt.Fprintf(h, "%v|", v)
+					r.count++
+				}
+				r.sum = h.Sum64()
+				record(r)
+			}(param, i, port)
+		}
+	}
+	for param, count := range spec.Workload.Recvs {
+		ports := inst.Inports(param)
+		ids := asm.Heads[param]
+		if len(ports) == 0 {
+			return fmt.Errorf("workload recvs on unknown head parameter %q", param)
+		}
+		for i, port := range ports {
+			if !mine(ids[i]) {
+				continue
+			}
+			wg.Add(1)
+			go func(param string, i int, port reo.Inport) {
+				defer wg.Done()
+				h := fnv.New64a()
+				r := portResult{label: label(param, i, len(ports))}
+				for k := 0; k < count; k++ {
+					v, err := port.Recv()
+					if err != nil {
+						r.err = fmt.Errorf("recv %s round %d: %w", r.label, k, err)
+						break
+					}
+					fmt.Fprintf(h, "%v|", v)
+					r.count++
+				}
+				r.sum = h.Sum64()
+				record(r)
+			}(param, i, port)
+		}
+	}
+	wg.Wait()
+
+	// Let trailing link housekeeping (acks, ring advances) finish before
+	// sampling the step counter.
+	steps := inst.Steps()
+	for quiet := 0; quiet < 10; {
+		time.Sleep(10 * time.Millisecond)
+		if s := inst.Steps(); s != steps {
+			steps, quiet = s, 0
+		} else {
+			quiet++
+		}
+	}
+
+	sort.Slice(results, func(a, b int) bool { return results[a].label < results[b].label })
+	var failed error
+	for _, r := range results {
+		if r.err != nil && failed == nil {
+			failed = r.err
+		}
+		fmt.Printf("PORT %s %d %016x\n", r.label, r.count, r.sum)
+	}
+	fmt.Printf("STEPS %d\n", steps)
+
+	// Closing tears down the peers' links too: give slower nodes a
+	// grace period to finish their own draining first.
+	if !reference {
+		time.Sleep(linger)
+	}
+	inst.Close()
+	return failed
+}

@@ -25,6 +25,7 @@ type CompareRow struct {
 	Class       string  `json:"class,omitempty"`
 	N           int     `json:"n"`
 	Batch       int     `json:"batch,omitempty"`
+	Transport   string  `json:"transport,omitempty"`
 	StepsPerSec float64 `json:"steps_per_sec,omitempty"`
 	Seconds     float64 `json:"seconds,omitempty"`
 	Steps       int64   `json:"steps,omitempty"`
@@ -44,6 +45,12 @@ func (r CompareRow) Key() string {
 	}
 	if r.Class != "" {
 		parts = append(parts, "class="+r.Class)
+	}
+	// Transport distinguishes the region-link medium of distributed
+	// cells (mem vs tcp); in-process rows omit it and keep their
+	// historical keys.
+	if r.Transport != "" {
+		parts = append(parts, "transport="+r.Transport)
 	}
 	parts = append(parts, fmt.Sprintf("N=%d", r.N))
 	// Batch > 1 marks a batched-port sweep cell; scalar rows (batch

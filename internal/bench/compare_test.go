@@ -199,6 +199,63 @@ func TestBatchThroughputJSONRoundTrips(t *testing.T) {
 	}
 }
 
+// TestTransportKeysSeparateCells: distributed cells carry the link
+// medium in their key, so a tcp measurement can never satisfy (or
+// regress) the mem baseline cell of the same lane count — while rows
+// without a transport keep their historical keys.
+func TestTransportKeysSeparateCells(t *testing.T) {
+	mem := bench.CompareRow{Approach: "remote", Connector: "RemoteLink", Transport: "mem", N: 4}
+	tcp := mem
+	tcp.Transport = "tcp"
+	if mem.Key() == tcp.Key() {
+		t.Errorf("mem and tcp cells collide on key %q", mem.Key())
+	}
+	if !strings.Contains(tcp.Key(), "transport=tcp") {
+		t.Errorf("tcp key %q does not name its transport", tcp.Key())
+	}
+	legacy := bench.CompareRow{Approach: "new", Connector: "Sequencer", N: 8}
+	if strings.Contains(legacy.Key(), "transport") {
+		t.Errorf("transport-less key %q changed shape", legacy.Key())
+	}
+}
+
+// TestRemoteLinkJSONRoundTrips: the region-link sweep measures on the
+// in-process transport, serializes into the gate schema with the
+// transport in the key, and reads back as comparable cells — the
+// `reoc bench-remote` + `reoc bench-compare` path in CI. (The tcp
+// transport is covered functionally by the remote tests in the root
+// package; timing it here would make the unit suite network-bound.)
+func TestRemoteLinkJSONRoundTrips(t *testing.T) {
+	res, err := bench.RunRemoteLink("mem", 2, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps == 0 || res.ItemsPerSec() <= 0 {
+		t.Fatalf("empty measurement %+v", res)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_remote.json")
+	if err := bench.WriteRemoteJSON(path, []bench.RemoteResult{res}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := bench.ReadCompareRows(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Approach != "remote" || r.Connector != "RemoteLink" || r.Transport != "mem" || r.N != 2 {
+		t.Errorf("row = %+v, want remote/RemoteLink/transport=mem/N=2", r)
+	}
+	if !strings.Contains(r.Key(), "transport=mem") {
+		t.Errorf("key %q does not carry the transport", r.Key())
+	}
+	if r.Rate() <= 0 {
+		t.Errorf("rate = %v, want > 0", r.Rate())
+	}
+}
+
 // TestGeomeanRatio: the summary scalar must be the geometric mean of
 // per-cell current/baseline ratios over shared cells only.
 func TestGeomeanRatio(t *testing.T) {

@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	reo "repro"
+	"repro/internal/ca"
+)
+
+// This file measures region-link throughput across transports: the same
+// lane connector — n independent Sync→Fifo1 lanes, each lane's buffer a
+// cut region link — moved once per measurement either in-process
+// (transport "mem", the default memTransport queue) or split across two
+// TCP-joined coordinator instances over loopback (transport "tcp"). A
+// cut Fifo1 keeps its planned capacity of one end to end, so the tcp
+// cells are round-trip-bound by design: the cells gate the wire path's
+// constant factors (framing, pump wakes, ack turnaround), not a bulk
+// pipe, and the lane count shows how independent links overlap their
+// round trips.
+
+// remoteLanesSrc: each lane is a solid Sync region feeding a cut Fifo1
+// into an out node region — one region link per lane, no cross-lane
+// coupling.
+const remoteLanesSrc = `
+RemoteLanes(in[];out[]) =
+    prod (i:1..#in) Sync(in[i];t[i])
+    mult prod (i:1..#in) Fifo1(t[i];out[i])
+`
+
+var remoteLanesProg = reo.MustCompile(remoteLanesSrc)
+
+// RemoteResult is one region-link throughput measurement.
+type RemoteResult struct {
+	Transport string // "mem" or "tcp"
+	Lanes     int
+	Items     int // total across lanes
+	Elapsed   time.Duration
+	Steps     int64
+}
+
+// ItemsPerSec returns the measurement's throughput.
+func (r RemoteResult) ItemsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Items) / r.Elapsed.Seconds()
+}
+
+// RunRemoteLink moves items values (split evenly across lanes) through
+// the lane connector on the given transport and reports the wall time.
+func RunRemoteLink(transport string, lanes, items int) (RemoteResult, error) {
+	res := RemoteResult{Transport: transport, Lanes: lanes, Items: items}
+	if lanes < 1 || items < lanes {
+		return res, fmt.Errorf("bench: bad remote config (lanes=%d items=%d)", lanes, items)
+	}
+	conn, err := remoteLanesProg.Connector("RemoteLanes")
+	if err != nil {
+		return res, err
+	}
+	lengths := map[string]int{"in": lanes, "out": lanes}
+
+	var send, recv *reo.Instance
+	switch transport {
+	case "mem":
+		inst, err := conn.Connect(lengths, reo.WithPartitioning(reo.PartitionRegions))
+		if err != nil {
+			return res, err
+		}
+		send, recv = inst, inst
+		defer inst.Close()
+	case "tcp":
+		a, b, err := connectLanesPair(conn, lengths)
+		if err != nil {
+			return res, err
+		}
+		send, recv = a, b
+		defer a.Close()
+		defer b.Close()
+	default:
+		return res, fmt.Errorf("bench: unknown transport %q", transport)
+	}
+
+	perLane := items / lanes
+	res.Items = perLane * lanes
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < lanes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			in := send.Outports("in")[i]
+			for k := 0; k < perLane; k++ {
+				if in.Send(k) != nil {
+					return
+				}
+			}
+		}(i)
+	}
+	var recvErr error
+	var mu sync.Mutex
+	for i := 0; i < lanes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out := recv.Inports("out")[i]
+			for k := 0; k < perLane; k++ {
+				if _, err := out.Recv(); err != nil {
+					mu.Lock()
+					recvErr = err
+					mu.Unlock()
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Steps = send.Steps()
+	if recv != send {
+		res.Steps += recv.Steps()
+	}
+	return res, recvErr
+}
+
+// connectLanesPair splits the lane plan across two TCP-joined instances
+// in this process: the Sync regions (in-side) on node "a", the out node
+// regions on node "b", so every lane's link crosses the loopback wire.
+func connectLanesPair(conn *reo.Connector, lengths map[string]int) (a, b *reo.Instance, err error) {
+	asm, err := conn.Template().Instantiate(lengths)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan := ca.PlanRegions(asm.U, asm.Auts)
+	owner := plan.PortRegions(asm.U, asm.Auts)
+	regions := map[string][]int{}
+	assigned := make([]bool, len(plan.Regions))
+	assign := func(ports []ca.PortID, node string) {
+		for _, p := range ports {
+			if ri := owner[p]; ri >= 0 && !assigned[ri] {
+				assigned[ri] = true
+				regions[node] = append(regions[node], ri)
+			}
+		}
+	}
+	assign(asm.Tails["in"], "a")
+	assign(asm.Heads["out"], "b")
+	for ri, ok := range assigned {
+		if !ok {
+			return nil, nil, fmt.Errorf("bench: region %d has no boundary port to assign", ri)
+		}
+	}
+
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		lnA.Close()
+		return nil, nil, err
+	}
+	nodes := map[string]string{"a": lnA.Addr().String(), "b": lnB.Addr().String()}
+	connect := func(node string, ln net.Listener) (*reo.Instance, error) {
+		return conn.Connect(lengths,
+			reo.WithPartitioning(reo.PartitionRegions),
+			reo.WithRemoteRegions(&reo.RemoteTopology{
+				Node: node, Nodes: nodes, Regions: regions, Listener: ln,
+			}))
+	}
+	var wg sync.WaitGroup
+	var errA, errB error
+	wg.Add(2)
+	go func() { defer wg.Done(); a, errA = connect("a", lnA) }()
+	go func() { defer wg.Done(); b, errB = connect("b", lnB) }()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		if a != nil {
+			a.Close()
+		}
+		if b != nil {
+			b.Close()
+		}
+		if errA != nil {
+			return nil, nil, errA
+		}
+		return nil, nil, errB
+	}
+	return a, b, nil
+}
+
+// RemoteJSONRows flattens region-link results into the perf-gate
+// schema: approach "remote", connector "RemoteLink", transport mem/tcp,
+// n = lane count, steps_per_sec = items/s (the rate the gate compares).
+func RemoteJSONRows(results []RemoteResult) []CompareRow {
+	out := make([]CompareRow, 0, len(results))
+	for _, r := range results {
+		out = append(out, CompareRow{
+			Approach:    "remote",
+			Connector:   "RemoteLink",
+			Transport:   r.Transport,
+			N:           r.Lanes,
+			StepsPerSec: r.ItemsPerSec(),
+		})
+	}
+	return out
+}
+
+// WriteRemoteJSON writes region-link rows to path in the perf-gate
+// schema, so `reoc bench-compare` gates them against the checked-in
+// baseline cells.
+func WriteRemoteJSON(path string, results []RemoteResult) error {
+	data, err := json.MarshalIndent(RemoteJSONRows(results), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

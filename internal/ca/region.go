@@ -316,6 +316,27 @@ func PlanRegions(u *Universe, auts []*Automaton) *RegionPlan {
 	return plan
 }
 
+// PortRegions maps every port to the index of the region that executes
+// it (-1 for ports outside the plan, e.g. hidden ports of cut buffers).
+// This is the ownership a distributed placement uses to decide which
+// node drives which boundary port.
+func (rp *RegionPlan) PortRegions(u *Universe, auts []*Automaton) []int {
+	owner := make([]int, u.NumPorts())
+	for i := range owner {
+		owner[i] = -1
+	}
+	for ri, spec := range rp.Regions {
+		for _, ai := range spec.Auts {
+			ri := ri
+			auts[ai].Ports.ForEach(func(p PortID) { owner[p] = ri })
+		}
+		for _, p := range spec.Nodes {
+			owner[p] = ri
+		}
+	}
+	return owner
+}
+
 // NodeAutomaton synthesizes the trivial automaton of a node region: one
 // state with a self-loop firing the single port. It carries no data
 // actions — the value flowing through the node comes from the adjacent

@@ -135,7 +135,11 @@ type Engine struct {
 	linkOK    ca.BitSet
 	pushVal   map[ca.PortID]any
 	outNudges []*Engine
-	group     *regionGroup
+	// outSignals collects the half links (transport.go) whose queue
+	// state this engine's fires changed; flushed (with mu held, after
+	// fireLoop publishes its commits) as coalescing pump wake-ups.
+	outSignals []*link
+	group      *regionGroup
 
 	// Worker-runtime support (runtime.go). sched is non-nil when the
 	// engine is a region of a coordinator attached to a Runtime
@@ -517,6 +521,7 @@ func (e *Engine) register(p ca.PortID, o *op) ([]*Engine, error) {
 	e.pendMask.Set(p)
 	e.registered.Add(1)
 	e.fireLoop(p)
+	e.flushSignals()
 	if e.sched != nil {
 		// Runtime mode: post the wake-ups right here, while still holding
 		// the lock (safe — wake never takes an engine lock) and reusing
@@ -839,6 +844,11 @@ func (e *Engine) break_(err error) {
 		go func() {
 			defer g.breakWG.Done()
 			g.breakOthers(e, err)
+			if g.onBreak != nil {
+				// Transport hook (tcp.go): tell the peer nodes so their
+				// regions break too, not just the local siblings.
+				g.onBreak(err)
+			}
 		}()
 	}
 }
@@ -888,6 +898,7 @@ func (e *Engine) Reset() error {
 	e.rng.reseed(e.opts.Seed)
 	e.enabledBuf = e.enabledBuf[:0]
 	e.outNudges = e.outNudges[:0]
+	e.outSignals = e.outSignals[:0]
 	e.fireCompleted, e.fireLinkActive = false, false
 	e.linkBurst, e.lastSeen = 0, 0
 	e.steps.Store(0)

@@ -359,7 +359,11 @@ func (e *Engine) fireLinksGen(t *genTrans, deferred bool) bool {
 			if o := e.pend[p]; o != nil && !o.send {
 				o.vals[o.cur] = v
 			}
-			e.noteNudge(l.src)
+			if l.src != nil {
+				e.noteNudge(l.src)
+			} else {
+				e.noteSignal(l) // remote producer: signal the ack pump
+			}
 		}
 		if outs := e.acceptAt[p]; len(outs) > 0 {
 			if !fromLink {
@@ -375,7 +379,11 @@ func (e *Engine) fireLinksGen(t *genTrans, deferred bool) bool {
 				} else {
 					l.push(v)
 				}
-				e.noteNudge(l.dst)
+				if l.dst != nil {
+					e.noteNudge(l.dst)
+				} else {
+					e.noteSignal(l) // remote consumer: signal the send pump
+				}
 			}
 		}
 		if !deferred {

@@ -27,10 +27,16 @@ type Multi struct {
 	owner   []int // port -> engine index (-1 if unknown)
 
 	// regions marks a region-partitioned coordinator; plan and links
-	// describe the cut (diagnostics).
+	// describe the cut (diagnostics). With a placement, engines and
+	// links keep plan-aligned indices: entries hosted by another
+	// process are nil.
 	regions bool
 	plan    *ca.RegionPlan
 	links   []*link
+	group   *regionGroup
+	// transport is the placement's link transport (nil for a fully
+	// local coordinator); closed by Close after the engines.
+	transport Transport
 	// sched is the worker pool regions fire on (nil in synchronous
 	// mode): a dedicated pool owned by this coordinator, or a shared
 	// Runtime multiplexing many coordinators (see runtime.go).
@@ -136,9 +142,22 @@ type PartitionInfo struct {
 }
 
 // Infos returns one statistics snapshot per partition.
+// live returns the partition engines hosted in this process (every
+// engine for an unplaced coordinator).
+func (m *Multi) live() []*Engine {
+	if m.group != nil {
+		return m.group.engines
+	}
+	return m.engines
+}
+
 func (m *Multi) Infos() []PartitionInfo {
 	out := make([]PartitionInfo, len(m.engines))
 	for i, e := range m.engines {
+		if e == nil {
+			out[i] = PartitionInfo{Worker: -1}
+			continue
+		}
 		worker := -1
 		if m.sched != nil {
 			worker = int(e.homeWorker)
@@ -159,7 +178,11 @@ func (m *Multi) engineFor(p ca.PortID) (*Engine, error) {
 	if int(p) >= len(m.owner) || m.owner[p] < 0 {
 		return nil, fmt.Errorf("engine: port %d not owned by any partition", p)
 	}
-	return m.engines[m.owner[p]], nil
+	e := m.engines[m.owner[p]]
+	if e == nil {
+		return nil, fmt.Errorf("engine: port %d is hosted by remote region %d", p, m.owner[p])
+	}
+	return e, nil
 }
 
 // Send routes to the owning partition.
@@ -213,15 +236,20 @@ func (m *Multi) Close() error {
 		return nil
 	}
 	m.closed = true
-	for _, e := range m.engines {
+	for _, e := range m.live() {
 		e.Close()
 	}
 	if m.sched != nil {
 		if m.sched.dedicated {
 			m.sched.shutdown()
 		} else {
-			m.sched.detach(m.engines)
+			m.sched.detach(m.live())
 		}
+	}
+	if m.transport != nil {
+		// After the engines: pumps observing closed engines drain and
+		// exit, and the peers get the Close frame last.
+		m.transport.Close()
 	}
 	return nil
 }
@@ -241,6 +269,11 @@ func (m *Multi) Reset() error {
 	}
 	if m.sched != nil && m.sched.dedicated {
 		return errors.New("engine: reset of a dedicated-runtime coordinator")
+	}
+	if m.transport != nil {
+		// A placed coordinator's transport tore its connections down at
+		// Close; the peers' halves of the links are gone with them.
+		return errors.New("engine: reset of a remote-placed coordinator")
 	}
 	if len(m.engines) > 0 {
 		if g := m.engines[0].group; g != nil {
@@ -276,37 +309,40 @@ func (m *Multi) Reset() error {
 	return nil
 }
 
-// Steps sums global steps across partitions.
+// Steps sums global steps across the locally hosted partitions.
 func (m *Multi) Steps() int64 {
 	var n int64
-	for _, e := range m.engines {
+	for _, e := range m.live() {
 		n += e.Steps()
 	}
 	return n
 }
 
-// Expansions sums composite-state expansions across partitions.
+// Expansions sums composite-state expansions across the locally hosted
+// partitions.
 func (m *Multi) Expansions() int64 {
 	var n int64
-	for _, e := range m.engines {
+	for _, e := range m.live() {
 		n += e.Expansions()
 	}
 	return n
 }
 
-// GuardEvals sums guard-evaluation counts across partitions.
+// GuardEvals sums guard-evaluation counts across the locally hosted
+// partitions.
 func (m *Multi) GuardEvals() int64 {
 	var n int64
-	for _, e := range m.engines {
+	for _, e := range m.live() {
 		n += e.GuardEvals()
 	}
 	return n
 }
 
-// OpsRegistered sums accepted-operation counts across partitions.
+// OpsRegistered sums accepted-operation counts across the locally
+// hosted partitions.
 func (m *Multi) OpsRegistered() int64 {
 	var n int64
-	for _, e := range m.engines {
+	for _, e := range m.live() {
 		n += e.OpsRegistered()
 	}
 	return n

@@ -49,8 +49,18 @@ type link struct {
 	pendPush int64
 	_        [48]byte
 
+	// src/dst are the producer/consumer region engines. Either may be
+	// nil: the link is then a *half link* of a distributed cut (see
+	// transport.go) whose far side lives in another process, serviced by
+	// a transport pump instead of a sibling engine.
 	src, dst         *Engine
 	srcPort, dstPort ca.PortID
+
+	// signal, when non-nil, is the transport pump's one-slot coalescing
+	// wake-up for a half link: raised (non-blocking) after the local
+	// engine publishes commits the pump must observe — fresh pushes on a
+	// producer-local half, fresh pops on a consumer-local half.
+	signal chan struct{}
 }
 
 func newLink(capacity int) *link {
@@ -195,6 +205,11 @@ type regionGroup struct {
 	// instance recycling cannot reset an engine a stale break is still
 	// about to touch.
 	breakWG sync.WaitGroup
+	// onBreak, when non-nil, is invoked (once per break_, from the
+	// propagation goroutine) so a network transport can notify the peer
+	// nodes of the failure. Set before Start returns, never mutated
+	// after.
+	onBreak func(error)
 }
 
 func (g *regionGroup) breakOthers(src *Engine, err error) {
@@ -335,7 +350,11 @@ func (e *Engine) fireLinks(pl *ca.Plan, deferred bool) bool {
 				if o := e.pend[p]; o != nil && !o.send {
 					o.vals[o.cur] = v
 				}
-				e.noteNudge(l.src)
+				if l.src != nil {
+					e.noteNudge(l.src)
+				} else {
+					e.noteSignal(l) // remote producer: signal the ack pump
+				}
 			}
 			if outs := e.acceptAt[p]; len(outs) > 0 {
 				if !fromLink {
@@ -351,7 +370,11 @@ func (e *Engine) fireLinks(pl *ca.Plan, deferred bool) bool {
 					} else {
 						l.push(v)
 					}
-					e.noteNudge(l.dst)
+					if l.dst != nil {
+						e.noteNudge(l.dst)
+					} else {
+						e.noteSignal(l) // remote consumer: signal the send pump
+					}
 				}
 			}
 			if !deferred {
@@ -437,6 +460,7 @@ func (e *Engine) processNudges(work []*Engine) {
 			continue
 		}
 		t.fireLoop(pumpTrigger)
+		t.flushSignals()
 		more := t.outNudges
 		t.outNudges = nil
 		t.mu.Unlock()
@@ -483,6 +507,7 @@ func (e *Engine) settle() {
 	}
 	e.mu.Lock()
 	e.fireLoop(pumpTrigger)
+	e.flushSignals()
 	nudges := e.outNudges
 	e.outNudges = nil
 	e.mu.Unlock()
@@ -520,6 +545,22 @@ func NewMultiRegions(u *ca.Universe, auts []*ca.Automaton, opts Options) (*Multi
 // static templates via Engine.BindGen; a bind that declines (or fails)
 // simply leaves that region interpreted, so mixed instances are fine.
 func NewMultiRegionsBound(u *ca.Universe, auts []*ca.Automaton, opts Options, bind func(ri int, spec ca.RegionSpec, eng *Engine)) (*Multi, error) {
+	return newMultiRegions(u, auts, opts, Placement{}, bind)
+}
+
+// NewMultiRegionsPlaced is NewMultiRegions with a placement: only the
+// hosted regions get engines in this process, and the links the
+// placement splits are backed by the placement's Transport. Ports of
+// remote regions stay routable (operations on them report the remote
+// hosting), and the coordinator's statistics sum the local regions only.
+func NewMultiRegionsPlaced(u *ca.Universe, auts []*ca.Automaton, opts Options, pl Placement) (*Multi, error) {
+	if pl.Transport == nil {
+		return nil, errors.New("engine: placement without a transport")
+	}
+	return newMultiRegions(u, auts, opts, pl, nil)
+}
+
+func newMultiRegions(u *ca.Universe, auts []*ca.Automaton, opts Options, placed Placement, bind func(ri int, spec ca.RegionSpec, eng *Engine)) (*Multi, error) {
 	if len(auts) == 0 {
 		return nil, errors.New("engine: no constituent automata")
 	}
@@ -529,9 +570,18 @@ func NewMultiRegionsBound(u *ca.Universe, auts []*ca.Automaton, opts Options, bi
 		}
 	}
 	plan := ca.PlanRegions(u, auts)
+	if placed.Hosted != nil && len(placed.Hosted) != len(plan.Regions) {
+		return nil, fmt.Errorf("engine: placement hosts %d regions, plan has %d", len(placed.Hosted), len(plan.Regions))
+	}
+	hosted := func(ri int) bool { return placed.Hosted == nil || placed.Hosted[ri] }
+	tr := placed.Transport
+	if tr == nil {
+		tr = memTransport{}
+	}
 
 	group := &regionGroup{}
-	m := &Multi{owner: make([]int, u.NumPorts()), regions: true, plan: plan}
+	m := &Multi{owner: make([]int, u.NumPorts()), regions: true, plan: plan,
+		group: group, transport: placed.Transport}
 	for i := range m.owner {
 		m.owner[i] = -1
 	}
@@ -543,9 +593,20 @@ func NewMultiRegionsBound(u *ca.Universe, auts []*ca.Automaton, opts Options, bi
 		for _, p := range spec.Nodes {
 			sub = append(sub, ca.NodeAutomaton(u, p))
 		}
+		// Every port is owned by its planned region, hosted here or not:
+		// engineFor uses the map to name the remote hosting in errors.
+		for _, a := range sub {
+			a.Ports.ForEach(func(p ca.PortID) { m.owner[p] = ri })
+		}
+		if !hosted(ri) {
+			m.engines = append(m.engines, nil)
+			continue
+		}
 		ropts := opts
 		// Distinct per-region streams keep each region's choices
-		// reproducible for a given seed.
+		// reproducible for a given seed — the region index is global to
+		// the plan, so a region's stream is identical no matter which
+		// process hosts it.
 		ropts.Seed = opts.Seed + int64(ri)
 		eng, err := newEngine(u, sub, ropts)
 		if err != nil {
@@ -555,27 +616,39 @@ func NewMultiRegionsBound(u *ca.Universe, auts []*ca.Automaton, opts Options, bi
 		eng.group = group
 		group.engines = append(group.engines, eng)
 		m.engines = append(m.engines, eng)
-		for _, a := range sub {
-			a.Ports.ForEach(func(p ca.PortID) { m.owner[p] = ri })
-		}
 	}
 
-	for _, lk := range plan.Links {
-		l := newLink(lk.Capacity)
-		l.src, l.dst = m.engines[lk.From], m.engines[lk.To]
-		l.srcPort, l.dstPort = lk.SrcPort, lk.DstPort
-		if lk.Full {
-			// Pre-publication seeding: the link is not shared yet, so the
-			// plain slot write followed by the tail store is safe.
-			l.buf[0] = lk.Initial
-			l.tail.Store(1)
+	for li, lk := range plan.Links {
+		prodLocal, consLocal := hosted(lk.From), hosted(lk.To)
+		if !prodLocal && !consLocal {
+			// Both sides remote: the link is some other process's concern.
+			m.links = append(m.links, nil)
+			continue
 		}
-		l.src.addAccept(lk.SrcPort, l)
-		l.dst.addEmit(lk.DstPort, l)
-		m.links = append(m.links, l)
+		prod, cons, err := tr.Bind(li, lk, prodLocal, consLocal)
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("engine: link %d: %w", li, err)
+		}
+		if prodLocal {
+			prod.src, prod.srcPort = m.engines[lk.From], lk.SrcPort
+			prod.src.addAccept(lk.SrcPort, prod)
+		}
+		if consLocal {
+			cons.dst, cons.dstPort = m.engines[lk.To], lk.DstPort
+			cons.dst.addEmit(lk.DstPort, cons)
+		}
+		if prodLocal {
+			m.links = append(m.links, prod)
+		} else {
+			m.links = append(m.links, cons)
+		}
 	}
 
 	for ri, e := range m.engines {
+		if e == nil {
+			continue
+		}
 		e.initLinks()
 		if bind != nil {
 			bind(ri, plan.Regions[ri], e)
@@ -584,6 +657,14 @@ func NewMultiRegionsBound(u *ca.Universe, auts []*ca.Automaton, opts Options, bi
 			m.Close()
 			return nil, err
 		}
+	}
+	// Connect the transport before any region fires: pumps must exist
+	// before a settle pass raises their signals. (The one-slot signal
+	// buffer would also hold one early raise, but a blocking network
+	// start after settle could not surface dial errors to the caller.)
+	if err := tr.Start(m); err != nil {
+		m.Close()
+		return nil, fmt.Errorf("engine: transport: %w", err)
 	}
 	switch {
 	case opts.Runtime != nil:
@@ -594,15 +675,15 @@ func NewMultiRegionsBound(u *ca.Universe, auts []*ca.Automaton, opts Options, bi
 		// concurrently with) the first Send/Recv, which parks until a
 		// fire completes its operation either way.
 		m.sched = opts.Runtime
-		m.sched.attach(m.engines)
+		m.sched.attach(group.engines)
 	case opts.Workers != 0:
 		// Dedicated runtime (runtime.go): a worker pool owned by this
 		// coordinator, sized by the caller and torn down at Close.
-		m.sched = newDedicatedRuntime(opts.Workers, m.engines)
+		m.sched = newDedicatedRuntime(opts.Workers, group.engines)
 	default:
 		// Settle initially full links (Fifo1Full seeds) so relay fires
 		// that need no task operation happen before the first Send/Recv.
-		for _, e := range m.engines {
+		for _, e := range group.engines {
 			e.settle()
 		}
 	}

@@ -321,6 +321,7 @@ func (rt *Runtime) runEngine(e *Engine) {
 	// Flush nudges even from a pass that broke the engine: link-state
 	// changes it made before breaking must still wake the neighbors.
 	e.flushWakes()
+	e.flushSignals()
 	closedNow := e.closed || e.broken != nil
 	e.mu.Unlock()
 	// Leave the running state: a wake that arrived during the pass

@@ -1,0 +1,576 @@
+package engine
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ca"
+	"repro/internal/wire"
+)
+
+// This file is the network Transport: region links cut across processes,
+// carried over TCP as framed batch messages (internal/wire). The design
+// maps the in-process link protocol 1:1 onto the wire:
+//
+//   - A producer-local half link is a *mirror* of the planned queue. The
+//     region engine pushes into it exactly as in-process; the send pump
+//     transmits every committed value as a Data frame but does NOT pop —
+//     slots are freed only when the peer's Ack arrives. The mirror's
+//     occupancy is therefore the end-to-end in-flight count, so the
+//     producer region observes precisely the planned capacity: no hidden
+//     buffering, and the connector's choice behavior (which fires are
+//     enabled when) matches the single-process run bit for bit.
+//
+//   - A consumer-local half link is the real queue. The connection
+//     reader pushes arriving bursts (the credit invariant above
+//     guarantees space); the region engine pops as in-process; the ack
+//     pump watches the head and reports cumulative pops, retiring the
+//     producer's mirror slots.
+//
+// All sequence numbers are absolute value counts from the start of the
+// run, Fifo1Full seeds included; the seed itself is pre-loaded on both
+// sides and never transmitted. One committed burst becomes one frame,
+// so a remote link costs one (coalesced) syscall per burst, not per
+// item — the same amortization the in-process deferred commits buy.
+
+// TCPConfig wires one node of a distributed region plan.
+type TCPConfig struct {
+	// Node is this process's name in Nodes.
+	Node string
+	// Nodes maps node names to their listen addresses ("host:port").
+	// Every node of the plan must appear.
+	Nodes map[string]string
+	// RegionNode assigns each plan region to a node name (plan-aligned,
+	// consistent across all nodes).
+	RegionNode []string
+	// Listener, when non-nil, is used instead of listening on
+	// Nodes[Node] — tests pass a 127.0.0.1:0 listener and read the
+	// assigned port back.
+	Listener net.Listener
+	// Identity is the plan checksum (wire.IdentitySum over the connector
+	// identity) exchanged and verified in the handshake.
+	Identity uint64
+	// DialTimeout bounds connection establishment per peer, retries
+	// included (default 10s).
+	DialTimeout time.Duration
+}
+
+// tcpPeer is one connected neighbor node: a conn, its writer queue, and
+// the writer goroutine draining the queue through a buffered writer
+// that flushes on empty — frames enqueued back-to-back coalesce into
+// one syscall.
+type tcpPeer struct {
+	name string
+	conn net.Conn
+	out  chan *wire.Frame
+}
+
+// tcpLink is one half link: the local queue endpoint plus the pump
+// state servicing its remote side.
+type tcpLink struct {
+	li   int
+	spec ca.RegionLink
+	l    *link
+	peer string
+	// prodLocal: the local engine produces; the link is the sender
+	// mirror and the pump transmits Data (sent = absolute count
+	// transmitted). Otherwise the local engine consumes; the link is
+	// the real queue and the pump transmits Acks (ackSent = last
+	// cumulative pop count reported).
+	prodLocal bool
+	sent      int64
+	ackSent   int64
+}
+
+// TCPTransport implements Transport over per-node-pair TCP connections.
+type TCPTransport struct {
+	cfg    TCPConfig
+	half   []*tcpLink
+	byLink map[int]*tcpLink
+	// peerMu guards peers during Start only (the dial loop and the
+	// accept goroutine register concurrently); the map is read-only
+	// once Start returns.
+	peerMu sync.Mutex
+	peers  map[string]*tcpPeer
+	m      *Multi
+	ln     net.Listener
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	failOnce  sync.Once
+	pumpWG    sync.WaitGroup
+	writerWG  sync.WaitGroup
+	readerWG  sync.WaitGroup
+}
+
+// NewTCPTransport returns a transport for one node of the plan. Nothing
+// connects until Start.
+func NewTCPTransport(cfg TCPConfig) *TCPTransport {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	return &TCPTransport{
+		cfg:    cfg,
+		byLink: make(map[int]*tcpLink),
+		peers:  make(map[string]*tcpPeer),
+		closed: make(chan struct{}),
+	}
+}
+
+// Bind implements Transport. Both-local links get a plain shared queue;
+// cut links get a seeded half link plus pump state for Start to launch.
+func (t *TCPTransport) Bind(li int, spec ca.RegionLink, prodLocal, consLocal bool) (*link, *link, error) {
+	if prodLocal && consLocal {
+		l := newLink(spec.Capacity)
+		seedLink(l, spec)
+		return l, l, nil
+	}
+	if spec.From >= len(t.cfg.RegionNode) || spec.To >= len(t.cfg.RegionNode) {
+		return nil, nil, fmt.Errorf("engine: link %d joins region beyond the node assignment", li)
+	}
+	l := newLink(spec.Capacity)
+	seedLink(l, spec)
+	l.signal = make(chan struct{}, 1)
+	tl := &tcpLink{li: li, spec: spec, l: l, prodLocal: prodLocal}
+	// The absolute counters start past the seed: it is pre-loaded on
+	// both sides and never crosses the wire.
+	tl.sent = l.tail.Load()
+	if prodLocal {
+		tl.peer = t.cfg.RegionNode[spec.To]
+	} else {
+		tl.peer = t.cfg.RegionNode[spec.From]
+	}
+	if tl.peer == t.cfg.Node {
+		return nil, nil, fmt.Errorf("engine: link %d cut but both regions assigned to node %q", li, tl.peer)
+	}
+	if _, ok := t.cfg.Nodes[tl.peer]; !ok {
+		return nil, nil, fmt.Errorf("engine: link %d peers with unknown node %q", li, tl.peer)
+	}
+	t.half = append(t.half, tl)
+	t.byLink[li] = tl
+	if prodLocal {
+		return l, nil, nil
+	}
+	return nil, l, nil
+}
+
+// Start implements Transport: listen, connect every peer (smaller node
+// name dials, with capped-backoff retry; both directions handshake),
+// then launch the per-peer reader/writer and per-link pump goroutines.
+func (t *TCPTransport) Start(m *Multi) error {
+	t.m = m
+	if len(t.half) == 0 {
+		return nil
+	}
+	var dialNames, acceptNames []string
+	seen := map[string]bool{}
+	for _, tl := range t.half {
+		if seen[tl.peer] {
+			continue
+		}
+		seen[tl.peer] = true
+		if t.cfg.Node < tl.peer {
+			dialNames = append(dialNames, tl.peer)
+		} else {
+			acceptNames = append(acceptNames, tl.peer)
+		}
+	}
+	sort.Strings(dialNames)
+
+	if len(acceptNames) > 0 {
+		t.ln = t.cfg.Listener
+		if t.ln == nil {
+			addr, ok := t.cfg.Nodes[t.cfg.Node]
+			if !ok {
+				return fmt.Errorf("engine: node %q has no listen address", t.cfg.Node)
+			}
+			ln, err := net.Listen("tcp", addr)
+			if err != nil {
+				return fmt.Errorf("engine: listen %s: %w", addr, err)
+			}
+			t.ln = ln
+		}
+	}
+
+	// Accept concurrently with dialing: with three or more nodes a peer
+	// may be mid-dial to its own peers while we dial it, so serializing
+	// accepts after dials could deadlock the fleet.
+	accepted := make(chan error, 1)
+	go func() { accepted <- t.acceptPeers(acceptNames) }()
+	dialErr := t.dialPeers(dialNames)
+	acceptErr := <-accepted
+	if dialErr != nil || acceptErr != nil {
+		t.teardownConns()
+		if dialErr != nil {
+			return dialErr
+		}
+		return acceptErr
+	}
+
+	// onBreak: a local region failure must break the peers' regions
+	// too, not just the local siblings.
+	m.group.onBreak = func(err error) {
+		for _, p := range t.peers {
+			t.send(p, &wire.Frame{Type: wire.FrameError, Err: err.Error()})
+		}
+	}
+
+	for _, p := range t.peers {
+		t.writerWG.Add(1)
+		go t.writer(p)
+		t.readerWG.Add(1)
+		go t.reader(p)
+	}
+	for _, tl := range t.half {
+		t.pumpWG.Add(1)
+		if tl.prodLocal {
+			go t.sendPump(tl)
+		} else {
+			go t.ackPump(tl)
+		}
+	}
+	return nil
+}
+
+func (t *TCPTransport) dialPeers(names []string) error {
+	for _, name := range names {
+		addr := t.cfg.Nodes[name]
+		deadline := time.Now().Add(t.cfg.DialTimeout)
+		backoff := 50 * time.Millisecond
+		var conn net.Conn
+		for {
+			c, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+			if err == nil {
+				conn = c
+				break
+			}
+			if time.Now().Add(backoff).After(deadline) {
+				return fmt.Errorf("engine: dial %s (%s): %w", name, addr, err)
+			}
+			// The peer may simply not be up yet: retry with capped
+			// exponential backoff until the deadline.
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+		}
+		if err := t.handshake(conn, name, true); err != nil {
+			conn.Close()
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *TCPTransport) acceptPeers(names []string) error {
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	for len(want) > 0 {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("engine: accept: %w", err)
+		}
+		if err := t.handshake(conn, "", false); err != nil {
+			conn.Close()
+			return err
+		}
+		// handshake registered the peer under its announced name.
+		t.peerMu.Lock()
+		for n := range want {
+			if _, ok := t.peers[n]; ok {
+				delete(want, n)
+			}
+		}
+		t.peerMu.Unlock()
+	}
+	return nil
+}
+
+// handshake exchanges Hello frames: the dialer speaks first, the
+// acceptor answers. Both verify the identity checksum; the dialer also
+// pins the peer name it dialed, the acceptor just requires a name it
+// knows.
+func (t *TCPTransport) handshake(conn net.Conn, expect string, dialer bool) error {
+	conn.SetDeadline(time.Now().Add(t.cfg.DialTimeout))
+	defer conn.SetDeadline(time.Time{})
+	hello := &wire.Frame{Type: wire.FrameHello, Node: t.cfg.Node, Sum: t.cfg.Identity}
+	recv := func() (*wire.Frame, error) {
+		f, err := wire.ReadFrame(conn)
+		if err != nil {
+			return nil, fmt.Errorf("engine: handshake read: %w", err)
+		}
+		if f.Type == wire.FrameError {
+			// The peer refused us and said why; report its reason, not EOF.
+			return nil, fmt.Errorf("engine: peer refused connection: %s", f.Err)
+		}
+		if f.Type != wire.FrameHello {
+			return nil, fmt.Errorf("engine: handshake got frame type %d, want hello", f.Type)
+		}
+		if f.Sum != t.cfg.Identity {
+			err := fmt.Errorf("engine: identity mismatch with %q: theirs %#x, ours %#x (different program, seed, or partitioning?)", f.Node, f.Sum, t.cfg.Identity)
+			// Tell the peer before hanging up, so both sides report the
+			// mismatch instead of one seeing a bare EOF.
+			wire.WriteFrame(conn, &wire.Frame{Type: wire.FrameError, Err: err.Error()})
+			return nil, err
+		}
+		return f, nil
+	}
+	var peerName string
+	if dialer {
+		if err := wire.WriteFrame(conn, hello); err != nil {
+			return fmt.Errorf("engine: handshake write: %w", err)
+		}
+		f, err := recv()
+		if err != nil {
+			return err
+		}
+		if f.Node != expect {
+			return fmt.Errorf("engine: dialed %q but %q answered", expect, f.Node)
+		}
+		peerName = f.Node
+	} else {
+		f, err := recv()
+		if err != nil {
+			return err
+		}
+		if _, ok := t.cfg.Nodes[f.Node]; !ok {
+			return fmt.Errorf("engine: hello from unknown node %q", f.Node)
+		}
+		if err := wire.WriteFrame(conn, hello); err != nil {
+			return fmt.Errorf("engine: handshake write: %w", err)
+		}
+		peerName = f.Node
+	}
+	t.peerMu.Lock()
+	defer t.peerMu.Unlock()
+	if _, dup := t.peers[peerName]; dup {
+		return fmt.Errorf("engine: duplicate connection from %q", peerName)
+	}
+	t.peers[peerName] = &tcpPeer{name: peerName, conn: conn, out: make(chan *wire.Frame, 64)}
+	return nil
+}
+
+func (t *TCPTransport) teardownConns() {
+	for _, p := range t.peers {
+		p.conn.Close()
+	}
+	if t.ln != nil && t.ln != t.cfg.Listener {
+		t.ln.Close()
+	}
+}
+
+// send enqueues f to p's writer; never blocks past transport shutdown.
+func (t *TCPTransport) send(p *tcpPeer, f *wire.Frame) {
+	select {
+	case p.out <- f:
+	case <-t.closed:
+	}
+}
+
+// writer drains p.out through a buffered writer, flushing whenever the
+// queue runs empty — consecutive bursts coalesce into one syscall. A
+// write error marks the peer dead but keeps the loop draining so pumps
+// never block; the loop exits only on the FrameClose sentinel Close
+// enqueues after the pumps are joined.
+func (t *TCPTransport) writer(p *tcpPeer) {
+	defer t.writerWG.Done()
+	bw := bufio.NewWriterSize(p.conn, 64<<10)
+	dead := false
+	for f := range p.out {
+		if f.Type == wire.FrameClose {
+			if !dead {
+				wire.WriteFrame(bw, f)
+				bw.Flush()
+			}
+			return
+		}
+		if dead {
+			continue
+		}
+		if err := wire.WriteFrame(bw, f); err != nil {
+			dead = true
+			t.fail(fmt.Errorf("write to %q: %w", p.name, err))
+			continue
+		}
+		if len(p.out) == 0 {
+			if err := bw.Flush(); err != nil {
+				dead = true
+				t.fail(fmt.Errorf("flush to %q: %w", p.name, err))
+			}
+		}
+	}
+}
+
+// reader dispatches inbound frames. Data and Ack drive the half links
+// directly — pushing/retiring slots under the SPSC discipline the far
+// engine would — and wake the local engine via pumpNudge.
+func (t *TCPTransport) reader(p *tcpPeer) {
+	defer t.readerWG.Done()
+	br := bufio.NewReaderSize(p.conn, 64<<10)
+	for {
+		f, err := wire.ReadFrame(br)
+		if err != nil {
+			select {
+			case <-t.closed:
+				// Local teardown closed the conn under us: not a failure.
+			default:
+				t.fail(fmt.Errorf("read from %q: %w", p.name, err))
+			}
+			return
+		}
+		switch f.Type {
+		case wire.FrameData:
+			tl, ok := t.byLink[int(f.Link)]
+			if !ok || tl.prodLocal {
+				t.fail(fmt.Errorf("data from %q for link %d, which this node does not consume", p.name, f.Link))
+				return
+			}
+			l := tl.l
+			tail := l.tail.Load()
+			if f.Seq != uint64(tail) {
+				t.fail(fmt.Errorf("link %d: burst at seq %d, expected %d", f.Link, f.Seq, tail))
+				return
+			}
+			n := int64(len(f.Vals))
+			if free := int64(len(l.buf)) - (tail - l.head.Load()); n > free {
+				// The credit invariant bounds in-flight data to the queue
+				// capacity; an overflow can only be a protocol violation.
+				t.fail(fmt.Errorf("link %d: burst of %d overflows %d free slots", f.Link, n, free))
+				return
+			}
+			for i := int64(0); i < n; i++ {
+				l.buf[(tail+i)%int64(len(l.buf))] = f.Vals[i]
+			}
+			l.tail.Store(tail + n)
+			tl.l.dst.pumpNudge()
+		case wire.FrameAck:
+			tl, ok := t.byLink[int(f.Link)]
+			if !ok || !tl.prodLocal {
+				t.fail(fmt.Errorf("ack from %q for link %d, which this node does not produce", p.name, f.Link))
+				return
+			}
+			l := tl.l
+			head := l.head.Load()
+			if f.Seq < uint64(head) || f.Seq > uint64(l.tail.Load()) {
+				t.fail(fmt.Errorf("link %d: ack %d outside [%d,%d]", f.Link, f.Seq, head, l.tail.Load()))
+				return
+			}
+			for i := head; i < int64(f.Seq); i++ {
+				l.buf[i%int64(len(l.buf))] = nil
+			}
+			l.head.Store(int64(f.Seq))
+			tl.l.src.pumpNudge()
+		case wire.FrameClose:
+			// Orderly peer shutdown: close the whole coordinator. Must
+			// run off this goroutine — Close joins the readers.
+			go t.m.Close()
+			return
+		case wire.FrameError:
+			t.breakLocal(fmt.Errorf("node %q: %s: %w", p.name, f.Err, ErrLinkBroken))
+			return
+		default:
+			t.fail(fmt.Errorf("frame type %d from %q", f.Type, p.name))
+			return
+		}
+	}
+}
+
+// sendPump transmits the committed contents of a producer-local mirror:
+// every value between the last transmitted index and the published tail
+// goes out as one Data burst. Slots are NOT freed — the peer's Ack does
+// that — so the engine sees exactly the planned capacity end to end.
+func (t *TCPTransport) sendPump(tl *tcpLink) {
+	defer t.pumpWG.Done()
+	p := t.peers[tl.peer]
+	l := tl.l
+	size := int64(len(l.buf))
+	for {
+		for {
+			tail := l.tail.Load()
+			if tail == tl.sent {
+				break
+			}
+			vals := make([]any, tail-tl.sent)
+			for i := range vals {
+				vals[i] = l.buf[(tl.sent+int64(i))%size]
+			}
+			t.send(p, &wire.Frame{Type: wire.FrameData, Link: uint32(tl.li), Seq: uint64(tl.sent), Vals: vals})
+			tl.sent = tail
+		}
+		select {
+		case <-l.signal:
+		case <-t.closed:
+			return
+		}
+	}
+}
+
+// ackPump reports the pops of a consumer-local queue: whenever the head
+// advances past the last report, one cumulative Ack goes out, retiring
+// every in-flight burst up to it on the producer node.
+func (t *TCPTransport) ackPump(tl *tcpLink) {
+	defer t.pumpWG.Done()
+	p := t.peers[tl.peer]
+	l := tl.l
+	for {
+		for {
+			head := l.head.Load()
+			if head == tl.ackSent {
+				break
+			}
+			t.send(p, &wire.Frame{Type: wire.FrameAck, Link: uint32(tl.li), Seq: uint64(head)})
+			tl.ackSent = head
+		}
+		select {
+		case <-l.signal:
+		case <-t.closed:
+			return
+		}
+	}
+}
+
+// fail reports a transport failure exactly once: the local regions
+// break with ErrLinkBroken (pending operations fail), and break
+// propagation notifies the peers via onBreak.
+func (t *TCPTransport) fail(err error) {
+	t.failOnce.Do(func() {
+		t.breakLocal(fmt.Errorf("%w: %s", ErrLinkBroken, err))
+	})
+}
+
+func (t *TCPTransport) breakLocal(err error) {
+	for _, e := range t.m.live() {
+		e.breakExternal(err)
+	}
+}
+
+// Close implements Transport: announce an orderly shutdown to every
+// peer and join all goroutines. Called by Multi.Close after the local
+// engines are closed, so the pumps have nothing more to move.
+func (t *TCPTransport) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		t.pumpWG.Wait()
+		for _, p := range t.peers {
+			// Direct send (not t.send — closed is already closed): the
+			// pumps are joined, so the writer is the only other party on
+			// the channel and it always drains to the sentinel.
+			p.out <- &wire.Frame{Type: wire.FrameClose}
+		}
+		t.writerWG.Wait()
+		for _, p := range t.peers {
+			p.conn.Close()
+		}
+		t.readerWG.Wait()
+		if t.ln != nil {
+			t.ln.Close()
+		}
+	})
+	return nil
+}

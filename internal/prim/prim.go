@@ -1,6 +1,7 @@
 package prim
 
 import (
+	"encoding/gob"
 	"fmt"
 
 	"repro/internal/ca"
@@ -8,6 +9,12 @@ import (
 
 // Token is the value produced by data-less emitters such as SyncSpout.
 type Token struct{}
+
+func init() {
+	// Tokens cross process boundaries when a token-carrying buffer (a
+	// sequencer ring's Fifo1Full, say) is cut into a remote region link.
+	gob.Register(Token{})
+}
 
 // Sync: in every step a message flows synchronously from a to b.
 func Sync(u *ca.Universe, a, b ca.PortID) *ca.Automaton {

@@ -1,0 +1,232 @@
+// Package wire is the framing layer of distributed region links: the
+// length-prefixed binary protocol two reod nodes (or any two processes
+// sharing a split region plan) speak over a stream connection.
+//
+// A connection carries frames. Every frame is
+//
+//	u32  length of the body, big-endian (the prefix itself excluded)
+//	u8   frame type
+//	u32  link index (the position in the shared region plan's link list)
+//	u64  sequence number
+//	...  payload, by type
+//
+// Data frames move one committed burst of a link: the payload is the
+// gob encoding of the burst's values, and Seq is the absolute index of
+// the first value (counting every value ever pushed on the link,
+// including a Fifo1Full seed). Ack frames carry no payload; Seq is the
+// cumulative count of values the consumer's region has popped, so one
+// ack retires every in-flight burst up to it. Hello frames open a
+// connection: the payload carries the node's name and the identity
+// checksum of its region plan, and both checks must match before any
+// Data flows. Close announces an orderly local shutdown; Error carries
+// a peer's failure reason so the local regions can break with it.
+//
+// The protocol is strictly SPSC per link — exactly one node produces
+// Data and exactly one produces Acks — so sequence numbers need no
+// reconciliation: any gap is a protocol violation, reported, never
+// repaired.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"io"
+)
+
+// Frame types.
+const (
+	// FrameHello opens a connection: identity handshake, both directions.
+	FrameHello = iota + 1
+	// FrameData carries one committed burst of link Link, first value at
+	// absolute sequence Seq.
+	FrameData
+	// FrameAck retires delivered values of link Link: Seq is the
+	// cumulative pop count on the consumer side.
+	FrameAck
+	// FrameClose announces an orderly shutdown of the sending node.
+	FrameClose
+	// FrameError carries the sending node's failure reason (Err).
+	FrameError
+)
+
+// DefaultMaxFrame bounds a frame body (16 MiB): a length prefix beyond
+// it is treated as stream corruption, not an allocation request.
+const DefaultMaxFrame = 1 << 24
+
+// Version is the protocol version carried (and required equal) in the
+// Hello exchange.
+const Version = 1
+
+// helloMagic guards against a non-wire peer: the first four payload
+// bytes of every Hello.
+const helloMagic = 0x5245_4F57 // "REOW"
+
+// Frame is one decoded protocol frame.
+type Frame struct {
+	Type byte
+	// Link is the plan-global link index the frame addresses
+	// (FrameData/FrameAck only).
+	Link uint32
+	// Seq is the absolute first-value index of a Data burst, or the
+	// cumulative pop count of an Ack.
+	Seq uint64
+	// Vals is a Data burst's payload.
+	Vals []any
+	// Node and Sum are the Hello identity: the sender's node name and
+	// its plan checksum (IdentitySum).
+	Node string
+	Sum  uint64
+	// Err is a FrameError's failure reason.
+	Err string
+}
+
+// wireVal wraps a burst value for gob. Encoding a nil interface value
+// directly is a gob error, but a zero struct field is simply omitted —
+// so wrapping makes nil round-trip for free, and typed values ride in a
+// single-field struct at one byte of framing overhead.
+type wireVal struct{ V any }
+
+// Register exposes gob registration for user payload types: any
+// concrete type sent through a distributed connector beyond the
+// pre-registered basics must be registered identically on every node.
+func Register(v any) { gob.Register(v) }
+
+func init() {
+	// The basics every workload uses, registered on both ends by
+	// construction. Strings, bools, float64, int and []byte are
+	// self-registering in gob; the rest are not.
+	gob.Register(int8(0))
+	gob.Register(int16(0))
+	gob.Register(int32(0))
+	gob.Register(int64(0))
+	gob.Register(uint(0))
+	gob.Register(uint8(0))
+	gob.Register(uint16(0))
+	gob.Register(uint32(0))
+	gob.Register(uint64(0))
+	gob.Register(float32(0))
+	gob.Register([]any(nil))
+	gob.Register(map[string]any(nil))
+}
+
+// IdentitySum folds the given strings into a 64-bit FNV-1a checksum.
+// Both nodes of a connection derive it from their region plan (connector
+// name, seed, region and link shapes); a mismatch at Hello means the
+// processes were built from different programs and the connection is
+// refused before any data moves.
+func IdentitySum(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		io.WriteString(h, p)
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// WriteFrame encodes f to w as one length-prefixed frame.
+func WriteFrame(w io.Writer, f *Frame) error {
+	var body bytes.Buffer
+	body.WriteByte(f.Type)
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], f.Link)
+	binary.BigEndian.PutUint64(hdr[4:12], f.Seq)
+	body.Write(hdr[:])
+	switch f.Type {
+	case FrameHello:
+		var fixed [14]byte
+		binary.BigEndian.PutUint32(fixed[0:4], helloMagic)
+		binary.BigEndian.PutUint16(fixed[4:6], Version)
+		binary.BigEndian.PutUint64(fixed[6:14], f.Sum)
+		body.Write(fixed[:])
+		body.WriteString(f.Node)
+	case FrameData:
+		vals := make([]wireVal, len(f.Vals))
+		for i, v := range f.Vals {
+			vals[i].V = v
+		}
+		if err := gob.NewEncoder(&body).Encode(vals); err != nil {
+			return fmt.Errorf("wire: encode burst (link %d, seq %d): %w", f.Link, f.Seq, err)
+		}
+	case FrameError:
+		body.WriteString(f.Err)
+	case FrameAck, FrameClose:
+		// Header only.
+	default:
+		return fmt.Errorf("wire: write of unknown frame type %d", f.Type)
+	}
+	if body.Len() > DefaultMaxFrame {
+		return fmt.Errorf("wire: frame body %d bytes exceeds limit %d", body.Len(), DefaultMaxFrame)
+	}
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(body.Len()))
+	if _, err := w.Write(prefix[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body.Bytes())
+	return err
+}
+
+// ReadFrame decodes the next frame from r. io.EOF is returned verbatim
+// on a clean boundary (no partial frame read); any mid-frame truncation
+// surfaces as io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) (*Frame, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("wire: truncated length prefix: %w", err)
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(prefix[:])
+	if n < 13 {
+		return nil, fmt.Errorf("wire: frame body %d bytes, need at least 13", n)
+	}
+	if n > DefaultMaxFrame {
+		return nil, fmt.Errorf("wire: frame body %d bytes exceeds limit %d", n, DefaultMaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: truncated frame body: %w", io.ErrUnexpectedEOF)
+	}
+	f := &Frame{
+		Type: body[0],
+		Link: binary.BigEndian.Uint32(body[1:5]),
+		Seq:  binary.BigEndian.Uint64(body[5:13]),
+	}
+	payload := body[13:]
+	switch f.Type {
+	case FrameHello:
+		if len(payload) < 14 {
+			return nil, fmt.Errorf("wire: hello payload %d bytes, need at least 14", len(payload))
+		}
+		if magic := binary.BigEndian.Uint32(payload[0:4]); magic != helloMagic {
+			return nil, fmt.Errorf("wire: bad hello magic %#x (not a wire peer?)", magic)
+		}
+		if v := binary.BigEndian.Uint16(payload[4:6]); v != Version {
+			return nil, fmt.Errorf("wire: protocol version %d, want %d", v, Version)
+		}
+		f.Sum = binary.BigEndian.Uint64(payload[6:14])
+		f.Node = string(payload[14:])
+	case FrameData:
+		var vals []wireVal
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&vals); err != nil {
+			return nil, fmt.Errorf("wire: decode burst (link %d, seq %d): %w", f.Link, f.Seq, err)
+		}
+		f.Vals = make([]any, len(vals))
+		for i := range vals {
+			f.Vals[i] = vals[i].V
+		}
+	case FrameError:
+		f.Err = string(payload)
+	case FrameAck, FrameClose:
+		if len(payload) != 0 {
+			return nil, fmt.Errorf("wire: frame type %d carries %d unexpected payload bytes", f.Type, len(payload))
+		}
+	default:
+		return nil, fmt.Errorf("wire: unknown frame type %d", f.Type)
+	}
+	return f, nil
+}

@@ -1,0 +1,187 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, f *Frame) *Frame {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, f); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d bytes left after one frame", buf.Len())
+	}
+	return got
+}
+
+func TestDataRoundTrip(t *testing.T) {
+	cases := [][]any{
+		{1, 2, 3},
+		{"a", "b"},
+		{nil},                      // nil must survive the gob wrapper
+		{nil, 42, nil, "x"},        // mixed
+		{int64(7), 3.5, true, nil}, // assorted scalar types
+		{[]byte{1, 2}, []any{1, "two", nil}, map[string]any{"k": 9}},
+		{}, // empty burst
+	}
+	for i, vals := range cases {
+		f := &Frame{Type: FrameData, Link: uint32(i), Seq: uint64(i * 100)}
+		f.Vals = vals
+		got := roundTrip(t, f)
+		if got.Link != f.Link || got.Seq != f.Seq {
+			t.Errorf("case %d: header (%d,%d), want (%d,%d)", i, got.Link, got.Seq, f.Link, f.Seq)
+		}
+		if len(got.Vals) != len(vals) {
+			t.Fatalf("case %d: %d values, want %d", i, len(got.Vals), len(vals))
+		}
+		if !reflect.DeepEqual(got.Vals, vals) && len(vals) > 0 {
+			t.Errorf("case %d: values %v, want %v", i, got.Vals, vals)
+		}
+	}
+}
+
+func TestHeaderFrames(t *testing.T) {
+	ack := roundTrip(t, &Frame{Type: FrameAck, Link: 3, Seq: 12345})
+	if ack.Type != FrameAck || ack.Link != 3 || ack.Seq != 12345 {
+		t.Errorf("ack round-trip: %+v", ack)
+	}
+	cl := roundTrip(t, &Frame{Type: FrameClose})
+	if cl.Type != FrameClose {
+		t.Errorf("close round-trip: %+v", cl)
+	}
+	er := roundTrip(t, &Frame{Type: FrameError, Err: "region 2: guard blew up"})
+	if er.Err != "region 2: guard blew up" {
+		t.Errorf("error round-trip: %q", er.Err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	f := roundTrip(t, &Frame{Type: FrameHello, Node: "b", Sum: 0xdeadbeefcafe})
+	if f.Node != "b" || f.Sum != 0xdeadbeefcafe {
+		t.Errorf("hello round-trip: node %q sum %#x", f.Node, f.Sum)
+	}
+}
+
+func TestHelloRejectsBadMagicAndVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Frame{Type: FrameHello, Node: "x", Sum: 1}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	bad := append([]byte(nil), raw...)
+	bad[4+13] ^= 0xff // flip a magic byte (4 prefix + 13 header)
+	if _, err := ReadFrame(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic: err %v", err)
+	}
+	bad = append([]byte(nil), raw...)
+	bad[4+13+4] ^= 0xff // flip a version byte
+	if _, err := ReadFrame(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("bad version: err %v", err)
+	}
+}
+
+func TestCleanEOFAndTruncation(t *testing.T) {
+	if _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty stream: err %v, want io.EOF", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Frame{Type: FrameData, Seq: 1, Vals: []any{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Every proper prefix of a frame must fail with ErrUnexpectedEOF,
+	// never a clean EOF and never a bogus decode.
+	for n := 1; n < len(raw); n++ {
+		_, err := ReadFrame(bytes.NewReader(raw[:n]))
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("truncated at %d/%d: err %v, want ErrUnexpectedEOF", n, len(raw), err)
+		}
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.BigEndian, uint32(DefaultMaxFrame+1))
+	buf.WriteString("xxxxxxxxxxxxxxxx")
+	if _, err := ReadFrame(&buf); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("oversize prefix: err %v", err)
+	}
+	huge := &Frame{Type: FrameData, Vals: []any{make([]byte, DefaultMaxFrame)}}
+	if err := WriteFrame(io.Discard, huge); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("oversize write: err %v", err)
+	}
+}
+
+func TestUndersizeBodyRejected(t *testing.T) {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.BigEndian, uint32(5))
+	buf.Write([]byte{FrameAck, 0, 0, 0, 0})
+	if _, err := ReadFrame(&buf); err == nil || !strings.Contains(err.Error(), "at least 13") {
+		t.Errorf("undersize body: err %v", err)
+	}
+}
+
+func TestUnknownTypeRejected(t *testing.T) {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.BigEndian, uint32(13))
+	body := make([]byte, 13)
+	body[0] = 99
+	buf.Write(body)
+	if _, err := ReadFrame(&buf); err == nil || !strings.Contains(err.Error(), "unknown frame type") {
+		t.Errorf("unknown type read: err %v", err)
+	}
+	if err := WriteFrame(io.Discard, &Frame{Type: 99}); err == nil {
+		t.Error("unknown type write accepted")
+	}
+}
+
+func TestIdentitySum(t *testing.T) {
+	a := IdentitySum("Pipeline", "seed=1", "regions=3")
+	if a != IdentitySum("Pipeline", "seed=1", "regions=3") {
+		t.Error("sum not deterministic")
+	}
+	if a == IdentitySum("Pipeline", "seed=2", "regions=3") {
+		t.Error("sum ignores a part")
+	}
+	// The NUL separator keeps part boundaries significant.
+	if IdentitySum("ab", "c") == IdentitySum("a", "bc") {
+		t.Error("sum collapses part boundaries")
+	}
+}
+
+func TestManyFramesOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 50; i++ {
+		f := &Frame{Type: FrameData, Link: uint32(i % 3), Seq: uint64(i), Vals: []any{i, nil}}
+		if i%7 == 0 {
+			f = &Frame{Type: FrameAck, Link: 1, Seq: uint64(i)}
+		}
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		f, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Seq != uint64(i) {
+			t.Fatalf("frame %d: seq %d", i, f.Seq)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Errorf("after all frames: err %v, want io.EOF", err)
+	}
+}

@@ -477,17 +477,18 @@ func TestRegionsInstanceStats(t *testing.T) {
 	}
 }
 
-// TestDeprecatedPartitioningShim keeps the old boolean option working.
-func TestDeprecatedPartitioningShim(t *testing.T) {
+// TestComponentPartitioning pins PartitionComponents splitting disjoint
+// buffers into one engine each (the combination the removed boolean
+// shim used to select).
+func TestComponentPartitioning(t *testing.T) {
 	prog := reo.MustCompile(`Buffers(in[];out[]) = prod (i:1..#in) Fifo1(in[i];out[i])`)
-	//lint:ignore SA1019 the deprecated shim's behavior is the thing under test
 	inst, err := prog.MustConnector("Buffers").Connect(
-		map[string]int{"in": 3, "out": 3}, reo.WithPartitioningEnabled(true))
+		map[string]int{"in": 3, "out": 3}, reo.WithPartitioning(reo.PartitionComponents))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer inst.Close()
 	if inst.Partitions() != 3 {
-		t.Errorf("partitions = %d, want 3 (components via deprecated shim)", inst.Partitions())
+		t.Errorf("partitions = %d, want 3 (one component per disjoint buffer)", inst.Partitions())
 	}
 }

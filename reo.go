@@ -29,8 +29,10 @@ package reo
 import (
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/ca"
@@ -38,6 +40,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/parser"
 	"repro/internal/sema"
+	"repro/internal/wire"
 )
 
 // Outport is a task's sending end of a connector boundary vertex.
@@ -314,6 +317,9 @@ type connectCfg struct {
 	runtime     *engine.Runtime
 	useRuntime  bool
 	reuse       bool
+	// remote is stored by pointer so connectCfg stays comparable; the
+	// topology itself is treated as immutable after Connect.
+	remote *RemoteTopology
 }
 
 // ErrInvalidOption is the sentinel every Connect option-validation
@@ -357,6 +363,17 @@ func (c *connectCfg) validate() error {
 	}
 	if c.reuse && c.workers != 0 {
 		return &OptionError{Option: "WithReuse", Reason: "incompatible with WithWorkers: a dedicated pool is torn down at Close and cannot be recycled; share a pool with WithRuntime instead"}
+	}
+	if c.remote != nil {
+		if c.partition != PartitionRegions {
+			return &OptionError{Option: "WithRemoteRegions", Reason: fmt.Sprintf("requires WithPartitioning(PartitionRegions) — regions are the unit of distribution, not %s partitions", c.partition)}
+		}
+		if c.mode == Static {
+			return &OptionError{Option: "WithRemoteRegions", Reason: "incompatible with WithMode(Static): the static product is one global automaton and cannot be cut across processes"}
+		}
+		if c.reuse {
+			return &OptionError{Option: "WithRemoteRegions", Reason: "incompatible with WithReuse: Close tears the peer connections down, so a remote instance cannot be recycled"}
+		}
 	}
 	return nil
 }
@@ -482,25 +499,59 @@ func WithReuse(on bool) ConnectOption {
 	return func(c *connectCfg) { c.reuse = on }
 }
 
-// WithPartitioningEnabled carries the semantics of the pre-PartitionMode
-// boolean WithPartitioning(bool): callers of that form migrate by
-// renaming the call (true selects component partitioning).
+// RemoteTopology places the regions of a PartitionRegions instance
+// across processes: every process runs the same program, connects the
+// same connector with the same lengths, seed, and topology, and hosts
+// the regions assigned to its node name. The cut links between nodes
+// are carried over TCP (one connection per node pair) as framed batch
+// messages with end-to-end flow control sized to the planned queue
+// capacity, so the distributed run fires the same steps, in the same
+// per-port order, as the single-process run.
 //
-// Deprecated: use WithPartitioning(PartitionComponents) or
-// WithPartitioning(PartitionOff). New code that wants maximum
-// concurrency should consider WithPartitioning(PartitionRegions)
-// combined with WithWorkers, which additionally cuts single-component
-// connectors at their buffers and fires the regions on a worker pool —
-// capabilities the boolean form cannot express.
-func WithPartitioningEnabled(on bool) ConnectOption {
-	return func(c *connectCfg) {
-		if on {
-			c.partition = PartitionComponents
-		} else {
-			c.partition = PartitionOff
-		}
-	}
+// Use `reoc regions <file> <connector> -n <N>` to see the region plan
+// the assignment refers to. Values crossing node boundaries are encoded
+// with encoding/gob; concrete types beyond numbers, strings, bools,
+// []byte, []any and map[string]any must be registered on every node
+// with RegisterWireType.
+type RemoteTopology struct {
+	// Node is this process's name in Nodes.
+	Node string
+	// Nodes maps node names to their listen addresses ("host:port").
+	Nodes map[string]string
+	// Regions assigns plan region indices to node names. Every region
+	// must be assigned to exactly one node.
+	Regions map[string][]int
+	// Listener, when non-nil, accepts peer connections instead of
+	// listening on Nodes[Node] (tests use a 127.0.0.1:0 listener).
+	Listener net.Listener
+	// DialTimeout bounds connection establishment per peer, retries
+	// included (default 10s) — peers started slightly apart connect as
+	// soon as both listen.
+	DialTimeout time.Duration
 }
+
+// WithRemoteRegions distributes the instance's regions across processes
+// according to the topology: Connect builds engines only for the
+// regions assigned to topo.Node, connects the peer nodes (dialing with
+// capped-backoff retry, so start order does not matter), and verifies
+// in the handshake that every process instantiated the same connector,
+// lengths, seed, and assignment. Requires
+// WithPartitioning(PartitionRegions); incompatible with WithMode(Static)
+// and WithReuse. Close notifies the peers, which close their ends in
+// turn. A connection failure breaks the local regions: pending and
+// future operations fail wrapping engine.ErrLinkBroken.
+func WithRemoteRegions(topo *RemoteTopology) ConnectOption {
+	return func(c *connectCfg) { c.remote = topo }
+}
+
+// ErrLinkBroken is the sentinel a distributed instance's operations
+// fail with when a peer connection drops or violates the protocol.
+var ErrLinkBroken = engine.ErrLinkBroken
+
+// RegisterWireType registers a concrete value type for transmission
+// over distributed region links (encoding/gob under the hood). Every
+// node of a topology must register the same types in the same way.
+func RegisterWireType(v any) { wire.Register(v) }
 
 // WithFullExpansion enables the textbook joint-step enumeration, which
 // combines independent local steps into single global steps. Exponentially
@@ -589,7 +640,7 @@ func (c *Connector) Connect(lengths map[string]int, opts ...ConnectOption) (*Ins
 	if err != nil {
 		return nil, err
 	}
-	coord, err := buildCoordinator(asm, cfg)
+	coord, err := buildCoordinator(asm, c.tmpl.Name, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -613,7 +664,7 @@ func (c *Connector) Connect(lengths map[string]int, opts ...ConnectOption) (*Ins
 	return inst, nil
 }
 
-func buildCoordinator(asm *compile.Assembly, cfg *connectCfg) (engine.Coordinator, error) {
+func buildCoordinator(asm *compile.Assembly, name string, cfg *connectCfg) (engine.Coordinator, error) {
 	eopts := engine.Options{
 		Expand:    cfg.expand,
 		CacheSize: cfg.cacheSize,
@@ -655,9 +706,71 @@ func buildCoordinator(asm *compile.Assembly, cfg *connectCfg) (engine.Coordinato
 	case PartitionComponents:
 		return engine.NewMulti(asm.U, asm.Auts, eopts)
 	case PartitionRegions:
+		if cfg.remote != nil {
+			return buildRemote(asm, name, cfg, eopts)
+		}
 		return engine.NewMultiRegions(asm.U, asm.Auts, eopts)
 	}
 	return engine.New(asm.U, asm.Auts, eopts)
+}
+
+// buildRemote resolves the topology against the instance's region plan
+// and builds the placed coordinator over a TCP transport. Assignment
+// mistakes surface as *OptionError before anything listens or dials.
+func buildRemote(asm *compile.Assembly, name string, cfg *connectCfg, eopts engine.Options) (engine.Coordinator, error) {
+	topo := cfg.remote
+	bad := func(format string, args ...any) error {
+		return &OptionError{Option: "WithRemoteRegions", Reason: fmt.Sprintf(format, args...)}
+	}
+	if topo.Node == "" {
+		return nil, bad("empty node name")
+	}
+	if _, ok := topo.Nodes[topo.Node]; !ok {
+		return nil, bad("node %q has no address in Nodes", topo.Node)
+	}
+	plan := ca.PlanRegions(asm.U, asm.Auts)
+	regionNode := make([]string, len(plan.Regions))
+	for node, ris := range topo.Regions {
+		if _, ok := topo.Nodes[node]; !ok {
+			return nil, bad("assignment names node %q, which has no address in Nodes", node)
+		}
+		for _, ri := range ris {
+			if ri < 0 || ri >= len(plan.Regions) {
+				return nil, bad("region %d out of range: the plan for these lengths has %d regions (inspect with `reoc regions`)", ri, len(plan.Regions))
+			}
+			if regionNode[ri] != "" {
+				return nil, bad("region %d assigned to both %q and %q", ri, regionNode[ri], node)
+			}
+			regionNode[ri] = node
+		}
+	}
+	for ri, n := range regionNode {
+		if n == "" {
+			return nil, bad("region %d not assigned to any node: the plan for these lengths has %d regions (inspect with `reoc regions`)", ri, len(plan.Regions))
+		}
+	}
+	hosted := make([]bool, len(plan.Regions))
+	for ri, n := range regionNode {
+		hosted[ri] = n == topo.Node
+	}
+	// The handshake identity pins everything that must match for the
+	// processes to be halves of the same run: the connector, the seed
+	// (per-region choice streams derive from it), the plan shape, and
+	// the assignment itself.
+	parts := []string{name, fmt.Sprintf("seed=%d", cfg.seed), fmt.Sprintf("regions=%d", len(plan.Regions))}
+	for li, lk := range plan.Links {
+		parts = append(parts, fmt.Sprintf("link %d: %d@%s -> %d@%s cap %d full %v",
+			li, lk.From, regionNode[lk.From], lk.To, regionNode[lk.To], lk.Capacity, lk.Full))
+	}
+	tr := engine.NewTCPTransport(engine.TCPConfig{
+		Node:        topo.Node,
+		Nodes:       topo.Nodes,
+		RegionNode:  regionNode,
+		Listener:    topo.Listener,
+		Identity:    wire.IdentitySum(parts...),
+		DialTimeout: topo.DialTimeout,
+	})
+	return engine.NewMultiRegionsPlaced(asm.U, asm.Auts, eopts, engine.Placement{Hosted: hosted, Transport: tr})
 }
 
 // Outports returns the task-side sending ports bound to a tail parameter,
