@@ -418,7 +418,9 @@ func benchInstances(outPath string, rest []string) {
 // writes perf-gate rows, best of -reps runs per cell. The tcp cells are
 // round-trip-bound by design (a cut Fifo1 keeps its planned capacity of
 // one end to end), so their rates gate the wire path's constant
-// factors, not bulk bandwidth.
+// factors, not bulk bandwidth. The payload sweep runs each tcp shape
+// twice: small ints (framing and round-trip cost) and 1 KiB byte
+// slices (bulk encode and buffer reuse).
 func benchRemote(outPath string, rest []string) {
 	fs := flag.NewFlagSet("bench-remote", flag.ExitOnError)
 	lanes := fs.Int("lanes", 4, "lane count of the multi-lane cells")
@@ -430,13 +432,13 @@ func benchRemote(outPath string, rest []string) {
 		*reps = 1
 	}
 
-	run := func(transport string, lanes, items int) bench.RemoteResult {
-		best, err := bench.RunRemoteLink(transport, lanes, items)
+	run := func(transport, payload string, lanes, items int) bench.RemoteResult {
+		best, err := bench.RunRemoteLinkPayload(transport, payload, lanes, items)
 		if err != nil {
 			fatal(err)
 		}
 		for r := 1; r < *reps; r++ {
-			res, err := bench.RunRemoteLink(transport, lanes, items)
+			res, err := bench.RunRemoteLinkPayload(transport, payload, lanes, items)
 			if err != nil {
 				fatal(err)
 			}
@@ -447,13 +449,15 @@ func benchRemote(outPath string, rest []string) {
 		return best
 	}
 	results := []bench.RemoteResult{
-		run("mem", *lanes, *memItems),
-		run("tcp", 1, *tcpItems / *lanes),
-		run("tcp", *lanes, *tcpItems),
+		run("mem", bench.PayloadInt, *lanes, *memItems),
+		run("tcp", bench.PayloadInt, 1, *tcpItems / *lanes),
+		run("tcp", bench.PayloadInt, *lanes, *tcpItems),
+		run("tcp", bench.PayloadBulk, 1, *tcpItems / *lanes),
+		run("tcp", bench.PayloadBulk, *lanes, *tcpItems),
 	}
 	for _, r := range results {
-		fmt.Printf("bench-remote: transport=%-4s lanes=%-3d %12.0f items/s (%d conn steps)\n",
-			r.Transport, r.Lanes, r.ItemsPerSec(), r.Steps)
+		fmt.Printf("bench-remote: transport=%-4s payload=%-4s lanes=%-3d %12.0f items/s (%d conn steps)\n",
+			r.Transport, r.Payload, r.Lanes, r.ItemsPerSec(), r.Steps)
 	}
 	if err := bench.WriteRemoteJSON(outPath, results); err != nil {
 		fatal(err)

@@ -27,6 +27,9 @@
 // tail parameter; workload.recvs the number of values expected from
 // every port of a head parameter. Values are deterministic functions of
 // (parameter, index, round), so checksums are comparable across runs.
+// They are plain ints, which ride the wire protocol's typed fast path;
+// programs moving custom payload types across nodes must register them
+// on every node first (reo.RegisterWireType / reo.RegisterWireUnit).
 package main
 
 import (

@@ -34,9 +34,22 @@ RemoteLanes(in[];out[]) =
 
 var remoteLanesProg = reo.MustCompile(remoteLanesSrc)
 
+// Payload kinds of the region-link cells: small ints exercise the
+// framing and round-trip constant factors (the values themselves are
+// nearly free on the wire), 1 KiB byte slices exercise bulk encode,
+// copy and buffer reuse.
+const (
+	PayloadInt  = "int"
+	PayloadBulk = "bulk"
+)
+
+// bulkPayloadSize is the value size of the bulk cells.
+const bulkPayloadSize = 1024
+
 // RemoteResult is one region-link throughput measurement.
 type RemoteResult struct {
 	Transport string // "mem" or "tcp"
+	Payload   string // PayloadInt or PayloadBulk
 	Lanes     int
 	Items     int // total across lanes
 	Elapsed   time.Duration
@@ -51,12 +64,38 @@ func (r RemoteResult) ItemsPerSec() float64 {
 	return float64(r.Items) / r.Elapsed.Seconds()
 }
 
-// RunRemoteLink moves items values (split evenly across lanes) through
-// the lane connector on the given transport and reports the wall time.
+// RunRemoteLink moves items small-int values (split evenly across
+// lanes) through the lane connector on the given transport and reports
+// the wall time.
 func RunRemoteLink(transport string, lanes, items int) (RemoteResult, error) {
-	res := RemoteResult{Transport: transport, Lanes: lanes, Items: items}
+	return RunRemoteLinkPayload(transport, PayloadInt, lanes, items)
+}
+
+// RunRemoteLinkPayload is RunRemoteLink with a payload-size choice:
+// PayloadInt sends the lane counter itself, PayloadBulk a 1 KiB byte
+// slice per item.
+func RunRemoteLinkPayload(transport, payload string, lanes, items int) (RemoteResult, error) {
+	res := RemoteResult{Transport: transport, Payload: payload, Lanes: lanes, Items: items}
 	if lanes < 1 || items < lanes {
 		return res, fmt.Errorf("bench: bad remote config (lanes=%d items=%d)", lanes, items)
+	}
+	var mkVal func(k int) any
+	switch payload {
+	case PayloadInt:
+		mkVal = func(k int) any { return k }
+	case PayloadBulk:
+		// One shared slice per lane iteration would let the mem transport
+		// alias it; a fresh fill per item keeps both transports honest
+		// without measuring allocator churn (the buffer is reused).
+		mkVal = func(k int) any {
+			b := make([]byte, bulkPayloadSize)
+			for i := range b {
+				b[i] = byte(k + i)
+			}
+			return b
+		}
+	default:
+		return res, fmt.Errorf("bench: unknown payload %q", payload)
 	}
 	conn, err := remoteLanesProg.Connector("RemoteLanes")
 	if err != nil {
@@ -95,7 +134,7 @@ func RunRemoteLink(transport string, lanes, items int) (RemoteResult, error) {
 			defer wg.Done()
 			in := send.Outports("in")[i]
 			for k := 0; k < perLane; k++ {
-				if in.Send(k) != nil {
+				if in.Send(mkVal(k)) != nil {
 					return
 				}
 			}
@@ -194,14 +233,19 @@ func connectLanesPair(conn *reo.Connector, lengths map[string]int) (a, b *reo.In
 }
 
 // RemoteJSONRows flattens region-link results into the perf-gate
-// schema: approach "remote", connector "RemoteLink", transport mem/tcp,
-// n = lane count, steps_per_sec = items/s (the rate the gate compares).
+// schema: approach "remote", connector "RemoteLink" (small-int payload)
+// or "RemoteLinkBulk" (1 KiB payload), transport mem/tcp, n = lane
+// count, steps_per_sec = items/s (the rate the gate compares).
 func RemoteJSONRows(results []RemoteResult) []CompareRow {
 	out := make([]CompareRow, 0, len(results))
 	for _, r := range results {
+		connector := "RemoteLink"
+		if r.Payload == PayloadBulk {
+			connector = "RemoteLinkBulk"
+		}
 		out = append(out, CompareRow{
 			Approach:    "remote",
-			Connector:   "RemoteLink",
+			Connector:   connector,
 			Transport:   r.Transport,
 			N:           r.Lanes,
 			StepsPerSec: r.ItemsPerSec(),

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -59,14 +60,30 @@ type TCPConfig struct {
 	DialTimeout time.Duration
 }
 
-// tcpPeer is one connected neighbor node: a conn, its writer queue, and
-// the writer goroutine draining the queue through a buffered writer
-// that flushes on empty — frames enqueued back-to-back coalesce into
-// one syscall.
+// tcpPeer is one connected neighbor node: a conn, its writer queue, the
+// writer goroutine draining the queue through a buffered writer that
+// flushes on empty — frames enqueued back-to-back coalesce into one
+// syscall — and the aggregated pump state servicing every half link
+// shared with this peer. dataLinks/ackLinks and the two signal channels
+// are assigned in Start before any goroutine launches and are read-only
+// afterwards.
 type tcpPeer struct {
 	name string
 	conn net.Conn
 	out  chan *wire.Frame
+	// dataLinks are the producer-local halves whose committed values this
+	// peer consumes; one send pump services them all, multiplexing
+	// concurrent bursts into DataBatch frames. ackLinks are the
+	// consumer-local halves whose pops this peer's mirrors wait on; one
+	// ack pump coalesces their head advances into AckBatch frames.
+	dataLinks []*tcpLink
+	ackLinks  []*tcpLink
+	// dataSig/ackSig are the shared one-slot coalescing wake-ups the
+	// engines raise (via link.signal) when a serviced link's counters
+	// move: one channel per pump, not per link, so a pump wake rescans
+	// every link it services and batches whatever accumulated.
+	dataSig chan struct{}
+	ackSig  chan struct{}
 }
 
 // tcpLink is one half link: the local queue endpoint plus the pump
@@ -134,6 +151,10 @@ func (t *TCPTransport) Bind(li int, spec ca.RegionLink, prodLocal, consLocal boo
 	}
 	l := newLink(spec.Capacity)
 	seedLink(l, spec)
+	// The signal is a placeholder until Start: once the peers are known,
+	// every half link sharing a peer-direction is rewired to that pump's
+	// shared channel (no engine fires before Start returns, so the swap
+	// is unobserved).
 	l.signal = make(chan struct{}, 1)
 	tl := &tcpLink{li: li, spec: spec, l: l, prodLocal: prodLocal}
 	// The absolute counters start past the seed: it is pre-loaded on
@@ -219,18 +240,39 @@ func (t *TCPTransport) Start(m *Multi) error {
 		}
 	}
 
+	// Group the half links by peer and rewire their signals to the
+	// per-peer pump channels — one send pump and one ack pump per peer,
+	// no matter how many links it shares with us. Must happen before any
+	// reader launches: a reader's pumpNudge can fire an engine, whose
+	// flushSignals must raise the pump channel, not the Bind placeholder.
+	for _, tl := range t.half {
+		p := t.peers[tl.peer]
+		if tl.prodLocal {
+			if p.dataSig == nil {
+				p.dataSig = make(chan struct{}, 1)
+			}
+			tl.l.signal = p.dataSig
+			p.dataLinks = append(p.dataLinks, tl)
+		} else {
+			if p.ackSig == nil {
+				p.ackSig = make(chan struct{}, 1)
+			}
+			tl.l.signal = p.ackSig
+			p.ackLinks = append(p.ackLinks, tl)
+		}
+	}
 	for _, p := range t.peers {
 		t.writerWG.Add(1)
 		go t.writer(p)
 		t.readerWG.Add(1)
 		go t.reader(p)
-	}
-	for _, tl := range t.half {
-		t.pumpWG.Add(1)
-		if tl.prodLocal {
-			go t.sendPump(tl)
-		} else {
-			go t.ackPump(tl)
+		if len(p.dataLinks) > 0 {
+			t.pumpWG.Add(1)
+			go t.sendPump(p)
+		}
+		if len(p.ackLinks) > 0 {
+			t.pumpWG.Add(1)
+			go t.ackPump(p)
 		}
 	}
 	return nil
@@ -242,14 +284,28 @@ func (t *TCPTransport) dialPeers(names []string) error {
 		deadline := time.Now().Add(t.cfg.DialTimeout)
 		backoff := 50 * time.Millisecond
 		var conn net.Conn
-		for {
-			c, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		var lastErr error
+		for attempts := 0; ; {
+			// The deadline may have elapsed mid-backoff; a zero or
+			// negative remaining timeout would make DialTimeout dial
+			// WITHOUT a deadline, hanging the whole Start on a black-holed
+			// peer. Fail fast instead.
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				if lastErr == nil {
+					lastErr = errors.New("deadline elapsed before the first attempt")
+				}
+				return fmt.Errorf("engine: dial %s (%s): deadline exceeded after %d attempts: %w", name, addr, attempts, lastErr)
+			}
+			c, err := net.DialTimeout("tcp", addr, remaining)
+			attempts++
 			if err == nil {
 				conn = c
 				break
 			}
+			lastErr = err
 			if time.Now().Add(backoff).After(deadline) {
-				return fmt.Errorf("engine: dial %s (%s): %w", name, addr, err)
+				return fmt.Errorf("engine: dial %s (%s): deadline exceeded after %d attempts: %w", name, addr, attempts, err)
 			}
 			// The peer may simply not be up yet: retry with capped
 			// exponential backoff until the deadline.
@@ -391,9 +447,12 @@ func (t *TCPTransport) writer(p *tcpPeer) {
 			return
 		}
 		if dead {
+			wire.PutFrame(f)
 			continue
 		}
-		if err := wire.WriteFrame(bw, f); err != nil {
+		err := wire.WriteFrame(bw, f)
+		wire.PutFrame(f)
+		if err != nil {
 			dead = true
 			t.fail(fmt.Errorf("write to %q: %w", p.name, err))
 			continue
@@ -407,15 +466,19 @@ func (t *TCPTransport) writer(p *tcpPeer) {
 	}
 }
 
-// reader dispatches inbound frames. Data and Ack drive the half links
-// directly — pushing/retiring slots under the SPSC discipline the far
-// engine would — and wake the local engine via pumpNudge.
+// reader dispatches inbound frames. Data and Ack (single or batched)
+// drive the half links directly — pushing/retiring slots under the SPSC
+// discipline the far engine would — and wake the local engine via
+// pumpNudge. The loop decodes into one reused frame and scratch buffer,
+// so at steady state it allocates only what the payload values require.
 func (t *TCPTransport) reader(p *tcpPeer) {
 	defer t.readerWG.Done()
 	br := bufio.NewReaderSize(p.conn, 64<<10)
+	f := wire.GetFrame()
+	defer wire.PutFrame(f)
+	var scratch []byte
 	for {
-		f, err := wire.ReadFrame(br)
-		if err != nil {
+		if err := wire.ReadFrameInto(br, f, &scratch); err != nil {
 			select {
 			case <-t.closed:
 				// Local teardown closed the conn under us: not a failure.
@@ -426,46 +489,26 @@ func (t *TCPTransport) reader(p *tcpPeer) {
 		}
 		switch f.Type {
 		case wire.FrameData:
-			tl, ok := t.byLink[int(f.Link)]
-			if !ok || tl.prodLocal {
-				t.fail(fmt.Errorf("data from %q for link %d, which this node does not consume", p.name, f.Link))
+			if !t.applyData(p, f.Link, f.Seq, f.Vals) {
 				return
 			}
-			l := tl.l
-			tail := l.tail.Load()
-			if f.Seq != uint64(tail) {
-				t.fail(fmt.Errorf("link %d: burst at seq %d, expected %d", f.Link, f.Seq, tail))
-				return
+		case wire.FrameDataBatch:
+			for i := range f.Bursts {
+				b := &f.Bursts[i]
+				if !t.applyData(p, b.Link, b.Seq, b.Vals) {
+					return
+				}
 			}
-			n := int64(len(f.Vals))
-			if free := int64(len(l.buf)) - (tail - l.head.Load()); n > free {
-				// The credit invariant bounds in-flight data to the queue
-				// capacity; an overflow can only be a protocol violation.
-				t.fail(fmt.Errorf("link %d: burst of %d overflows %d free slots", f.Link, n, free))
-				return
-			}
-			for i := int64(0); i < n; i++ {
-				l.buf[(tail+i)%int64(len(l.buf))] = f.Vals[i]
-			}
-			l.tail.Store(tail + n)
-			tl.l.dst.pumpNudge()
 		case wire.FrameAck:
-			tl, ok := t.byLink[int(f.Link)]
-			if !ok || !tl.prodLocal {
-				t.fail(fmt.Errorf("ack from %q for link %d, which this node does not produce", p.name, f.Link))
+			if !t.applyAck(p, f.Link, f.Seq) {
 				return
 			}
-			l := tl.l
-			head := l.head.Load()
-			if f.Seq < uint64(head) || f.Seq > uint64(l.tail.Load()) {
-				t.fail(fmt.Errorf("link %d: ack %d outside [%d,%d]", f.Link, f.Seq, head, l.tail.Load()))
-				return
+		case wire.FrameAckBatch:
+			for _, a := range f.Acks {
+				if !t.applyAck(p, a.Link, a.Seq) {
+					return
+				}
 			}
-			for i := head; i < int64(f.Seq); i++ {
-				l.buf[i%int64(len(l.buf))] = nil
-			}
-			l.head.Store(int64(f.Seq))
-			tl.l.src.pumpNudge()
 		case wire.FrameClose:
 			// Orderly peer shutdown: close the whole coordinator. Must
 			// run off this goroutine — Close joins the readers.
@@ -481,56 +524,143 @@ func (t *TCPTransport) reader(p *tcpPeer) {
 	}
 }
 
-// sendPump transmits the committed contents of a producer-local mirror:
-// every value between the last transmitted index and the published tail
-// goes out as one Data burst. Slots are NOT freed — the peer's Ack does
-// that — so the engine sees exactly the planned capacity end to end.
-func (t *TCPTransport) sendPump(tl *tcpLink) {
-	defer t.pumpWG.Done()
-	p := t.peers[tl.peer]
+// applyData delivers one inbound burst into its consumer-local queue
+// and wakes the consuming region. Returns false (after failing the
+// transport) on any protocol violation.
+func (t *TCPTransport) applyData(p *tcpPeer, link uint32, seq uint64, vals []any) bool {
+	tl, ok := t.byLink[int(link)]
+	if !ok || tl.prodLocal {
+		t.fail(fmt.Errorf("data from %q for link %d, which this node does not consume", p.name, link))
+		return false
+	}
 	l := tl.l
-	size := int64(len(l.buf))
+	tail := l.tail.Load()
+	if seq != uint64(tail) {
+		t.fail(fmt.Errorf("link %d: burst at seq %d, expected %d", link, seq, tail))
+		return false
+	}
+	n := int64(len(vals))
+	if free := int64(len(l.buf)) - (tail - l.head.Load()); n > free {
+		// The credit invariant bounds in-flight data to the queue
+		// capacity; an overflow can only be a protocol violation.
+		t.fail(fmt.Errorf("link %d: burst of %d overflows %d free slots", link, n, free))
+		return false
+	}
+	for i := int64(0); i < n; i++ {
+		l.buf[(tail+i)%int64(len(l.buf))] = vals[i]
+	}
+	l.tail.Store(tail + n)
+	l.dst.pumpNudge()
+	return true
+}
+
+// applyAck retires acknowledged values of a producer-local mirror and
+// wakes the producing region. Returns false (after failing the
+// transport) on any protocol violation.
+func (t *TCPTransport) applyAck(p *tcpPeer, link uint32, seq uint64) bool {
+	tl, ok := t.byLink[int(link)]
+	if !ok || !tl.prodLocal {
+		t.fail(fmt.Errorf("ack from %q for link %d, which this node does not produce", p.name, link))
+		return false
+	}
+	l := tl.l
+	head := l.head.Load()
+	if seq < uint64(head) || seq > uint64(l.tail.Load()) {
+		t.fail(fmt.Errorf("link %d: ack %d outside [%d,%d]", link, seq, head, l.tail.Load()))
+		return false
+	}
+	for i := head; i < int64(seq); i++ {
+		l.buf[i%int64(len(l.buf))] = nil
+	}
+	l.head.Store(int64(seq))
+	l.src.pumpNudge()
+	return true
+}
+
+// sendPump transmits the committed contents of every producer-local
+// mirror the peer consumes: on each wake it scans all of them and moves
+// every value between the last transmitted index and the published tail.
+// One pending link goes out as a classic Data frame; concurrent bursts
+// of several links multiplex into a single DataBatch frame — one frame,
+// one syscall, no matter how many links woke together. Slots are NOT
+// freed — the peer's Ack does that — so the engine sees exactly the
+// planned capacity end to end. Frames and their value slices come from
+// the wire pool and return to it after the writer flushes them, so the
+// steady-state pump is allocation-free.
+func (t *TCPTransport) sendPump(p *tcpPeer) {
+	defer t.pumpWG.Done()
 	for {
-		for {
+		f := wire.GetFrame()
+		for _, tl := range p.dataLinks {
+			l := tl.l
 			tail := l.tail.Load()
 			if tail == tl.sent {
-				break
+				continue
 			}
-			vals := make([]any, tail-tl.sent)
-			for i := range vals {
-				vals[i] = l.buf[(tl.sent+int64(i))%size]
+			b := f.NextBurst(uint32(tl.li), uint64(tl.sent))
+			size := int64(len(l.buf))
+			for i := tl.sent; i < tail; i++ {
+				b.Vals = append(b.Vals, l.buf[i%size])
 			}
-			t.send(p, &wire.Frame{Type: wire.FrameData, Link: uint32(tl.li), Seq: uint64(tl.sent), Vals: vals})
 			tl.sent = tail
 		}
-		select {
-		case <-l.signal:
-		case <-t.closed:
-			return
+		switch len(f.Bursts) {
+		case 0:
+			wire.PutFrame(f)
+			select {
+			case <-p.dataSig:
+			case <-t.closed:
+				return
+			}
+		case 1:
+			// A single link's burst keeps the v1 Data shape: the header
+			// carries link and seq, saving the batch framing bytes on the
+			// (RTT-bound) single-link path.
+			b := &f.Bursts[0]
+			f.Type, f.Link, f.Seq = wire.FrameData, b.Link, b.Seq
+			f.Vals, b.Vals = b.Vals, f.Vals
+			f.Bursts = f.Bursts[:0]
+			t.send(p, f)
+		default:
+			f.Type = wire.FrameDataBatch
+			t.send(p, f)
 		}
 	}
 }
 
-// ackPump reports the pops of a consumer-local queue: whenever the head
-// advances past the last report, one cumulative Ack goes out, retiring
-// every in-flight burst up to it on the producer node.
-func (t *TCPTransport) ackPump(tl *tcpLink) {
+// ackPump reports the pops of every consumer-local queue the peer
+// produces into: on each wake it scans all of them, and every head that
+// advanced past its last report joins one cumulative ack — a single Ack
+// frame when one link moved, one coalesced AckBatch frame when several
+// did. Each entry retires every in-flight burst up to its seq on the
+// producer node.
+func (t *TCPTransport) ackPump(p *tcpPeer) {
 	defer t.pumpWG.Done()
-	p := t.peers[tl.peer]
-	l := tl.l
 	for {
-		for {
-			head := l.head.Load()
+		f := wire.GetFrame()
+		for _, tl := range p.ackLinks {
+			head := tl.l.head.Load()
 			if head == tl.ackSent {
-				break
+				continue
 			}
-			t.send(p, &wire.Frame{Type: wire.FrameAck, Link: uint32(tl.li), Seq: uint64(head)})
+			f.Acks = append(f.Acks, wire.Ack{Link: uint32(tl.li), Seq: uint64(head)})
 			tl.ackSent = head
 		}
-		select {
-		case <-l.signal:
-		case <-t.closed:
-			return
+		switch len(f.Acks) {
+		case 0:
+			wire.PutFrame(f)
+			select {
+			case <-p.ackSig:
+			case <-t.closed:
+				return
+			}
+		case 1:
+			f.Type, f.Link, f.Seq = wire.FrameAck, f.Acks[0].Link, f.Acks[0].Seq
+			f.Acks = f.Acks[:0]
+			t.send(p, f)
+		default:
+			f.Type = wire.FrameAckBatch
+			t.send(p, f)
 		}
 	}
 }

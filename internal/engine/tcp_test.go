@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDialDeadlineElapsed: a deadline that expires before (or between)
+// attempts must fail fast with a clear error — never reach
+// net.DialTimeout with a zero/negative remaining timeout, which would
+// dial WITHOUT a deadline and hang Start on a black-holed peer.
+func TestDialDeadlineElapsed(t *testing.T) {
+	tr := &TCPTransport{cfg: TCPConfig{
+		Node:        "a",
+		Nodes:       map[string]string{"b": "127.0.0.1:1"},
+		DialTimeout: -time.Second, // already elapsed when dialPeers starts
+	}}
+	err := tr.dialPeers([]string{"b"})
+	if err == nil || !strings.Contains(err.Error(), "deadline exceeded after 0 attempts") {
+		t.Errorf("elapsed deadline: err %v", err)
+	}
+}
+
+// TestDialDeadlineExhausted: a peer that refuses connections burns the
+// deadline through backoff retries; the error must name the peer and
+// count the attempts.
+func TestDialDeadlineExhausted(t *testing.T) {
+	// Grab a port nothing listens on by binding and immediately closing.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	tr := &TCPTransport{cfg: TCPConfig{
+		Node:        "a",
+		Nodes:       map[string]string{"b": addr},
+		DialTimeout: 200 * time.Millisecond,
+	}}
+	start := time.Now()
+	err = tr.dialPeers([]string{"b"})
+	if err == nil || !strings.Contains(err.Error(), "deadline exceeded after") {
+		t.Errorf("refused peer: err %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("dialPeers took %v, deadline was 200ms", elapsed)
+	}
+}

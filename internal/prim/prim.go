@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/ca"
+	"repro/internal/wire"
 )
 
 // Token is the value produced by data-less emitters such as SyncSpout.
@@ -13,6 +14,10 @@ type Token struct{}
 func init() {
 	// Tokens cross process boundaries when a token-carrying buffer (a
 	// sequencer ring's Fifo1Full, say) is cut into a remote region link.
+	// The unit registration gives Token a typed fast-path tag (two bytes
+	// on the wire, allocation-free decode); the gob registration keeps it
+	// decodable when nested inside a fallback-encoded composite.
+	wire.RegisterUnit(Token{})
 	gob.Register(Token{})
 }
 

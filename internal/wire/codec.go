@@ -1,0 +1,399 @@
+package wire
+
+// The typed value codec of protocol v2: every burst value is one tag
+// byte plus a compact, type-specific payload. The common payload types
+// — nil, bool, the int/uint family, floats, string, []byte, []any and
+// registered zero-size unit types such as prim.Token — encode without
+// reflection or descriptors, so a steady stream of frames costs no
+// per-frame type negotiation (the v1 gob framing re-transmitted full
+// type descriptors with every burst, because each frame needed its own
+// self-contained encoder). Exotic registered types fall back to a
+// per-value gob blob behind tagGob; the descriptor cost then applies to
+// those values only.
+//
+// Decoding restores the exact concrete type that was encoded (an int
+// stays an int, an int64 an int64), which the differential harnesses
+// rely on: a distributed run must be bit-identical to the in-process
+// one, type assertions included.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+)
+
+// Value tags. The numbering is part of the v2 wire format: changing it
+// requires a Version bump.
+const (
+	tagNil byte = iota
+	tagFalse
+	tagTrue
+	tagInt     // zigzag varint
+	tagInt8    // zigzag varint, range-checked
+	tagInt16   // zigzag varint, range-checked
+	tagInt32   // zigzag varint, range-checked
+	tagInt64   // zigzag varint
+	tagUint    // uvarint
+	tagUint8   // uvarint, range-checked
+	tagUint16  // uvarint, range-checked
+	tagUint32  // uvarint, range-checked
+	tagUint64  // uvarint
+	tagFloat32 // 4 bytes big-endian IEEE 754
+	tagFloat64 // 8 bytes big-endian IEEE 754
+	tagString  // uvarint length + bytes
+	tagBytes   // uvarint length + bytes
+	tagSlice   // []any: uvarint length + values, recursively
+	tagUnit    // uvarint index into the RegisterUnit table
+	tagGob     // uvarint length + gob(wireVal{v}): the fallback
+)
+
+// maxValueDepth bounds tagSlice nesting so a crafted frame cannot
+// recurse the decoder off the stack.
+const maxValueDepth = 64
+
+// wireVal wraps a fallback value for gob. Encoding a nil interface
+// value directly is a gob error, but a zero struct field is simply
+// omitted — and typed values ride in a single-field struct at one byte
+// of framing overhead.
+type wireVal struct{ V any }
+
+// Register exposes gob registration for fallback payload types: any
+// concrete type sent through a distributed connector beyond the typed
+// fast path must be registered identically on every node.
+func Register(v any) { gob.Register(v) }
+
+// Unit-type registry: zero-size singleton types (prim.Token) encode as
+// tagUnit plus a table index, so a token costs two bytes on the wire
+// and boxes allocation-free on decode (the canonical value is returned
+// from the table). Registration order defines the indices and must
+// therefore be identical on every node — in practice both ends link the
+// same packages, whose init order Go fixes by import graph.
+var (
+	unitMu   sync.RWMutex
+	unitVals []any
+	unitIdx  = map[reflect.Type]uint64{}
+)
+
+// RegisterUnit assigns a compact typed tag to a zero-size struct type.
+// Idempotent per type; panics on a type that carries data (its values
+// would all decode to the registered one).
+func RegisterUnit(v any) {
+	t := reflect.TypeOf(v)
+	if t == nil || t.Size() != 0 {
+		panic(fmt.Sprintf("wire: RegisterUnit needs a zero-size concrete type, got %T", v))
+	}
+	unitMu.Lock()
+	defer unitMu.Unlock()
+	if _, ok := unitIdx[t]; ok {
+		return
+	}
+	unitIdx[t] = uint64(len(unitVals))
+	unitVals = append(unitVals, v)
+}
+
+func lookupUnit(v any) (uint64, bool) {
+	unitMu.RLock()
+	idx, ok := unitIdx[reflect.TypeOf(v)]
+	unitMu.RUnlock()
+	return idx, ok
+}
+
+func unitValue(idx uint64) (any, bool) {
+	unitMu.RLock()
+	defer unitMu.RUnlock()
+	if idx >= uint64(len(unitVals)) {
+		return nil, false
+	}
+	return unitVals[idx], true
+}
+
+func init() {
+	// Fallback-path registrations for composite basics (maps, and any
+	// scalar a user nests inside one): both ends register by
+	// construction. Strings, bools, float64, int and []byte are
+	// self-registering in gob; the rest are not.
+	gob.Register(int8(0))
+	gob.Register(int16(0))
+	gob.Register(int32(0))
+	gob.Register(int64(0))
+	gob.Register(uint(0))
+	gob.Register(uint8(0))
+	gob.Register(uint16(0))
+	gob.Register(uint32(0))
+	gob.Register(uint64(0))
+	gob.Register(float32(0))
+	gob.Register([]any(nil))
+	gob.Register(map[string]any(nil))
+}
+
+// appendValues appends a length-prefixed run of tagged values.
+func appendValues(b []byte, vals []any) ([]byte, error) {
+	b = binary.AppendUvarint(b, uint64(len(vals)))
+	var err error
+	for _, v := range vals {
+		if b, err = appendValue(b, v, 0); err != nil {
+			return b, err
+		}
+	}
+	return b, nil
+}
+
+// appendValue appends one tagged value. Zero allocations for every
+// fast-path type; the gob fallback allocates its encoder state.
+func appendValue(b []byte, v any, depth int) ([]byte, error) {
+	if depth > maxValueDepth {
+		return b, fmt.Errorf("wire: value nesting exceeds depth %d", maxValueDepth)
+	}
+	switch x := v.(type) {
+	case nil:
+		return append(b, tagNil), nil
+	case bool:
+		if x {
+			return append(b, tagTrue), nil
+		}
+		return append(b, tagFalse), nil
+	case int:
+		return binary.AppendVarint(append(b, tagInt), int64(x)), nil
+	case int8:
+		return binary.AppendVarint(append(b, tagInt8), int64(x)), nil
+	case int16:
+		return binary.AppendVarint(append(b, tagInt16), int64(x)), nil
+	case int32:
+		return binary.AppendVarint(append(b, tagInt32), int64(x)), nil
+	case int64:
+		return binary.AppendVarint(append(b, tagInt64), x), nil
+	case uint:
+		return binary.AppendUvarint(append(b, tagUint), uint64(x)), nil
+	case uint8:
+		return binary.AppendUvarint(append(b, tagUint8), uint64(x)), nil
+	case uint16:
+		return binary.AppendUvarint(append(b, tagUint16), uint64(x)), nil
+	case uint32:
+		return binary.AppendUvarint(append(b, tagUint32), uint64(x)), nil
+	case uint64:
+		return binary.AppendUvarint(append(b, tagUint64), x), nil
+	case float32:
+		return binary.BigEndian.AppendUint32(append(b, tagFloat32), math.Float32bits(x)), nil
+	case float64:
+		return binary.BigEndian.AppendUint64(append(b, tagFloat64), math.Float64bits(x)), nil
+	case string:
+		b = binary.AppendUvarint(append(b, tagString), uint64(len(x)))
+		return append(b, x...), nil
+	case []byte:
+		b = binary.AppendUvarint(append(b, tagBytes), uint64(len(x)))
+		return append(b, x...), nil
+	case []any:
+		b = binary.AppendUvarint(append(b, tagSlice), uint64(len(x)))
+		var err error
+		for _, e := range x {
+			if b, err = appendValue(b, e, depth+1); err != nil {
+				return b, err
+			}
+		}
+		return b, nil
+	default:
+		if idx, ok := lookupUnit(v); ok {
+			return binary.AppendUvarint(append(b, tagUnit), idx), nil
+		}
+		return appendGob(b, v)
+	}
+}
+
+func appendGob(b []byte, v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wireVal{v}); err != nil {
+		return b, fmt.Errorf("wire: encode %T: %w", v, err)
+	}
+	b = binary.AppendUvarint(append(b, tagGob), uint64(buf.Len()))
+	return append(b, buf.Bytes()...), nil
+}
+
+// readValues decodes a length-prefixed run of tagged values, appending
+// into dst (so a pooled frame's value slice keeps its capacity across
+// reads). Returns the extended slice and the remaining bytes.
+func readValues(dst []any, b []byte) ([]any, []byte, error) {
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return dst, b, fmt.Errorf("wire: malformed value count")
+	}
+	b = b[n:]
+	// Every value costs at least one tag byte, so a count beyond the
+	// remaining payload is corruption — reject before any growth, so a
+	// crafted prefix cannot force a huge allocation.
+	if count > uint64(len(b)) {
+		return dst, b, fmt.Errorf("wire: %d values exceed %d payload bytes", count, len(b))
+	}
+	var (
+		v   any
+		err error
+	)
+	for i := uint64(0); i < count; i++ {
+		if v, b, err = readValue(b, 0); err != nil {
+			return dst, b, err
+		}
+		dst = append(dst, v)
+	}
+	return dst, b, nil
+}
+
+func readVarint(b []byte) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, b, fmt.Errorf("wire: malformed varint")
+	}
+	return v, b[n:], nil
+}
+
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, b, fmt.Errorf("wire: malformed uvarint")
+	}
+	return v, b[n:], nil
+}
+
+// readValue decodes one tagged value. Small-valued integers, bools and
+// unit types box without allocating; strings, byte slices and large
+// scalars allocate exactly their payload.
+func readValue(b []byte, depth int) (any, []byte, error) {
+	if depth > maxValueDepth {
+		return nil, b, fmt.Errorf("wire: value nesting exceeds depth %d", maxValueDepth)
+	}
+	if len(b) == 0 {
+		return nil, b, fmt.Errorf("wire: missing value tag")
+	}
+	tag := b[0]
+	b = b[1:]
+	switch tag {
+	case tagNil:
+		return nil, b, nil
+	case tagFalse:
+		return false, b, nil
+	case tagTrue:
+		return true, b, nil
+	case tagInt:
+		v, b, err := readVarint(b)
+		return int(v), b, err
+	case tagInt8:
+		v, b, err := readVarint(b)
+		if err == nil && (v < math.MinInt8 || v > math.MaxInt8) {
+			return nil, b, fmt.Errorf("wire: int8 value %d out of range", v)
+		}
+		return int8(v), b, err
+	case tagInt16:
+		v, b, err := readVarint(b)
+		if err == nil && (v < math.MinInt16 || v > math.MaxInt16) {
+			return nil, b, fmt.Errorf("wire: int16 value %d out of range", v)
+		}
+		return int16(v), b, err
+	case tagInt32:
+		v, b, err := readVarint(b)
+		if err == nil && (v < math.MinInt32 || v > math.MaxInt32) {
+			return nil, b, fmt.Errorf("wire: int32 value %d out of range", v)
+		}
+		return int32(v), b, err
+	case tagInt64:
+		v, b, err := readVarint(b)
+		return v, b, err
+	case tagUint:
+		v, b, err := readUvarint(b)
+		return uint(v), b, err
+	case tagUint8:
+		v, b, err := readUvarint(b)
+		if err == nil && v > math.MaxUint8 {
+			return nil, b, fmt.Errorf("wire: uint8 value %d out of range", v)
+		}
+		return uint8(v), b, err
+	case tagUint16:
+		v, b, err := readUvarint(b)
+		if err == nil && v > math.MaxUint16 {
+			return nil, b, fmt.Errorf("wire: uint16 value %d out of range", v)
+		}
+		return uint16(v), b, err
+	case tagUint32:
+		v, b, err := readUvarint(b)
+		if err == nil && v > math.MaxUint32 {
+			return nil, b, fmt.Errorf("wire: uint32 value %d out of range", v)
+		}
+		return uint32(v), b, err
+	case tagUint64:
+		v, b, err := readUvarint(b)
+		return v, b, err
+	case tagFloat32:
+		if len(b) < 4 {
+			return nil, b, fmt.Errorf("wire: truncated float32")
+		}
+		return math.Float32frombits(binary.BigEndian.Uint32(b)), b[4:], nil
+	case tagFloat64:
+		if len(b) < 8 {
+			return nil, b, fmt.Errorf("wire: truncated float64")
+		}
+		return math.Float64frombits(binary.BigEndian.Uint64(b)), b[8:], nil
+	case tagString:
+		n, b, err := readUvarint(b)
+		if err != nil {
+			return nil, b, err
+		}
+		if n > uint64(len(b)) {
+			return nil, b, fmt.Errorf("wire: string length %d exceeds %d payload bytes", n, len(b))
+		}
+		return string(b[:n]), b[n:], nil
+	case tagBytes:
+		n, b, err := readUvarint(b)
+		if err != nil {
+			return nil, b, err
+		}
+		if n > uint64(len(b)) {
+			return nil, b, fmt.Errorf("wire: byte-slice length %d exceeds %d payload bytes", n, len(b))
+		}
+		cp := make([]byte, n)
+		copy(cp, b)
+		return cp, b[n:], nil
+	case tagSlice:
+		n, b, err := readUvarint(b)
+		if err != nil {
+			return nil, b, err
+		}
+		if n > uint64(len(b)) {
+			return nil, b, fmt.Errorf("wire: slice length %d exceeds %d payload bytes", n, len(b))
+		}
+		out := make([]any, 0, n)
+		var v any
+		for i := uint64(0); i < n; i++ {
+			if v, b, err = readValue(b, depth+1); err != nil {
+				return nil, b, err
+			}
+			out = append(out, v)
+		}
+		return out, b, nil
+	case tagUnit:
+		idx, b, err := readUvarint(b)
+		if err != nil {
+			return nil, b, err
+		}
+		v, ok := unitValue(idx)
+		if !ok {
+			return nil, b, fmt.Errorf("wire: unit type index %d not registered", idx)
+		}
+		return v, b, nil
+	case tagGob:
+		n, b, err := readUvarint(b)
+		if err != nil {
+			return nil, b, err
+		}
+		if n > uint64(len(b)) {
+			return nil, b, fmt.Errorf("wire: gob length %d exceeds %d payload bytes", n, len(b))
+		}
+		var wv wireVal
+		if err := gob.NewDecoder(bytes.NewReader(b[:n])).Decode(&wv); err != nil {
+			return nil, b, fmt.Errorf("wire: decode fallback value: %w", err)
+		}
+		return wv.V, b[n:], nil
+	default:
+		return nil, b, fmt.Errorf("wire: unknown value tag %d", tag)
+	}
+}

@@ -1,0 +1,344 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// codecUnit is a test-local zero-size type for the unit registry.
+type codecUnit struct{}
+
+// codecExotic exercises the gob fallback: a struct type outside the
+// typed fast path that both "ends" (the one test process) register.
+type codecExotic struct {
+	Name  string
+	Count int
+}
+
+func init() {
+	RegisterUnit(codecUnit{})
+	Register(codecExotic{})
+}
+
+// TestCodecRoundTrip drives every fast-path type, the gob fallback and
+// nil through a Data frame and asserts the exact concrete type AND value
+// come back — the differential harnesses type-assert decoded payloads,
+// so `int` must never come back as `int64`.
+func TestCodecRoundTrip(t *testing.T) {
+	cases := []any{
+		nil,
+		false, true,
+		int(0), int(255), int(-1), int(math.MaxInt64), int(math.MinInt64),
+		int8(-128), int8(127),
+		int16(-32768), int16(32767),
+		int32(math.MinInt32), int32(math.MaxInt32),
+		int64(math.MinInt64), int64(math.MaxInt64),
+		uint(0), uint(math.MaxUint64),
+		uint8(0), uint8(255),
+		uint16(65535),
+		uint32(math.MaxUint32),
+		uint64(math.MaxUint64),
+		float32(3.5), float32(math.Pi),
+		float64(0), math.Inf(1), math.Inf(-1), 6.02214076e23,
+		"", "hello", strings.Repeat("x", 10_000),
+		[]byte{}, []byte{0, 1, 2, 255},
+		[]any{}, []any{1, "two", nil, []any{true, 3.5}},
+		codecUnit{},
+		codecExotic{Name: "n", Count: 7},
+		map[string]any{"k": 9, "nested": "deep"},
+	}
+	for i, want := range cases {
+		var buf bytes.Buffer
+		f := &Frame{Type: FrameData, Link: 1, Seq: uint64(i), Vals: []any{want}}
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatalf("case %d (%T): write: %v", i, want, err)
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("case %d (%T): read: %v", i, want, err)
+		}
+		if len(got.Vals) != 1 {
+			t.Fatalf("case %d (%T): %d values back", i, want, len(got.Vals))
+		}
+		v := got.Vals[0]
+		if reflect.TypeOf(v) != reflect.TypeOf(want) {
+			t.Errorf("case %d: type %T, want %T", i, v, want)
+		}
+		if !reflect.DeepEqual(v, want) {
+			t.Errorf("case %d (%T): value %v, want %v", i, want, v, want)
+		}
+	}
+	// NaN compares unequal to itself; check via the bit pattern.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Frame{Type: FrameData, Vals: []any{math.NaN()}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f64, ok := got.Vals[0].(float64); !ok || !math.IsNaN(f64) {
+		t.Errorf("NaN round-trip: %v (%T)", got.Vals[0], got.Vals[0])
+	}
+}
+
+// TestCodecUnitIdentity: a registered unit type decodes to the canonical
+// registered value, so tokens stay comparable across the wire.
+func TestCodecUnitIdentity(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Frame{Type: FrameData, Vals: []any{codecUnit{}, codecUnit{}}}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range f.Vals {
+		if _, ok := v.(codecUnit); !ok {
+			t.Errorf("value %d: %T, want codecUnit", i, v)
+		}
+	}
+	// Two bytes per unit value: tag + index. Prefix(4) + header(13) +
+	// count(1) + 2×2 = 22 total.
+	if buf.Len() != 0 {
+		t.Errorf("%d bytes left", buf.Len())
+	}
+}
+
+func TestRegisterUnitRejectsSizedTypes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RegisterUnit(int) did not panic")
+		}
+	}()
+	RegisterUnit(42)
+}
+
+func TestAckBatchRoundTrip(t *testing.T) {
+	acks := []Ack{{Link: 0, Seq: 1}, {Link: 7, Seq: 1 << 40}, {Link: math.MaxUint32, Seq: math.MaxUint64}}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Frame{Type: FrameAckBatch, Acks: acks}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != FrameAckBatch || !reflect.DeepEqual(f.Acks, acks) {
+		t.Errorf("ack batch round-trip: %+v", f)
+	}
+}
+
+func TestDataBatchRoundTrip(t *testing.T) {
+	bursts := []Burst{
+		{Link: 2, Seq: 100, Vals: []any{1, 2, 3}},
+		{Link: 5, Seq: 7, Vals: []any{"a", nil}},
+		{Link: 9, Seq: 0, Vals: []any{}},
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Frame{Type: FrameDataBatch, Bursts: bursts}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != FrameDataBatch || len(f.Bursts) != len(bursts) {
+		t.Fatalf("data batch round-trip: %+v", f)
+	}
+	for i, want := range bursts {
+		got := f.Bursts[i]
+		if got.Link != want.Link || got.Seq != want.Seq || len(got.Vals) != len(want.Vals) {
+			t.Errorf("burst %d: %+v, want %+v", i, got, want)
+		}
+		if len(want.Vals) > 0 && !reflect.DeepEqual(got.Vals, want.Vals) {
+			t.Errorf("burst %d values: %v, want %v", i, got.Vals, want.Vals)
+		}
+	}
+}
+
+// TestHelloRejectsV1Peer crafts the exact Hello a version-1 node would
+// send and asserts the v2 decoder refuses it by version, loudly.
+func TestHelloRejectsV1Peer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Frame{Type: FrameHello, Node: "old-node", Sum: 42}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// The version rides big-endian at payload offset 4 (prefix 4 +
+	// header 13 + magic 4).
+	binary.BigEndian.PutUint16(raw[4+13+4:], 1)
+	_, err := ReadFrame(bytes.NewReader(raw))
+	if err == nil || !strings.Contains(err.Error(), fmt.Sprintf("protocol version 1, want %d", Version)) {
+		t.Errorf("v1 hello: err %v", err)
+	}
+}
+
+func TestCorruptValuesRejected(t *testing.T) {
+	frame := func(payload []byte) []byte {
+		body := make([]byte, frameHeaderLen+len(payload))
+		body[0] = FrameData
+		copy(body[frameHeaderLen:], payload)
+		out := binary.BigEndian.AppendUint32(nil, uint32(len(body)))
+		return append(out, body...)
+	}
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"unknown tag", []byte{1, 255}},
+		{"count beyond payload", binary.AppendUvarint(nil, 1<<40)},
+		{"string length beyond payload", []byte{1, tagString, 200, 'x'}},
+		{"bytes length beyond payload", []byte{1, tagBytes, 200, 'x'}},
+		{"slice length beyond payload", []byte{1, tagSlice, 200}},
+		{"gob length beyond payload", []byte{1, tagGob, 200}},
+		{"truncated float32", []byte{1, tagFloat32, 0, 0}},
+		{"truncated float64", []byte{1, tagFloat64, 0}},
+		{"missing tag", []byte{2, tagNil}},
+		{"int8 out of range", append([]byte{1, tagInt8}, binary.AppendVarint(nil, 300)...)},
+		{"uint16 out of range", append([]byte{1, tagUint16}, binary.AppendUvarint(nil, 1<<20)...)},
+		{"unit index unregistered", append([]byte{1, tagUnit}, binary.AppendUvarint(nil, 1<<30)...)},
+		{"trailing bytes", []byte{1, tagNil, 0xEE}},
+		{"bad gob blob", []byte{1, tagGob, 2, 0xff, 0xff}},
+	}
+	for _, tc := range cases {
+		if _, err := ReadFrame(bytes.NewReader(frame(tc.payload))); err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+		}
+	}
+}
+
+// TestDeepNestingRejected: a tagSlice tower past maxValueDepth must be
+// refused on both ends, never recursed into a stack overflow.
+func TestDeepNestingRejected(t *testing.T) {
+	deep := []any{}
+	for i := 0; i < maxValueDepth+2; i++ {
+		deep = []any{deep}
+	}
+	err := WriteFrame(io.Discard, &Frame{Type: FrameData, Vals: []any{deep}})
+	if err == nil || !strings.Contains(err.Error(), "nesting exceeds") {
+		t.Errorf("deep encode: err %v", err)
+	}
+	// Hand-build the decoder-side equivalent: a run of nested tagSlice
+	// headers, each announcing one element.
+	payload := binary.AppendUvarint(nil, 1) // one top-level value
+	for i := 0; i < maxValueDepth+2; i++ {
+		payload = append(payload, tagSlice, 1)
+	}
+	payload = append(payload, tagNil)
+	body := make([]byte, frameHeaderLen+len(payload))
+	body[0] = FrameData
+	copy(body[frameHeaderLen:], payload)
+	raw := append(binary.BigEndian.AppendUint32(nil, uint32(len(body))), body...)
+	if _, err := ReadFrame(bytes.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "nesting exceeds") {
+		t.Errorf("deep decode: err %v", err)
+	}
+}
+
+// repeatReader replays one encoded frame forever without allocating.
+type repeatReader struct {
+	raw []byte
+	pos int
+}
+
+func (r *repeatReader) Read(p []byte) (int, error) {
+	if r.pos == len(r.raw) {
+		r.pos = 0
+	}
+	n := copy(p, r.raw[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+// TestSteadyStateAllocs pins the tentpole guarantee: with pooled frames,
+// pooled encode buffers, a reused scratch slice and fast-path payloads,
+// a warm WriteFrame/ReadFrameInto cycle allocates nothing. Small ints
+// box from the runtime's static table, so even the decoded values are
+// free.
+func TestSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; AllocsPerRun is unreliable under -race")
+	}
+	wf := &Frame{Type: FrameData, Link: 3, Seq: 0, Vals: []any{1, 2, 3, true, nil, codecUnit{}}}
+	writes := testing.AllocsPerRun(1000, func() {
+		if err := WriteFrame(io.Discard, wf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if writes != 0 {
+		t.Errorf("WriteFrame: %v allocs/op, want 0", writes)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, wf); err != nil {
+		t.Fatal(err)
+	}
+	src := &repeatReader{raw: buf.Bytes()}
+	rf := GetFrame()
+	defer PutFrame(rf)
+	var scratch []byte
+	reads := testing.AllocsPerRun(1000, func() {
+		if err := ReadFrameInto(src, rf, &scratch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if reads != 0 {
+		t.Errorf("ReadFrameInto: %v allocs/op, want 0", reads)
+	}
+
+	// The batch shapes the pumps emit at load must stay free too.
+	bf := GetFrame()
+	defer PutFrame(bf)
+	for i := 0; i < 3; i++ {
+		b := bf.NextBurst(uint32(i), uint64(i*10))
+		b.Vals = append(b.Vals, i, i+1)
+	}
+	bf.Type = FrameDataBatch
+	bf.Acks = append(bf.Acks, Ack{Link: 1, Seq: 5}, Ack{Link: 2, Seq: 9})
+	batchWrites := testing.AllocsPerRun(1000, func() {
+		if err := WriteFrame(io.Discard, bf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if batchWrites != 0 {
+		t.Errorf("WriteFrame(DataBatch): %v allocs/op, want 0", batchWrites)
+	}
+
+	buf.Reset()
+	if err := WriteFrame(&buf, bf); err != nil {
+		t.Fatal(err)
+	}
+	src = &repeatReader{raw: buf.Bytes()}
+	batchReads := testing.AllocsPerRun(1000, func() {
+		if err := ReadFrameInto(src, rf, &scratch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if batchReads != 0 {
+		t.Errorf("ReadFrameInto(DataBatch): %v allocs/op, want 0", batchReads)
+	}
+}
+
+// TestFramePoolReuse: a frame cycled through the pool carries no stale
+// state into its next occupancy.
+func TestFramePoolReuse(t *testing.T) {
+	f := GetFrame()
+	f.Type = FrameData
+	f.Vals = append(f.Vals, "stale")
+	f.Acks = append(f.Acks, Ack{Link: 9, Seq: 9})
+	f.NextBurst(4, 4).Vals = append(f.Bursts[0].Vals, "old")
+	f.Node, f.Err, f.Sum = "n", "e", 1
+	PutFrame(f)
+	g := GetFrame()
+	defer PutFrame(g)
+	if g.Type != 0 || len(g.Vals) != 0 || len(g.Acks) != 0 || len(g.Bursts) != 0 ||
+		g.Node != "" || g.Err != "" || g.Sum != 0 {
+		t.Errorf("pooled frame not reset: %+v", g)
+	}
+}

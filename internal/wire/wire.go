@@ -10,30 +10,42 @@
 //	u64  sequence number
 //	...  payload, by type
 //
-// Data frames move one committed burst of a link: the payload is the
-// gob encoding of the burst's values, and Seq is the absolute index of
-// the first value (counting every value ever pushed on the link,
-// including a Fifo1Full seed). Ack frames carry no payload; Seq is the
+// Data frames move one committed burst of a link: the payload is a
+// count-prefixed run of typed tagged values (codec.go), and Seq is the
+// absolute index of the first value (counting every value ever pushed
+// on the link, including a Fifo1Full seed). DataBatch frames multiplex
+// bursts of several links bound for the same peer into one frame — one
+// syscall — each sub-burst carrying its own link, seq and values; the
+// header Link/Seq are unused. Ack frames carry no payload; Seq is the
 // cumulative count of values the consumer's region has popped, so one
-// ack retires every in-flight burst up to it. Hello frames open a
-// connection: the payload carries the node's name and the identity
-// checksum of its region plan, and both checks must match before any
-// Data flows. Close announces an orderly local shutdown; Error carries
-// a peer's failure reason so the local regions can break with it.
+// ack retires every in-flight burst up to it. AckBatch frames coalesce
+// the head advances of many links into one frame of (link, seq) pairs.
+// Hello frames open a connection: the payload carries the node's name
+// and the identity checksum of its region plan, and both checks (plus
+// the protocol version) must match before any Data flows. Close
+// announces an orderly local shutdown; Error carries a peer's failure
+// reason so the local regions can break with it.
+//
+// The hot path is allocation-free at steady state: WriteFrame stages
+// the body in a pooled buffer and issues one Write; ReadFrameInto
+// decodes into a caller-owned Frame and scratch buffer, reusing the
+// value slices of previous frames. Frames themselves pool through
+// GetFrame/PutFrame.
 //
 // The protocol is strictly SPSC per link — exactly one node produces
 // Data and exactly one produces Acks — so sequence numbers need no
 // reconciliation: any gap is a protocol violation, reported, never
-// repaired.
+// repaired. Version 2 introduced the typed codec and the batch frames;
+// the Hello exchange refuses a version mismatch, so mixed-version
+// fleets fail loudly at connect, never mid-stream.
 package wire
 
 import (
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"fmt"
 	"hash/fnv"
 	"io"
+	"sync"
 )
 
 // Frame types.
@@ -50,6 +62,12 @@ const (
 	FrameClose
 	// FrameError carries the sending node's failure reason (Err).
 	FrameError
+	// FrameAckBatch coalesces cumulative acks of many links into one
+	// frame (Acks).
+	FrameAckBatch
+	// FrameDataBatch multiplexes committed bursts of many links into one
+	// frame (Bursts).
+	FrameDataBatch
 )
 
 // DefaultMaxFrame bounds a frame body (16 MiB): a length prefix beyond
@@ -57,12 +75,31 @@ const (
 const DefaultMaxFrame = 1 << 24
 
 // Version is the protocol version carried (and required equal) in the
-// Hello exchange.
-const Version = 1
+// Hello exchange. Version 2: typed value codec, ack and data batch
+// frames.
+const Version = 2
 
 // helloMagic guards against a non-wire peer: the first four payload
 // bytes of every Hello.
 const helloMagic = 0x5245_4F57 // "REOW"
+
+// frameHeaderLen is the fixed body prefix every frame carries: type,
+// link, seq.
+const frameHeaderLen = 13
+
+// Ack is one entry of an AckBatch: the cumulative pop count of one
+// link.
+type Ack struct {
+	Link uint32
+	Seq  uint64
+}
+
+// Burst is one entry of a DataBatch: one committed burst of one link.
+type Burst struct {
+	Link uint32
+	Seq  uint64
+	Vals []any
+}
 
 // Frame is one decoded protocol frame.
 type Frame struct {
@@ -75,6 +112,10 @@ type Frame struct {
 	Seq uint64
 	// Vals is a Data burst's payload.
 	Vals []any
+	// Acks is an AckBatch's payload.
+	Acks []Ack
+	// Bursts is a DataBatch's payload.
+	Bursts []Burst
 	// Node and Sum are the Hello identity: the sender's node name and
 	// its plan checksum (IdentitySum).
 	Node string
@@ -83,34 +124,64 @@ type Frame struct {
 	Err string
 }
 
-// wireVal wraps a burst value for gob. Encoding a nil interface value
-// directly is a gob error, but a zero struct field is simply omitted —
-// so wrapping makes nil round-trip for free, and typed values ride in a
-// single-field struct at one byte of framing overhead.
-type wireVal struct{ V any }
-
-// Register exposes gob registration for user payload types: any
-// concrete type sent through a distributed connector beyond the
-// pre-registered basics must be registered identically on every node.
-func Register(v any) { gob.Register(v) }
-
-func init() {
-	// The basics every workload uses, registered on both ends by
-	// construction. Strings, bools, float64, int and []byte are
-	// self-registering in gob; the rest are not.
-	gob.Register(int8(0))
-	gob.Register(int16(0))
-	gob.Register(int32(0))
-	gob.Register(int64(0))
-	gob.Register(uint(0))
-	gob.Register(uint8(0))
-	gob.Register(uint16(0))
-	gob.Register(uint32(0))
-	gob.Register(uint64(0))
-	gob.Register(float32(0))
-	gob.Register([]any(nil))
-	gob.Register(map[string]any(nil))
+// Reset clears the frame for reuse: value references are dropped (so a
+// pooled frame does not pin decoded payloads) but every slice keeps its
+// capacity, which is what makes the steady-state read/write path
+// allocation-free.
+func (f *Frame) Reset() {
+	f.Type, f.Link, f.Seq = 0, 0, 0
+	f.Node, f.Err = "", ""
+	f.Sum = 0
+	for i := range f.Vals {
+		f.Vals[i] = nil
+	}
+	f.Vals = f.Vals[:0]
+	f.Acks = f.Acks[:0]
+	for i := range f.Bursts {
+		b := &f.Bursts[i]
+		for j := range b.Vals {
+			b.Vals[j] = nil
+		}
+		b.Vals = b.Vals[:0]
+		b.Link, b.Seq = 0, 0
+	}
+	f.Bursts = f.Bursts[:0]
 }
+
+// NextBurst appends and returns the frame's next DataBatch burst,
+// reusing the value-slice capacity a previous occupant of the slot left
+// behind (append of a fresh Burst{} would drop it).
+func (f *Frame) NextBurst(link uint32, seq uint64) *Burst {
+	n := len(f.Bursts)
+	if n < cap(f.Bursts) {
+		f.Bursts = f.Bursts[:n+1]
+	} else {
+		f.Bursts = append(f.Bursts, Burst{})
+	}
+	b := &f.Bursts[n]
+	b.Link, b.Seq = link, seq
+	b.Vals = b.Vals[:0]
+	return b
+}
+
+var framePool = sync.Pool{New: func() any { return new(Frame) }}
+
+// GetFrame returns a pooled, reset frame.
+func GetFrame() *Frame { return framePool.Get().(*Frame) }
+
+// PutFrame resets f and returns it to the pool. The caller must not
+// touch f (or any slice it handed out) afterwards.
+func PutFrame(f *Frame) {
+	f.Reset()
+	framePool.Put(f)
+}
+
+// encBuf is a pooled encode buffer: WriteFrame stages prefix + body in
+// it and issues a single Write, and the buffer's growth is retained
+// across frames.
+type encBuf struct{ b []byte }
+
+var encPool = sync.Pool{New: func() any { return new(encBuf) }}
 
 // IdentitySum folds the given strings into a 64-bit FNV-1a checksum.
 // Both nodes of a connection derive it from their region plan (connector
@@ -126,107 +197,200 @@ func IdentitySum(parts ...string) uint64 {
 	return h.Sum64()
 }
 
-// WriteFrame encodes f to w as one length-prefixed frame.
+// WriteFrame encodes f to w as one length-prefixed frame, staged in a
+// pooled buffer and issued as a single Write. Zero steady-state
+// allocations for fast-path payloads.
 func WriteFrame(w io.Writer, f *Frame) error {
-	var body bytes.Buffer
-	body.WriteByte(f.Type)
-	var hdr [12]byte
-	binary.BigEndian.PutUint32(hdr[0:4], f.Link)
-	binary.BigEndian.PutUint64(hdr[4:12], f.Seq)
-	body.Write(hdr[:])
+	eb := encPool.Get().(*encBuf)
+	defer encPool.Put(eb)
+	b := eb.b[:0]
+	b = append(b, 0, 0, 0, 0) // length prefix, patched below
+	b = append(b, f.Type)
+	b = binary.BigEndian.AppendUint32(b, f.Link)
+	b = binary.BigEndian.AppendUint64(b, f.Seq)
+	var err error
 	switch f.Type {
 	case FrameHello:
-		var fixed [14]byte
-		binary.BigEndian.PutUint32(fixed[0:4], helloMagic)
-		binary.BigEndian.PutUint16(fixed[4:6], Version)
-		binary.BigEndian.PutUint64(fixed[6:14], f.Sum)
-		body.Write(fixed[:])
-		body.WriteString(f.Node)
+		b = binary.BigEndian.AppendUint32(b, helloMagic)
+		b = binary.BigEndian.AppendUint16(b, Version)
+		b = binary.BigEndian.AppendUint64(b, f.Sum)
+		b = append(b, f.Node...)
 	case FrameData:
-		vals := make([]wireVal, len(f.Vals))
-		for i, v := range f.Vals {
-			vals[i].V = v
-		}
-		if err := gob.NewEncoder(&body).Encode(vals); err != nil {
+		if b, err = appendValues(b, f.Vals); err != nil {
+			eb.b = b
 			return fmt.Errorf("wire: encode burst (link %d, seq %d): %w", f.Link, f.Seq, err)
 		}
+	case FrameDataBatch:
+		b = binary.AppendUvarint(b, uint64(len(f.Bursts)))
+		for i := range f.Bursts {
+			br := &f.Bursts[i]
+			b = binary.AppendUvarint(b, uint64(br.Link))
+			b = binary.AppendUvarint(b, br.Seq)
+			if b, err = appendValues(b, br.Vals); err != nil {
+				eb.b = b
+				return fmt.Errorf("wire: encode burst (link %d, seq %d): %w", br.Link, br.Seq, err)
+			}
+		}
+	case FrameAckBatch:
+		b = binary.AppendUvarint(b, uint64(len(f.Acks)))
+		for _, a := range f.Acks {
+			b = binary.AppendUvarint(b, uint64(a.Link))
+			b = binary.AppendUvarint(b, a.Seq)
+		}
 	case FrameError:
-		body.WriteString(f.Err)
+		b = append(b, f.Err...)
 	case FrameAck, FrameClose:
 		// Header only.
 	default:
+		eb.b = b
 		return fmt.Errorf("wire: write of unknown frame type %d", f.Type)
 	}
-	if body.Len() > DefaultMaxFrame {
-		return fmt.Errorf("wire: frame body %d bytes exceeds limit %d", body.Len(), DefaultMaxFrame)
+	eb.b = b
+	if len(b)-4 > DefaultMaxFrame {
+		return fmt.Errorf("wire: frame body %d bytes exceeds limit %d", len(b)-4, DefaultMaxFrame)
 	}
-	var prefix [4]byte
-	binary.BigEndian.PutUint32(prefix[:], uint32(body.Len()))
-	if _, err := w.Write(prefix[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(body.Bytes())
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	_, err = w.Write(b)
 	return err
 }
 
-// ReadFrame decodes the next frame from r. io.EOF is returned verbatim
-// on a clean boundary (no partial frame read); any mid-frame truncation
-// surfaces as io.ErrUnexpectedEOF.
+// ReadFrame decodes the next frame from r into a fresh frame. io.EOF is
+// returned verbatim on a clean boundary (no partial frame read); any
+// mid-frame truncation surfaces as io.ErrUnexpectedEOF. Hot loops
+// should use ReadFrameInto with a reused frame and scratch buffer
+// instead.
 func ReadFrame(r io.Reader) (*Frame, error) {
-	var prefix [4]byte
-	if _, err := io.ReadFull(r, prefix[:]); err != nil {
-		if err == io.ErrUnexpectedEOF {
-			return nil, fmt.Errorf("wire: truncated length prefix: %w", err)
-		}
+	f := new(Frame)
+	var scratch []byte
+	if err := ReadFrameInto(r, f, &scratch); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(prefix[:])
-	if n < 13 {
-		return nil, fmt.Errorf("wire: frame body %d bytes, need at least 13", n)
+	return f, nil
+}
+
+// ReadFrameInto decodes the next frame from r into f, staging the body
+// in *scratch (grown as needed, reused across calls). f is Reset first,
+// so its slices' capacities — value slices included — carry over; at
+// steady state the read path allocates only what the decoded values
+// themselves require (nothing, for small scalars and unit types).
+func ReadFrameInto(r io.Reader, f *Frame, scratch *[]byte) error {
+	f.Reset()
+	body := *scratch
+	if cap(body) < 4 {
+		// The prefix reads through the scratch buffer too: a local array
+		// would escape to the Read call and cost one allocation per frame.
+		body = make([]byte, 4, 512)
+		*scratch = body
+	}
+	prefix := body[:4]
+	if _, err := io.ReadFull(r, prefix); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("wire: truncated length prefix: %w", err)
+		}
+		return err
+	}
+	n := binary.BigEndian.Uint32(prefix)
+	if n < frameHeaderLen {
+		return fmt.Errorf("wire: frame body %d bytes, need at least 13", n)
 	}
 	if n > DefaultMaxFrame {
-		return nil, fmt.Errorf("wire: frame body %d bytes exceeds limit %d", n, DefaultMaxFrame)
+		return fmt.Errorf("wire: frame body %d bytes exceeds limit %d", n, DefaultMaxFrame)
 	}
-	body := make([]byte, n)
+	if cap(body) < int(n) {
+		body = make([]byte, n)
+		*scratch = body
+	} else {
+		body = body[:n]
+	}
 	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, fmt.Errorf("wire: truncated frame body: %w", io.ErrUnexpectedEOF)
+		return fmt.Errorf("wire: truncated frame body: %w", io.ErrUnexpectedEOF)
 	}
-	f := &Frame{
-		Type: body[0],
-		Link: binary.BigEndian.Uint32(body[1:5]),
-		Seq:  binary.BigEndian.Uint64(body[5:13]),
-	}
-	payload := body[13:]
+	f.Type = body[0]
+	f.Link = binary.BigEndian.Uint32(body[1:5])
+	f.Seq = binary.BigEndian.Uint64(body[5:13])
+	payload := body[frameHeaderLen:]
+	var err error
 	switch f.Type {
 	case FrameHello:
 		if len(payload) < 14 {
-			return nil, fmt.Errorf("wire: hello payload %d bytes, need at least 14", len(payload))
+			return fmt.Errorf("wire: hello payload %d bytes, need at least 14", len(payload))
 		}
 		if magic := binary.BigEndian.Uint32(payload[0:4]); magic != helloMagic {
-			return nil, fmt.Errorf("wire: bad hello magic %#x (not a wire peer?)", magic)
+			return fmt.Errorf("wire: bad hello magic %#x (not a wire peer?)", magic)
 		}
 		if v := binary.BigEndian.Uint16(payload[4:6]); v != Version {
-			return nil, fmt.Errorf("wire: protocol version %d, want %d", v, Version)
+			return fmt.Errorf("wire: protocol version %d, want %d", v, Version)
 		}
 		f.Sum = binary.BigEndian.Uint64(payload[6:14])
 		f.Node = string(payload[14:])
 	case FrameData:
-		var vals []wireVal
-		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&vals); err != nil {
-			return nil, fmt.Errorf("wire: decode burst (link %d, seq %d): %w", f.Link, f.Seq, err)
+		if f.Vals, payload, err = readValues(f.Vals, payload); err != nil {
+			return fmt.Errorf("wire: decode burst (link %d, seq %d): %w", f.Link, f.Seq, err)
 		}
-		f.Vals = make([]any, len(vals))
-		for i := range vals {
-			f.Vals[i] = vals[i].V
+		if len(payload) != 0 {
+			return fmt.Errorf("wire: data frame carries %d trailing bytes", len(payload))
+		}
+	case FrameDataBatch:
+		var count uint64
+		if count, payload, err = readUvarint(payload); err != nil {
+			return fmt.Errorf("wire: decode data batch: %w", err)
+		}
+		// Each burst costs at least two varint bytes plus a count byte.
+		if count > uint64(len(payload)) {
+			return fmt.Errorf("wire: %d bursts exceed %d payload bytes", count, len(payload))
+		}
+		for i := uint64(0); i < count; i++ {
+			var link, seq uint64
+			if link, payload, err = readUvarint(payload); err != nil {
+				return fmt.Errorf("wire: decode data batch: %w", err)
+			}
+			if link > uint64(^uint32(0)) {
+				return fmt.Errorf("wire: data batch link index %d overflows", link)
+			}
+			if seq, payload, err = readUvarint(payload); err != nil {
+				return fmt.Errorf("wire: decode data batch: %w", err)
+			}
+			br := f.NextBurst(uint32(link), seq)
+			if br.Vals, payload, err = readValues(br.Vals, payload); err != nil {
+				return fmt.Errorf("wire: decode burst (link %d, seq %d): %w", link, seq, err)
+			}
+		}
+		if len(payload) != 0 {
+			return fmt.Errorf("wire: data batch carries %d trailing bytes", len(payload))
+		}
+	case FrameAckBatch:
+		var count uint64
+		if count, payload, err = readUvarint(payload); err != nil {
+			return fmt.Errorf("wire: decode ack batch: %w", err)
+		}
+		// Each ack costs at least two varint bytes.
+		if count > uint64(len(payload)) {
+			return fmt.Errorf("wire: %d acks exceed %d payload bytes", count, len(payload))
+		}
+		for i := uint64(0); i < count; i++ {
+			var link, seq uint64
+			if link, payload, err = readUvarint(payload); err != nil {
+				return fmt.Errorf("wire: decode ack batch: %w", err)
+			}
+			if link > uint64(^uint32(0)) {
+				return fmt.Errorf("wire: ack batch link index %d overflows", link)
+			}
+			if seq, payload, err = readUvarint(payload); err != nil {
+				return fmt.Errorf("wire: decode ack batch: %w", err)
+			}
+			f.Acks = append(f.Acks, Ack{Link: uint32(link), Seq: seq})
+		}
+		if len(payload) != 0 {
+			return fmt.Errorf("wire: ack batch carries %d trailing bytes", len(payload))
 		}
 	case FrameError:
 		f.Err = string(payload)
 	case FrameAck, FrameClose:
 		if len(payload) != 0 {
-			return nil, fmt.Errorf("wire: frame type %d carries %d unexpected payload bytes", f.Type, len(payload))
+			return fmt.Errorf("wire: frame type %d carries %d unexpected payload bytes", f.Type, len(payload))
 		}
 	default:
-		return nil, fmt.Errorf("wire: unknown frame type %d", f.Type)
+		return fmt.Errorf("wire: unknown frame type %d", f.Type)
 	}
-	return f, nil
+	return nil
 }

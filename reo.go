@@ -549,9 +549,21 @@ func WithRemoteRegions(topo *RemoteTopology) ConnectOption {
 var ErrLinkBroken = engine.ErrLinkBroken
 
 // RegisterWireType registers a concrete value type for transmission
-// over distributed region links (encoding/gob under the hood). Every
-// node of a topology must register the same types in the same way.
+// over distributed region links. The wire protocol encodes the common
+// payload types (nil, bool, the int/uint family, floats, string,
+// []byte, []any) with a compact typed fast path; anything else rides a
+// per-value gob fallback and must be registered — identically on every
+// node of the topology — before the first Connect.
 func RegisterWireType(v any) { wire.Register(v) }
+
+// RegisterWireUnit registers a zero-size struct type (a marker value
+// like prim.Token) for the wire's two-byte unit encoding: such values
+// cost one tag byte plus a table index and decode allocation-free to
+// the canonical registered value. Registration order defines the table
+// indices, so every node must register the same unit types in the same
+// order — in practice, from the same package init functions. Panics if
+// the type carries data.
+func RegisterWireUnit(v any) { wire.RegisterUnit(v) }
 
 // WithFullExpansion enables the textbook joint-step enumeration, which
 // combines independent local steps into single global steps. Exponentially
