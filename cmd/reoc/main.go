@@ -12,6 +12,7 @@
 //	reoc regions file.reo Connector [-n N] [-workers W]
 //	reoc gen file.reo Connector [-n N | -parametric] [-o dir] [-pkg name] [-force]
 //	reoc verify file.reo Connector [-n N]
+//	reoc explore [-seed S] [-rounds R] [-max-ops K] [-max-prims P] [-backends list] [-shrink] [-selfcheck-mutate]
 //	reoc bench-compare baseline.json current.json... [-threshold 0.25]
 //	reoc bench-batch out.json [-stages S] [-items I] [-batches 1,8,64,512] [-reps R]
 //	reoc bench-gen out.json [-items I] [-lanes L] [-npb-slaves K] [-reps R]
@@ -32,6 +33,7 @@ import (
 	"repro/internal/ca"
 	"repro/internal/check"
 	"repro/internal/compile"
+	"repro/internal/explore"
 	"repro/internal/flatten"
 	"repro/internal/gen"
 	"repro/internal/normalize"
@@ -41,6 +43,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) >= 2 && os.Args[1] == "explore" {
+		exploreCmd(os.Args[2:])
+		return
+	}
 	if len(os.Args) < 3 {
 		usage()
 	}
@@ -464,6 +470,62 @@ func benchRemote(outPath string, rest []string) {
 	}
 }
 
+// exploreCmd runs the adversarial scenario engine (internal/explore):
+// seeded random connectors through the real compile pipeline, driven
+// over randomized-but-deterministic schedules across the execution lane
+// matrix. On divergence it prints the (shrunk) failing case and a
+// one-line repro command and exits 1. With -selfcheck-mutate the
+// candidate-ordering off-by-one is injected into the generated lane and
+// the run must detect it (exit 0 on detection — the harness's own
+// mutation test).
+func exploreCmd(rest []string) {
+	fs := flag.NewFlagSet("explore", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "base seed; round 0 runs the base seed itself, so -seed X -rounds 1 replays a reported round exactly")
+	rounds := fs.Int("rounds", 50, "exploration rounds")
+	maxOps := fs.Int("max-ops", 24, "schedule token budget per round")
+	maxPrims := fs.Int("max-prims", 8, "connector primitive budget per round")
+	backends := fs.String("backends", "all", `lanes to compare: "all" or comma-separated of gen, workers, runtime, batch2, off, components, aot`)
+	shrink := fs.Bool("shrink", true, "minimize the failing case before reporting")
+	selfcheck := fs.Bool("selfcheck-mutate", false, "inject the candidate-ordering mutation into the generated lane; the run must detect it")
+	verbose := fs.Bool("v", false, "per-round progress")
+	fs.Parse(rest)
+
+	opt := explore.Options{
+		Seed:     *seed,
+		Rounds:   *rounds,
+		MaxOps:   *maxOps,
+		MaxPrims: *maxPrims,
+		Backends: *backends,
+		Shrink:   *shrink,
+		Mutate:   *selfcheck,
+	}
+	if *verbose {
+		opt.Log = func(format string, args ...any) {
+			fmt.Printf("explore: "+format+"\n", args...)
+		}
+	}
+	rep, err := explore.Run(opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("explore: seed=%d rounds=%d orders=%d lane-runs=%d skipped=%d gen-regions=%d\n",
+		*seed, rep.Rounds, rep.Orders, rep.LaneRuns, rep.Skipped, rep.GenRegions)
+	if *selfcheck {
+		if rep.Failure == nil {
+			fmt.Fprintf(os.Stderr, "explore: selfcheck FAILED — injected mutation not detected in %d rounds\n", rep.Rounds)
+			os.Exit(1)
+		}
+		fmt.Printf("explore: selfcheck OK — injected mutation detected on lane %s\n", rep.Failure.Lane)
+		fmt.Print(explore.FormatFailure(rep.Failure))
+		return
+	}
+	if rep.Failure != nil {
+		fmt.Fprint(os.Stderr, explore.FormatFailure(rep.Failure))
+		os.Exit(1)
+	}
+	fmt.Println("explore: OK — no divergence")
+}
+
 // connectInstance compiles the named connector and instantiates every
 // array parameter at length n.
 func connectInstance(src, name string, n int) *reo.Instance {
@@ -531,6 +593,7 @@ func usage() {
   reoc regions  file.reo Connector [-n N] [-workers W]
   reoc gen      file.reo Connector [-n N | -parametric] [-o dir] [-pkg name] [-force]
   reoc verify   file.reo Connector [-n N]
+  reoc explore  [-seed S] [-rounds R] [-max-ops K] [-max-prims P] [-backends list] [-shrink] [-selfcheck-mutate] [-v]
   reoc bench-compare baseline.json current.json... [-threshold 0.25] [-min-rows K]
   reoc bench-batch out.json [-stages S] [-items I] [-batches 1,8,64,512] [-reps R]
   reoc bench-gen out.json [-items I] [-lanes L] [-npb-slaves K] [-reps R]

@@ -1,0 +1,106 @@
+package reo_test
+
+import (
+	"testing"
+
+	reo "repro"
+	"repro/internal/connlib"
+	"repro/internal/npb"
+	"repro/internal/parser"
+	"repro/internal/sema"
+)
+
+// fuzzSeeds are the real protocol programs the repository ships: the
+// eighteen benchmark connectors, the NPB communication fabrics, and a
+// few adversarial shapes around the grammar's edges.
+func fuzzSeeds() []string {
+	var seeds []string
+	for _, d := range connlib.All() {
+		seeds = append(seeds, d.Src)
+	}
+	seeds = append(seeds, npb.ConnectorSources()...)
+	seeds = append(seeds,
+		"X(a;b) = Sync(a;b)",
+		"X(in[];out[]) = prod (i:1..#in) Fifo1(in[i];out[i])",
+		"X(a;b) = if (#a > 0) { Sync(a;b) }",
+		"X(a;b) = Y(a;b)\nY(a;b) = Transformer.inc(a;b)",
+		"X(a;b) = prod (i:1..0) Sync(a;b)",
+		"X(;out[]) = prod (i:1..#out) Fifo1Full(out[i];out[i])",
+		"X(a;) = SyncDrain(a,a;)",
+		"X(a;b) = Sync(a;b) mult Sync(a;b)",
+		"X(in[1];out) = Merger(in[1..#in];out)",
+	)
+	return seeds
+}
+
+// hugeLiteral guards the expansion stages: a fuzzed `prod (i:1..9999999)`
+// is a legitimate program whose flattening is simply enormous, so inputs
+// with long digit runs stop after parse+check (panic coverage of the
+// front end is unaffected — literals that large change only how much
+// work expansion does, not which code runs).
+func hugeLiteral(src []byte) bool {
+	run := 0
+	for _, b := range src {
+		if b >= '0' && b <= '9' {
+			if run++; run > 4 {
+				return true
+			}
+		} else {
+			run = 0
+		}
+	}
+	return false
+}
+
+// FuzzParse throws arbitrary text at the lexer and parser. The contract
+// is an error or an AST, never a panic; a parsed file must also render
+// and re-parse without the front end disagreeing with itself about
+// well-formedness.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Add("X(a;b) = \x00")
+	f.Add("X(a;b) = Sync(a;b")
+	f.Add("((((((((((")
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := parser.Parse(src)
+		if err != nil {
+			return
+		}
+		// Semantic analysis on whatever parses: also panic-free.
+		_, _ = sema.Check(file)
+	})
+}
+
+// FuzzCompile drives accepted programs through the whole pipeline:
+// parse, check, template build per definition, and a small-N
+// instantiation (skipped for inputs with huge literals, whose expansion
+// cost is unbounded by construction). Errors are fine at every stage;
+// panics never are.
+func FuzzCompile(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := reo.Compile(src)
+		if err != nil {
+			return
+		}
+		if hugeLiteral([]byte(src)) {
+			return
+		}
+		for _, name := range prog.Definitions() {
+			conn, err := prog.Connector(name)
+			if err != nil {
+				continue
+			}
+			tmpl := conn.Template()
+			lengths := map[string]int{}
+			for _, p := range tmpl.ArrayParams() {
+				lengths[p] = 2
+			}
+			_, _ = tmpl.Instantiate(lengths)
+		}
+	})
+}

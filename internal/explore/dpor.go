@@ -1,0 +1,155 @@
+package explore
+
+import (
+	"repro/internal/ca"
+	"repro/internal/compile"
+)
+
+// DPOR-style branch-point enumeration for small schedules. The branch
+// points of the explorer are the launch-order choices between tokens of
+// different ports; two tokens are independent exactly when their ports
+// lie in different connected components of the region-link graph (then
+// no automaton, buffer, or choice stream is shared between them, so
+// commuting their launches cannot change any observable). Enumeration
+// therefore walks, per component, every interleaving of that
+// component's per-port token streams, and concatenates components in a
+// fixed order — the canonical representative of each equivalence class
+// of schedules, with cross-component permutations (which a naive
+// permutation walk would waste runs on) pruned entirely.
+
+// PortComponents maps every boundary vertex name to the connected
+// component of the region-link graph its region belongs to. Ports in
+// different components never interact.
+func PortComponents(asm *compile.Assembly) map[string]int {
+	plan := ca.PlanRegions(asm.U, asm.Auts)
+	uf := ca.NewUnionFind(len(plan.Regions))
+	for _, l := range plan.Links {
+		uf.Union(l.From, l.To)
+	}
+	// A port's component is that of any region whose alphabet contains
+	// it (all such regions are linked through it, hence already unioned
+	// for non-buffer sharing; link endpoints map through their own
+	// region).
+	comp := map[string]int{}
+	assign := func(p ca.PortID, ri int) {
+		comp[asm.U.Name(p)] = uf.Find(ri)
+	}
+	for ri, spec := range plan.Regions {
+		for _, ai := range spec.Auts {
+			asm.Auts[ai].Ports.ForEach(func(p ca.PortID) { assign(p, ri) })
+		}
+		for _, p := range spec.Nodes {
+			assign(p, ri)
+		}
+	}
+	// Link buffer endpoints (cut constituents appear in no region).
+	for _, l := range plan.Links {
+		assign(l.SrcPort, l.From)
+		assign(l.DstPort, l.To)
+	}
+	return comp
+}
+
+// EnumerateOrders returns canonical launch orders of the schedule's
+// tokens: per region-link component, every interleaving of the
+// component's per-port streams (each stream's own order preserved),
+// components concatenated in first-appearance order. At most limit
+// orders are produced; the sampled input order is not guaranteed to be
+// among them, so callers run it separately. comp maps port names to
+// components (see PortComponents); ports missing from comp share a
+// synthetic component.
+func EnumerateOrders(s *Schedule, comp map[string]int, limit int) []*Schedule {
+	if limit < 1 {
+		limit = 1
+	}
+	// Group tokens by port, ports by component, preserving appearance
+	// order at both levels.
+	type portStream struct {
+		port string
+		ops  []Op
+	}
+	var compOrder []int
+	streamsByComp := map[int][]*portStream{}
+	streamOf := map[string]*portStream{}
+	for _, op := range s.Ops {
+		st := streamOf[op.Port]
+		if st == nil {
+			cid, ok := comp[op.Port]
+			if !ok {
+				cid = -1
+			}
+			st = &portStream{port: op.Port}
+			streamOf[op.Port] = st
+			if len(streamsByComp[cid]) == 0 {
+				compOrder = append(compOrder, cid)
+			}
+			streamsByComp[cid] = append(streamsByComp[cid], st)
+		}
+		st.ops = append(st.ops, op)
+	}
+
+	// Per component: DFS over "which port contributes the next token".
+	interleave := func(streams []*portStream, cap int) [][]Op {
+		total := 0
+		for _, st := range streams {
+			total += len(st.ops)
+		}
+		var out [][]Op
+		idx := make([]int, len(streams))
+		cur := make([]Op, 0, total)
+		var rec func()
+		rec = func() {
+			if len(out) >= cap {
+				return
+			}
+			if len(cur) == total {
+				out = append(out, append([]Op(nil), cur...))
+				return
+			}
+			for i, st := range streams {
+				if idx[i] >= len(st.ops) {
+					continue
+				}
+				cur = append(cur, st.ops[idx[i]])
+				idx[i]++
+				rec()
+				idx[i]--
+				cur = cur[:len(cur)-1]
+				if len(out) >= cap {
+					return
+				}
+			}
+		}
+		rec()
+		return out
+	}
+
+	// Cross product over components, capped.
+	orders := [][]Op{nil}
+	for _, cid := range compOrder {
+		variants := interleave(streamsByComp[cid], limit)
+		var next [][]Op
+		for _, head := range orders {
+			for _, v := range variants {
+				next = append(next, append(append([]Op(nil), head...), v...))
+				if len(next) >= limit {
+					break
+				}
+			}
+			if len(next) >= limit {
+				break
+			}
+		}
+		orders = next
+	}
+
+	out := make([]*Schedule, len(orders))
+	for i, ops := range orders {
+		out[i] = &Schedule{Ops: ops}
+	}
+	return out
+}
+
+// TokenCount is the schedule's token total — the explorer enumerates
+// orders exhaustively only below a small threshold.
+func (s *Schedule) TokenCount() int { return len(s.Ops) }

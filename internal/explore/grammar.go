@@ -1,0 +1,466 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Conn is one generated connector: a structural description (vertices
+// and primitives) that renders to .reo source. Keeping the structure —
+// rather than only the text — is what lets the shrinker drop primitives
+// and boundary ports while keeping the result well-typed.
+//
+// Vertex numbering: 0..NIn-1 are the boundary tails in[1..NIn],
+// NIn..NIn+NOut-1 the boundary heads out[1..NOut], and everything above
+// is a hidden internal vertex x1, x2, ... — the grammar's hiding
+// coverage: every internal vertex is a hidden port chain the engines
+// must resolve identically.
+type Conn struct {
+	Seed   int64
+	NIn    int
+	NOut   int
+	nextV  int
+	Prims  []Prim
+	WrapIf int // 0 = plain body, 1..3 = always-true `if` variants (flatten coverage)
+}
+
+// Prim is one primitive occurrence.
+type Prim struct {
+	Kind  string
+	Attr  string
+	Tails []int
+	Heads []int
+	// Prod renders the primitive wrapped in a degenerate one-iteration
+	// `prod` whose variable substitutes one boundary index — structural
+	// coverage for the flattener without changing semantics.
+	Prod bool
+	// Island renders the primitive as its own one-iteration `prod`
+	// section. Static-section constituents are composed into a medium
+	// automaton at compile time, but each prod level instantiates as a
+	// separate automaton — islands are what give the region planner
+	// individual buffers to cut and single-automaton regions for the
+	// generated runtime to bind.
+	Island bool
+}
+
+// GenConfig bounds the generator.
+type GenConfig struct {
+	MaxPrims  int // max primitives before fix-ups (default 8)
+	MaxFanout int // max Merger/Replicator/Router arity (default 3)
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.MaxPrims < 2 {
+		c.MaxPrims = 8
+	}
+	if c.MaxFanout < 2 {
+		c.MaxFanout = 3
+	}
+	return c
+}
+
+func (c *Conn) inVertex(i int) int  { return i }
+func (c *Conn) outVertex(j int) int { return c.NIn + j }
+
+func (c *Conn) freshInternal() int {
+	v := c.NIn + c.NOut + c.nextV
+	c.nextV++
+	return v
+}
+
+func (c *Conn) vertexName(v int) string {
+	switch {
+	case v < c.NIn:
+		return fmt.Sprintf("in[%d]", v+1)
+	case v < c.NIn+c.NOut:
+		return fmt.Sprintf("out[%d]", v-c.NIn+1)
+	default:
+		return fmt.Sprintf("x%d", v-c.NIn-c.NOut+1)
+	}
+}
+
+// primKinds are the generator's weighted primitive choices. Choice-rich
+// primitives (Merger/Router/LossySync) are weighted up deliberately:
+// multi-candidate states are where candidate-ordering bugs in the
+// generated runtime become observable.
+var primKinds = []struct {
+	kind       string
+	weight     int
+	nIn, nOut  int // fixed arities; -1 = fan (2..MaxFanout)
+	buffered   bool
+	attrChoice []string
+}{
+	{kind: "Sync", weight: 4, nIn: 1, nOut: 1},
+	{kind: "Fifo1", weight: 3, nIn: 1, nOut: 1, buffered: true},
+	{kind: "Fifo1Full", weight: 1, nIn: 1, nOut: 1, buffered: true},
+	{kind: "Fifo", weight: 1, nIn: 1, nOut: 1, buffered: true, attrChoice: []string{"2", "3"}},
+	{kind: "Filter", weight: 1, nIn: 1, nOut: 1, attrChoice: []string{"even"}},
+	{kind: "Transformer", weight: 2, nIn: 1, nOut: 1, attrChoice: []string{"inc", "double"}},
+	{kind: "LossySync", weight: 1, nIn: 1, nOut: 1},
+	{kind: "Merger", weight: 3, nIn: -1, nOut: 1},
+	{kind: "Replicator", weight: 2, nIn: 1, nOut: -1},
+	{kind: "Router", weight: 3, nIn: 1, nOut: -1},
+	{kind: "SyncDrain", weight: 1, nIn: 2, nOut: 0},
+	{kind: "AsyncDrain", weight: 1, nIn: 2, nOut: 0},
+}
+
+// Deterministic reports whether the connector's observable behavior is
+// a function of the schedule alone: no choice primitives and no
+// multi-writer vertex (which compiles to an implicit merger node).
+// Deterministic connectors must behave identically on every lane;
+// nondeterministic ones are strictly comparable only between lanes
+// sharing the region plan, choice streams, and scheduling discipline.
+func (c *Conn) Deterministic() bool {
+	writers := map[int]int{}
+	for i := range c.Prims {
+		switch c.Prims[i].Kind {
+		case "Merger", "Router", "LossySync", "AsyncDrain":
+			return false
+		}
+		for _, v := range c.Prims[i].Heads {
+			writers[v]++
+			if writers[v] > 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// GenerateConn builds a random well-typed connector from the seed. The
+// construction is correct by design (every primitive input has a
+// producer, acyclic except through buffers, every boundary vertex
+// used); callers still re-validate through the real compile pipeline
+// and retry on rejection (see BuildConn).
+//
+// Half the seeds generate from the deterministic sub-grammar (no choice
+// primitives, single-writer vertices): those connectors admit strict
+// cross-lane sequence comparison, while choice-rich ones exercise the
+// shared-plan lanes and each lane's replay determinism.
+func GenerateConn(seed int64, cfg GenConfig) *Conn {
+	cfg = cfg.withDefaults()
+	r := newRNG(seed)
+	det := r.chance(1, 2)
+	c := &Conn{
+		Seed: seed,
+		NIn:  r.rangeIn(1, 3),
+		NOut: r.rangeIn(1, 3),
+	}
+
+	// avail: vertices with at least one producer (usable as inputs).
+	// rank orders unbuffered dataflow so only buffered primitives can
+	// close a cycle.
+	var avail []int
+	rank := map[int]int{}
+	consumed := map[int]bool{}
+	producedOut := map[int]bool{}
+	for i := 0; i < c.NIn; i++ {
+		avail = append(avail, c.inVertex(i))
+		rank[c.inVertex(i)] = 0
+	}
+
+	weights := make([]int, len(primKinds))
+	for i, k := range primKinds {
+		weights[i] = k.weight
+		if det {
+			switch k.kind {
+			case "Merger", "Router", "LossySync", "AsyncDrain":
+				weights[i] = 0
+			}
+		}
+	}
+
+	pickInputs := func(n int) []int {
+		if n > len(avail) {
+			n = len(avail)
+		}
+		perm := append([]int(nil), avail...)
+		for i := len(perm) - 1; i > 0; i-- {
+			j := r.intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		return perm[:n]
+	}
+	contains := func(vs []int, v int) bool {
+		for _, w := range vs {
+			if w == v {
+				return true
+			}
+		}
+		return false
+	}
+
+	nPrims := r.rangeIn(2, cfg.MaxPrims)
+	for p := 0; p < nPrims; p++ {
+		k := primKinds[r.pickWeighted(weights)]
+		nIn, nOut := k.nIn, k.nOut
+		if nIn == -1 {
+			nIn = r.rangeIn(2, cfg.MaxFanout)
+		}
+		if nOut == -1 {
+			nOut = r.rangeIn(2, cfg.MaxFanout)
+		}
+		tails := pickInputs(nIn)
+		if len(tails) < nIn && nIn > 1 {
+			continue // not enough distinct producers for a fan-in yet
+		}
+		maxRank := 0
+		for _, v := range tails {
+			if rank[v] > maxRank {
+				maxRank = rank[v]
+			}
+		}
+		var heads []int
+		for h := 0; h < nOut; h++ {
+			v := -1
+			switch {
+			case r.chance(7, 20):
+				// In the deterministic sub-grammar an out vertex takes one
+				// writer only (a second writer is an implicit merger node).
+				if o := c.outVertex(r.intn(c.NOut)); !contains(heads, o) && !(det && producedOut[o]) {
+					v = o
+					producedOut[v] = true
+				} else {
+					v = c.freshInternal()
+					rank[v] = maxRank + 1
+					avail = append(avail, v)
+				}
+			case !det && k.buffered && r.chance(1, 4) && len(avail) > len(tails):
+				// Buffered back edge: any produced vertex that is not an
+				// input of this primitive — rings through buffers.
+				cand := pickInputs(len(avail))
+				v = -1
+				for _, w := range cand {
+					if w >= c.NIn+c.NOut && !contains(tails, w) && !contains(heads, w) {
+						v = w
+						break
+					}
+				}
+				if v < 0 {
+					v = c.freshInternal()
+					rank[v] = maxRank + 1
+					avail = append(avail, v)
+				}
+			default:
+				v = c.freshInternal()
+				rank[v] = maxRank + 1
+				avail = append(avail, v)
+			}
+			heads = append(heads, v)
+		}
+		for _, v := range tails {
+			consumed[v] = true
+		}
+		attr := ""
+		if len(k.attrChoice) > 0 {
+			attr = k.attrChoice[r.intn(len(k.attrChoice))]
+		}
+		c.Prims = append(c.Prims, Prim{Kind: k.kind, Attr: attr, Tails: tails, Heads: heads})
+	}
+
+	// Fix-ups: every boundary tail consumed, every boundary head
+	// produced, every internal vertex consumed (no dangling writes). The
+	// deterministic sub-grammar must not add a second writer to any out
+	// vertex (an implicit merger node), so its dangling reads drain
+	// through a SyncDrain instead of merging into an out.
+	detSink := func(v int) {
+		w := -1
+		for _, u := range avail {
+			if u != v && u >= c.NIn+c.NOut && !consumed[u] {
+				w = u // pair two dangling internals in one drain
+				break
+			}
+		}
+		if w < 0 {
+			for _, u := range avail {
+				if u != v {
+					w = u
+					break
+				}
+			}
+		}
+		if w < 0 {
+			return // single-vertex universe; the compile retry rejects leftovers
+		}
+		c.Prims = append(c.Prims, Prim{Kind: "SyncDrain", Tails: []int{v, w}})
+		consumed[v], consumed[w] = true, true
+	}
+	if det {
+		for j := 0; j < c.NOut; j++ {
+			o := c.outVertex(j)
+			if producedOut[o] {
+				continue
+			}
+			src := -1
+			for _, u := range avail {
+				if !consumed[u] {
+					src = u // give a dangling producer the free out slot first
+					break
+				}
+			}
+			if src < 0 {
+				src = avail[r.intn(len(avail))]
+			}
+			c.Prims = append(c.Prims, Prim{Kind: "Sync", Tails: []int{src}, Heads: []int{o}})
+			consumed[src] = true
+			producedOut[o] = true
+		}
+		for i := 0; i < c.NIn; i++ {
+			if !consumed[c.inVertex(i)] {
+				detSink(c.inVertex(i))
+			}
+		}
+		for _, v := range avail {
+			if v >= c.NIn+c.NOut && !consumed[v] {
+				detSink(v)
+			}
+		}
+	} else {
+		for i := 0; i < c.NIn; i++ {
+			if !consumed[c.inVertex(i)] {
+				o := c.outVertex(r.intn(c.NOut))
+				c.Prims = append(c.Prims, Prim{Kind: "Sync", Tails: []int{c.inVertex(i)}, Heads: []int{o}})
+				producedOut[o] = true
+			}
+		}
+		for j := 0; j < c.NOut; j++ {
+			if !producedOut[c.outVertex(j)] {
+				src := avail[r.intn(len(avail))]
+				c.Prims = append(c.Prims, Prim{Kind: "Sync", Tails: []int{src}, Heads: []int{c.outVertex(j)}})
+				consumed[src] = true
+			}
+		}
+		for _, v := range avail {
+			if v >= c.NIn+c.NOut && !consumed[v] {
+				o := c.outVertex(r.intn(c.NOut))
+				c.Prims = append(c.Prims, Prim{Kind: "Sync", Tails: []int{v}, Heads: []int{o}})
+			}
+		}
+	}
+
+	// Bufferize: splitting an edge with a Fifo1 splits the synchronous
+	// region there. Without this pass nearly every generated region is a
+	// multi-automaton cluster, which the generated runtime (like `reoc
+	// gen`) leaves interpreted — buffer-separated islands are what put
+	// choice-rich single-automaton regions (Router, Merger, LossySync)
+	// under generated dispatch, where candidate-ordering bugs live.
+	nPrims = len(c.Prims)
+	for pi := 0; pi < nPrims; pi++ {
+		if k := c.Prims[pi].Kind; k == "Fifo1" || k == "Fifo1Full" || k == "Fifo" {
+			continue
+		}
+		for ti := range c.Prims[pi].Tails {
+			if r.chance(1, 2) {
+				v := c.Prims[pi].Tails[ti]
+				w := c.freshInternal()
+				c.Prims = append(c.Prims, Prim{Kind: "Fifo1", Tails: []int{v}, Heads: []int{w}, Island: true})
+				c.Prims[pi].Tails[ti] = w
+			}
+		}
+	}
+	// Island most non-buffer prims too: a choice-rich primitive whose
+	// neighbors are all buffers or boundaries becomes a single-automaton
+	// region under generated dispatch; the rest stay in the static
+	// section, keeping the compile-time medium composition covered.
+	for pi := range c.Prims {
+		if !c.Prims[pi].Island && r.chance(7, 10) {
+			c.Prims[pi].Island = true
+		}
+	}
+
+	// Structural decorations: degenerate prod wraps and an always-true
+	// if around the body, exercising the flattener's loop/conditional
+	// paths on every lane identically.
+	for i := range c.Prims {
+		if r.chance(1, 5) && c.primHasBoundaryArg(&c.Prims[i]) {
+			c.Prims[i].Prod = true
+		}
+	}
+	if r.chance(3, 10) {
+		c.WrapIf = r.rangeIn(1, 3)
+	}
+	return c
+}
+
+func (c *Conn) primHasBoundaryArg(p *Prim) bool {
+	for _, v := range append(append([]int(nil), p.Tails...), p.Heads...) {
+		if v < c.NIn+c.NOut {
+			return true
+		}
+	}
+	return false
+}
+
+// Name is the rendered definition's name.
+func (c *Conn) Name() string { return "Xp" }
+
+// Lengths returns the Instantiate lengths for the boundary arrays.
+func (c *Conn) Lengths() map[string]int {
+	return map[string]int{"in": c.NIn, "out": c.NOut}
+}
+
+// Source renders the connector as .reo text.
+func (c *Conn) Source() string {
+	var body []string
+	for i := range c.Prims {
+		body = append(body, c.renderPrim(&c.Prims[i]))
+	}
+	inner := strings.Join(body, "\n    mult ")
+	switch c.WrapIf {
+	case 1:
+		inner = "if (#in >= 1) {\n    " + inner + "\n    }"
+	case 2:
+		inner = "if (#out >= 1) {\n    " + inner + "\n    }"
+	case 3:
+		inner = "if (#in + 1 > 1) {\n    " + inner + "\n    }"
+	}
+	return fmt.Sprintf("%s(in[];out[]) =\n    %s\n", c.Name(), inner)
+}
+
+func (c *Conn) renderPrim(p *Prim) string {
+	name := p.Kind
+	if p.Attr != "" {
+		name += "." + p.Attr
+	}
+	// Degenerate prod wrap: substitute the first boundary index with the
+	// iteration variable of a one-iteration loop.
+	prodIdx := -1
+	if p.Prod {
+		for _, v := range append(append([]int(nil), p.Tails...), p.Heads...) {
+			if v < c.NIn+c.NOut {
+				prodIdx = v
+				break
+			}
+		}
+	}
+	rendered := false
+	arg := func(v int) string {
+		if v == prodIdx && !rendered {
+			rendered = true
+			if v < c.NIn {
+				return "in[i]"
+			}
+			return "out[i]"
+		}
+		return c.vertexName(v)
+	}
+	var tails, heads []string
+	for _, v := range p.Tails {
+		tails = append(tails, arg(v))
+	}
+	for _, v := range p.Heads {
+		heads = append(heads, arg(v))
+	}
+	call := fmt.Sprintf("%s(%s;%s)", name, strings.Join(tails, ","), strings.Join(heads, ","))
+	switch {
+	case prodIdx >= 0:
+		k := prodIdx + 1
+		if prodIdx >= c.NIn {
+			k = prodIdx - c.NIn + 1
+		}
+		call = fmt.Sprintf("prod (i:%d..%d) %s", k, k, call)
+	case p.Island:
+		call = "prod (i:1..1) " + call
+	}
+	return call
+}

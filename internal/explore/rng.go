@@ -1,0 +1,70 @@
+package explore
+
+// Seeded generator shared by the connector grammar and the schedule
+// sampler: xorshift64* over a splitmix64-mixed seed, the same shape as
+// the engine's pickRNG. Self-contained so generated cases reproduce
+// bit-for-bit regardless of Go version (math/rand's stream is not part
+// of its compatibility promise).
+
+type rng struct{ s uint64 }
+
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func newRNG(seed int64) *rng {
+	s := mix64(uint64(seed))
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	return &rng{s: s}
+}
+
+// deriveSeed derives an independent stream seed from a base seed and a
+// stream index (per-round and per-probe seeds).
+func deriveSeed(base int64, idx uint64) int64 {
+	return int64(mix64(uint64(base) + 0x632be59bd9b4e019*idx))
+}
+
+func (r *rng) next() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// intn returns a uniform int in [0, n). n must be > 0.
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// rangeIn returns a uniform int in [lo, hi] inclusive.
+func (r *rng) rangeIn(lo, hi int) int {
+	return lo + r.intn(hi-lo+1)
+}
+
+// chance returns true with probability num/den.
+func (r *rng) chance(num, den int) bool {
+	return r.intn(den) < num
+}
+
+// pickWeighted picks an index with the given weights.
+func (r *rng) pickWeighted(weights []int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	n := r.intn(total)
+	for i, w := range weights {
+		if n < w {
+			return i
+		}
+		n -= w
+	}
+	return len(weights) - 1
+}

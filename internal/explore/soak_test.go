@@ -1,0 +1,31 @@
+package explore
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestExploreSoak is the nightly long exploration: opt-in via
+// EXPLORE_SOAK_ROUNDS (the PR gate runs the short TestExploreClean and
+// the `reoc explore` smoke instead). Seed defaults to 42 and can be
+// pinned with EXPLORE_SOAK_SEED to replay a nightly failure locally.
+func TestExploreSoak(t *testing.T) {
+	rounds, _ := strconv.Atoi(os.Getenv("EXPLORE_SOAK_ROUNDS"))
+	if rounds <= 0 {
+		t.Skip("set EXPLORE_SOAK_ROUNDS to run the soak")
+	}
+	seed := int64(42)
+	if s, err := strconv.ParseInt(os.Getenv("EXPLORE_SOAK_SEED"), 10, 64); err == nil {
+		seed = s
+	}
+	rep, err := Run(Options{Seed: seed, Rounds: rounds, Log: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("rounds=%d orders=%d laneRuns=%d skipped=%d genRegions=%d",
+		rep.Rounds, rep.Orders, rep.LaneRuns, rep.Skipped, rep.GenRegions)
+	if rep.Failure != nil {
+		t.Fatalf("\n%s", FormatFailure(rep.Failure))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"reflect"
+	"regexp"
 	"testing"
 
 	reo "repro"
@@ -31,6 +32,14 @@ const (
 	diffRounds = 6
 	diffSeed   = 7
 )
+
+// reproCmd pins a differential failure to its replay: these harnesses
+// are deterministic functions of the fixed seed, so the exact test
+// invocation plus the seed is the whole reproduction recipe.
+func reproCmd(t *testing.T, seed int64) string {
+	return fmt.Sprintf("repro: go test -run '%s' ./internal/gen/ (deterministic, seed %d)",
+		regexp.QuoteMeta(t.Name()), seed)
+}
 
 // funcConns exercise inlined guards and named transformations, all
 // driven as one2many connectors at n=1 (lossy ones leave the receiver
@@ -181,13 +190,13 @@ func TestGenDifferentialConnlib(t *testing.T) {
 				t.Fatalf("interpreted drive: %v", err)
 			}
 			if !reflect.DeepEqual(want.Seqs, genRes.Seqs) {
-				t.Errorf("per-port sequences differ\ninterpreted: %v\ngenerated:   %v", want.Seqs, genRes.Seqs)
+				t.Errorf("per-port sequences differ\ninterpreted: %v\ngenerated:   %v\n%s", want.Seqs, genRes.Seqs, reproCmd(t, diffSeed))
 			}
 			if want.Steps != genRes.Steps {
-				t.Errorf("steps differ: interpreted %d, generated %d", want.Steps, genRes.Steps)
+				t.Errorf("steps differ: interpreted %d, generated %d\n%s", want.Steps, genRes.Steps, reproCmd(t, diffSeed))
 			}
 			if want.GuardEvals != genRes.GuardEvals {
-				t.Errorf("guard evals differ: interpreted %d, generated %d", want.GuardEvals, genRes.GuardEvals)
+				t.Errorf("guard evals differ: interpreted %d, generated %d\n%s", want.GuardEvals, genRes.GuardEvals, reproCmd(t, diffSeed))
 			}
 		})
 	}
@@ -267,13 +276,13 @@ func TestGenDifferentialLaneInProcess(t *testing.T) {
 	got := drive(gi)
 
 	if !reflect.DeepEqual(want.seq, got.seq) {
-		t.Errorf("sequences differ\ninterpreted: %v\ngenerated:   %v", want.seq, got.seq)
+		t.Errorf("sequences differ\ninterpreted: %v\ngenerated:   %v\n%s", want.seq, got.seq, reproCmd(t, diffSeed))
 	}
 	if want.steps != got.steps {
-		t.Errorf("steps differ: interpreted %d, generated %d", want.steps, got.steps)
+		t.Errorf("steps differ: interpreted %d, generated %d\n%s", want.steps, got.steps, reproCmd(t, diffSeed))
 	}
 	if want.guardEval != got.guardEval {
-		t.Errorf("guard evals differ: interpreted %d, generated %d", want.guardEval, got.guardEval)
+		t.Errorf("guard evals differ: interpreted %d, generated %d\n%s", want.guardEval, got.guardEval, reproCmd(t, diffSeed))
 	}
 }
 

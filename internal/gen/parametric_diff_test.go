@@ -99,13 +99,13 @@ func interpretedTwin(t *testing.T, reoFile, connector string, lengths map[string
 func compareResults(t *testing.T, want, got *gendrv.Result) {
 	t.Helper()
 	if !reflect.DeepEqual(want.Seqs, got.Seqs) {
-		t.Errorf("per-port sequences differ\ninterpreted: %v\ngenerated:   %v", want.Seqs, got.Seqs)
+		t.Errorf("per-port sequences differ\ninterpreted: %v\ngenerated:   %v\n%s", want.Seqs, got.Seqs, reproCmd(t, diffSeed))
 	}
 	if want.Steps != got.Steps {
-		t.Errorf("steps differ: interpreted %d, generated %d", want.Steps, got.Steps)
+		t.Errorf("steps differ: interpreted %d, generated %d\n%s", want.Steps, got.Steps, reproCmd(t, diffSeed))
 	}
 	if want.GuardEvals != got.GuardEvals {
-		t.Errorf("guard evals differ: interpreted %d, generated %d", want.GuardEvals, got.GuardEvals)
+		t.Errorf("guard evals differ: interpreted %d, generated %d\n%s", want.GuardEvals, got.GuardEvals, reproCmd(t, diffSeed))
 	}
 }
 
@@ -169,10 +169,10 @@ func TestParametricDifferentialFabricWorkers(t *testing.T) {
 		t.Fatalf("interpreted drive: %v", err)
 	}
 	if !reflect.DeepEqual(want.Seqs, genRes.Seqs) {
-		t.Errorf("per-port sequences differ\ninterpreted: %v\ngenerated:   %v", want.Seqs, genRes.Seqs)
+		t.Errorf("per-port sequences differ\ninterpreted: %v\ngenerated:   %v\n%s", want.Seqs, genRes.Seqs, reproCmd(t, diffSeed))
 	}
 	if want.Steps != genRes.Steps {
-		t.Errorf("steps differ: interpreted %d, generated %d", want.Steps, genRes.Steps)
+		t.Errorf("steps differ: interpreted %d, generated %d\n%s", want.Steps, genRes.Steps, reproCmd(t, diffSeed))
 	}
 }
 
@@ -397,13 +397,13 @@ func TestParametricBatchEdgeCases(t *testing.T) {
 		twin := interpretedTwin(t, "fabric.reo", "Fabric", map[string]int{"a": 2, "b": 2}, reo.Funcs{})
 		want := ragged(twin)
 		if !reflect.DeepEqual(want.seq, got.seq) {
-			t.Errorf("sequences differ\ninterpreted: %v\ngenerated:   %v", want.seq, got.seq)
+			t.Errorf("sequences differ\ninterpreted: %v\ngenerated:   %v\n%s", want.seq, got.seq, reproCmd(t, diffSeed))
 		}
 		if want.steps != got.steps {
-			t.Errorf("steps differ: interpreted %d, generated %d", want.steps, got.steps)
+			t.Errorf("steps differ: interpreted %d, generated %d\n%s", want.steps, got.steps, reproCmd(t, diffSeed))
 		}
 		if want.guardEval != got.guardEval {
-			t.Errorf("guard evals differ: interpreted %d, generated %d", want.guardEval, got.guardEval)
+			t.Errorf("guard evals differ: interpreted %d, generated %d\n%s", want.guardEval, got.guardEval, reproCmd(t, diffSeed))
 		}
 	})
 
@@ -456,7 +456,7 @@ func TestParametricBatchEdgeCases(t *testing.T) {
 			t.Errorf("partial counts: interpreted %d, generated %d, want 2 on both", wantN, gotN)
 		}
 		if !reflect.DeepEqual(wantSeq, gotSeq) {
-			t.Errorf("partial sequences differ\ninterpreted: %v\ngenerated:   %v", wantSeq, gotSeq)
+			t.Errorf("partial sequences differ\ninterpreted: %v\ngenerated:   %v\n%s", wantSeq, gotSeq, reproCmd(t, diffSeed))
 		}
 		if gotErr == "" || gotErr != wantErr {
 			t.Errorf("close errors differ: interpreted %q, generated %q", wantErr, gotErr)

@@ -213,6 +213,12 @@ var (
 	msPPProg = reo.MustCompile(masterSlavesPipeSrc)
 )
 
+// ConnectorSources exposes the NPB connector definitions as corpus
+// seeds for the compiler fuzz targets.
+func ConnectorSources() []string {
+	return []string{masterSlavesSrc, masterSlavesPipeSrc}
+}
+
 type reoComm struct {
 	inst *reo.Instance
 	mo   []reo.Outport

@@ -190,13 +190,13 @@ func TestBatchedDifferential(t *testing.T) {
 		for _, batch := range []int{1, 3, 8, 64} {
 			gotSink, gotStages := runPipelineBatched(t, n, items, batch, m.opts...)
 			if fmt.Sprint(gotSink) != fmt.Sprint(wantSink) {
-				t.Errorf("%s/batch=%d: sink sequence differs:\nbatched: %v\nscalar:  %v",
-					m.name, batch, gotSink, wantSink)
+				t.Errorf("%s/batch=%d: sink sequence differs:\nbatched: %v\nscalar:  %v\n%s",
+					m.name, batch, gotSink, wantSink, reproCmd(t, 1))
 			}
 			for i := range wantStages {
 				if fmt.Sprint(gotStages[i]) != fmt.Sprint(wantStages[i]) {
-					t.Errorf("%s/batch=%d: stage %d input sequence differs:\nbatched: %v\nscalar:  %v",
-						m.name, batch, i, gotStages[i], wantStages[i])
+					t.Errorf("%s/batch=%d: stage %d input sequence differs:\nbatched: %v\nscalar:  %v\n%s",
+						m.name, batch, i, gotStages[i], wantStages[i], reproCmd(t, 1))
 				}
 			}
 		}
@@ -257,7 +257,7 @@ func TestBatchedDifferentialAlternator(t *testing.T) {
 		wg.Wait()
 		inst.Close()
 		if fmt.Sprint(got) != fmt.Sprint(want) {
-			t.Errorf("batch=%d: output sequence differs:\nbatched: %v\nscalar:  %v", batch, got, want)
+			t.Errorf("batch=%d: output sequence differs:\nbatched: %v\nscalar:  %v\n%s", batch, got, want, reproCmd(t, 7))
 		}
 	}
 }
@@ -275,12 +275,12 @@ func TestRegionsDifferentialPipeline(t *testing.T) {
 	for _, m := range modes {
 		gotSink, gotStages := runPipeline(t, n, items, m.opts...)
 		if fmt.Sprint(gotSink) != fmt.Sprint(wantSink) {
-			t.Errorf("%s: sink sequence differs:\nregions: %v\nsingle:  %v", m.name, gotSink, wantSink)
+			t.Errorf("%s: sink sequence differs:\nregions: %v\nsingle:  %v\n%s", m.name, gotSink, wantSink, reproCmd(t, 1))
 		}
 		for i := range wantStages {
 			if fmt.Sprint(gotStages[i]) != fmt.Sprint(wantStages[i]) {
-				t.Errorf("%s: stage %d input sequence differs:\nregions: %v\nsingle:  %v",
-					m.name, i, gotStages[i], wantStages[i])
+				t.Errorf("%s: stage %d input sequence differs:\nregions: %v\nsingle:  %v\n%s",
+					m.name, i, gotStages[i], wantStages[i], reproCmd(t, 1))
 			}
 		}
 	}
@@ -332,12 +332,12 @@ func TestRegionsDifferentialAlternator(t *testing.T) {
 	got := runAlternator(t, n, rounds, reo.WithSeed(7),
 		reo.WithPartitioning(reo.PartitionRegions))
 	if fmt.Sprint(got) != fmt.Sprint(want) {
-		t.Errorf("output sequence differs:\nregions: %v\nsingle:  %v", got, want)
+		t.Errorf("output sequence differs:\nregions: %v\nsingle:  %v\n%s", got, want, reproCmd(t, 7))
 	}
 	gotW := runAlternator(t, n, rounds, reo.WithSeed(7),
 		reo.WithPartitioning(reo.PartitionRegions), reo.WithWorkers(2))
 	if fmt.Sprint(gotW) != fmt.Sprint(want) {
-		t.Errorf("output sequence differs:\nworkers: %v\nsingle:  %v", gotW, want)
+		t.Errorf("output sequence differs:\nworkers: %v\nsingle:  %v\n%s", gotW, want, reproCmd(t, 7))
 	}
 }
 

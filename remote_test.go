@@ -462,10 +462,10 @@ func TestRemoteLoopbackDifferential(t *testing.T) {
 	out := driveAlternator(t, pair.inst, n, items, 0)
 
 	if want := alternatorExpect(n, items); !reflect.DeepEqual(out, want) {
-		t.Errorf("out sequence diverged from round-robin:\n remote %v\n want   %v", out, want)
+		t.Errorf("out sequence diverged from round-robin:\n remote %v\n want   %v\n%s", out, want, reproCmd(t, 7))
 	}
 	if !reflect.DeepEqual(out, wantOut) {
-		t.Errorf("out sequence diverged from local run:\n remote %v\n local  %v", out, wantOut)
+		t.Errorf("out sequence diverged from local run:\n remote %v\n local  %v\n%s", out, wantOut, reproCmd(t, 7))
 	}
 	waitSteps(t, pair, wantSteps)
 }
@@ -486,7 +486,7 @@ func TestRemoteLoopbackBatched(t *testing.T) {
 			out := driveAlternator(t, pair.inst, n, items, batch)
 
 			if !reflect.DeepEqual(out, wantOut) {
-				t.Errorf("out sequence diverged:\n remote %v\n local  %v", out, wantOut)
+				t.Errorf("out sequence diverged:\n remote %v\n local  %v\n%s", out, wantOut, reproCmd(t, 7))
 			}
 			waitSteps(t, pair, wantSteps)
 		})

@@ -1,0 +1,17 @@
+package reo_test
+
+import (
+	"fmt"
+	"regexp"
+	"testing"
+)
+
+// reproCmd pins a differential failure to its replay command: the root
+// harnesses are deterministic functions of their fixed seed, so the
+// exact test invocation plus the seed reproduces the divergence. For
+// broader search around a failure, `reoc explore` generates and shrinks
+// adversarial cases from any seed.
+func reproCmd(t *testing.T, seed int64) string {
+	return fmt.Sprintf("repro: go test -run '%s' . (deterministic, seed %d)",
+		regexp.QuoteMeta(t.Name()), seed)
+}

@@ -6,11 +6,15 @@
 package reo_test
 
 import (
+	"os"
 	"reflect"
+	"runtime"
+	"strconv"
 	"testing"
 
 	reo "repro"
 	"repro/internal/connlib"
+	"repro/internal/explore"
 	"repro/internal/gen/gendrv"
 )
 
@@ -53,14 +57,14 @@ func TestReuseDifferential(t *testing.T) {
 	for round := 0; round < 3; round++ {
 		recycled := run()
 		if !reflect.DeepEqual(fresh.Seqs, recycled.Seqs) {
-			t.Errorf("round %d: per-port sequences differ\nfresh:    %v\nrecycled: %v",
-				round, fresh.Seqs, recycled.Seqs)
+			t.Errorf("round %d: per-port sequences differ\nfresh:    %v\nrecycled: %v\n%s",
+				round, fresh.Seqs, recycled.Seqs, reproCmd(t, 7))
 		}
 		if fresh.Steps != recycled.Steps {
-			t.Errorf("round %d: steps differ: fresh %d, recycled %d", round, fresh.Steps, recycled.Steps)
+			t.Errorf("round %d: steps differ: fresh %d, recycled %d\n%s", round, fresh.Steps, recycled.Steps, reproCmd(t, 7))
 		}
 		if fresh.GuardEvals != recycled.GuardEvals {
-			t.Errorf("round %d: guard evals differ: fresh %d, recycled %d", round, fresh.GuardEvals, recycled.GuardEvals)
+			t.Errorf("round %d: guard evals differ: fresh %d, recycled %d\n%s", round, fresh.GuardEvals, recycled.GuardEvals, reproCmd(t, 7))
 		}
 	}
 }
@@ -187,5 +191,117 @@ func TestManyInstancesFireAllocs(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(1000, fire); allocs != 0 {
 		t.Errorf("steady-state fire allocates %.2f times, want 0", allocs)
+	}
+}
+
+// TestChurnAllocGrowth is the nightly leak gate: many thousands of
+// Connect → fire → Close cycles on the shared runtime with pooled
+// reuse must not grow the live heap — the pool recycles, it does not
+// accumulate. Gated on NIGHTLY_CHURN_CYCLES because a meaningful cycle
+// count is too slow for the PR gate; per-cycle alloc counts are pinned
+// there by TestConnectCloseAllocs instead. Run without -race: the
+// detector's shadow memory inflates heap accounting.
+func TestChurnAllocGrowth(t *testing.T) {
+	cycles, _ := strconv.Atoi(os.Getenv("NIGHTLY_CHURN_CYCLES"))
+	if cycles <= 0 {
+		t.Skip("set NIGHTLY_CHURN_CYCLES to run the churn leak gate (nightly CI)")
+	}
+	if raceEnabled {
+		t.Skip("heap accounting is distorted under the race detector")
+	}
+	prog := reo.MustCompile(`Lane(a;b) = Fifo1(a;b)`)
+	conn, err := prog.Connector("Lane")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := reuseOpts()
+	cycle := func(i int) {
+		inst, err := conn.Connect(nil, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Outport("a").Send(i); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := inst.Inport("b").Recv(); err != nil {
+			t.Fatal(err)
+		}
+		inst.Close()
+	}
+	heap := func() uint64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+	for i := 0; i < 100; i++ { // warm the pool and the runtime's steady state
+		cycle(i)
+	}
+	before := heap()
+	for i := 0; i < cycles; i++ {
+		cycle(i)
+	}
+	after := heap()
+	const limit = 4 << 20
+	if after > before && after-before > limit {
+		t.Errorf("live heap grew %d bytes over %d Connect/Close cycles (limit %d): the reuse pool is leaking",
+			after-before, cycles, limit)
+	}
+	t.Logf("churn: %d cycles, heap %d -> %d bytes", cycles, before, after)
+}
+
+// TestReuseExploreSchedules extends the recycling contract to the
+// adversarial corpus: for explorer-generated connectors driven over
+// explorer-generated schedules (through the public API — Compile,
+// Connect, Instance.Backend), a recycled instance must replay the fresh
+// instance's run schedule-for-schedule: identical per-port sequences,
+// Steps, GuardEvals, deadlock state, and error class. The cooperative
+// engine (no runtime, no workers) keeps every run synchronous, so the
+// comparison is strict even for choice-rich connectors — Close resets
+// the choice stream to the seed.
+func TestReuseExploreSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("explorer corpus run")
+	}
+	funcs := reo.Funcs{Filters: gendrv.TestFilters(), Transformers: gendrv.TestXforms()}
+	const baseSeed = 2026
+	for i := 0; i < 8; i++ {
+		seed := explore.RoundSeed(baseSeed, i)
+		bc, err := explore.BuildConn(seed, explore.GenConfig{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		prog, err := reo.Compile(bc.Conn.Source(), reo.WithFuncs(funcs))
+		if err != nil {
+			t.Fatalf("seed %d: public compile rejected explorer connector: %v\n%s", seed, err, bc.Conn.Source())
+		}
+		conn, err := prog.Connector(bc.Conn.Name())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sched := explore.GenerateSchedule(explore.RoundSeed(seed, 1), bc.Ins(), bc.Outs(), 16)
+		run := func() *explore.Outcome {
+			t.Helper()
+			inst, err := conn.Connect(bc.Conn.Lengths(),
+				reo.WithSeed(5),
+				reo.WithPartitioning(reo.PartitionRegions),
+				reo.WithReuse(true))
+			if err != nil {
+				t.Fatalf("seed %d: connect: %v", seed, err)
+			}
+			out, err := explore.RunSchedule(inst.Backend(), sched, explore.RunCfg{CloseFn: inst.Close})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			return out
+		}
+		fresh := run()
+		for round := 0; round < 2; round++ {
+			recycled := run()
+			if d := explore.DiffOutcomes(fresh, recycled, "fresh", "recycled", false, false); d != "" {
+				t.Errorf("seed %d round %d: recycled run diverged: %s\nconnector:\n%s\nrepro: go test -run '%s' .",
+					seed, round, d, bc.Conn.Source(), t.Name())
+			}
+		}
 	}
 }
